@@ -1,0 +1,103 @@
+//! Ablations over the design choices DESIGN.md calls out — the knobs the
+//! paper discusses beyond its main ladder:
+//!
+//! * MMRBC sweep across all four legal burst sizes,
+//! * interrupt-coalescing delay sweep (latency vs CPU trade),
+//! * socket-buffer sweep (the window-limited → resource-limited crossover),
+//! * TSO on/off (§3.3: "the implementation of TSO should reduce the CPU
+//!   load on transmitting systems").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tengig::config::{LadderRung, TuningStep};
+use tengig::experiments::latency::netpipe_point;
+use tengig::experiments::throughput::nttcp_point;
+use tengig::report::Table;
+use tengig_bench::BENCH_COUNT;
+use tengig_ethernet::Mtu;
+use tengig_sim::Nanos;
+
+fn mmrbc_sweep() {
+    let mut t = Table::new("ablation: MMRBC burst size (9000 MTU)", &["MMRBC", "Gb/s"]);
+    for mmrbc in [512u64, 1024, 2048, 4096] {
+        let cfg = LadderRung::OversizedWindows
+            .pe2650_config(Mtu::JUMBO_9000)
+            .tuned(TuningStep::Mmrbc(mmrbc));
+        let r = nttcp_point(cfg, 8948, BENCH_COUNT, 1);
+        t.row(vec![mmrbc.to_string(), format!("{:.2}", r.throughput.gbps())]);
+    }
+    println!("{}", t.render());
+}
+
+fn coalescing_sweep() {
+    let mut t = Table::new(
+        "ablation: interrupt-coalescing delay",
+        &["delay (us)", "1B latency (us)", "bulk Gb/s", "rx CPU"],
+    );
+    for us in [0u64, 1, 5, 10, 20] {
+        let cfg = LadderRung::OversizedWindows
+            .pe2650_config(Mtu::JUMBO_9000)
+            .tuned(TuningStep::Coalescing(Nanos::from_micros(us)));
+        let lat = netpipe_point(cfg, 1, false);
+        let thr = nttcp_point(cfg, 8948, BENCH_COUNT, 1);
+        t.row(vec![
+            us.to_string(),
+            format!("{:.1}", lat.as_micros_f64()),
+            format!("{:.2}", thr.throughput.gbps()),
+            format!("{:.2}", thr.rx_cpu_load),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn buffer_sweep() {
+    let mut t = Table::new(
+        "ablation: socket buffer size (9000 MTU)",
+        &["buffers (KB)", "Gb/s"],
+    );
+    for kb in [64u64, 128, 256, 512, 1024] {
+        let cfg = LadderRung::Uniprocessor
+            .pe2650_config(Mtu::JUMBO_9000)
+            .tuned(TuningStep::Buffers(kb * 1024));
+        let r = nttcp_point(cfg, 8948, BENCH_COUNT, 1);
+        t.row(vec![kb.to_string(), format!("{:.2}", r.throughput.gbps())]);
+    }
+    println!("{}", t.render());
+}
+
+fn tso_ablation() {
+    let mut t = Table::new(
+        "ablation: TCP segmentation offload (sender side)",
+        &["TSO", "Gb/s", "tx CPU", "rx CPU"],
+    );
+    for tso in [false, true] {
+        let mut cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
+        cfg.nic = cfg.nic.with_tso(tso);
+        let r = nttcp_point(cfg, 8108, BENCH_COUNT, 1);
+        t.row(vec![
+            if tso { "on" } else { "off" }.into(),
+            format!("{:.2}", r.throughput.gbps()),
+            format!("{:.2}", r.tx_cpu_load),
+            format!("{:.2}", r.rx_cpu_load),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper §3.3: \"the implementation of TSO should reduce the CPU load on\ntransmitting systems, and in many cases, will increase throughput\"\n");
+}
+
+fn bench(c: &mut Criterion) {
+    mmrbc_sweep();
+    coalescing_sweep();
+    buffer_sweep();
+    tso_ablation();
+    let cfg = LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000);
+    c.bench_function("ablation/single_tuned_point", |b| {
+        b.iter(|| nttcp_point(cfg, 8948, BENCH_COUNT, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = tengig_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! §3.4 regenerator: the Intel E7505 loaners (4.64 Gb/s out of the box,
+//! timestamps off) and the quad Itanium-II aggregation (7.2 Gb/s), plus
+//! the §3.1 STREAM memory-bandwidth sanity numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tengig::experiments::anecdotal::{
+    e7505_out_of_box, e7505_with_timestamps, itanium_aggregation,
+};
+use tengig::report::Table;
+use tengig_bench::BENCH_COUNT;
+use tengig_hw::MemorySpec;
+use tengig_sim::Nanos;
+use tengig_tools::run_stream;
+
+fn regenerate() {
+    let mut t = Table::new("§3.4 anecdotal hosts", &["measurement", "Gb/s", "paper"]);
+    let e7 = e7505_out_of_box(BENCH_COUNT);
+    t.row(vec![
+        "E7505 out of the box (ts off)".into(),
+        format!("{:.2}", e7.throughput.gbps()),
+        "4.64".into(),
+    ]);
+    let e7ts = e7505_with_timestamps(BENCH_COUNT);
+    t.row(vec![
+        "E7505 with timestamps".into(),
+        format!("{:.2}", e7ts.throughput.gbps()),
+        "~-10%".into(),
+    ]);
+    let w = Nanos::from_millis(30);
+    let it = itanium_aggregation(8, w, w);
+    t.row(vec![
+        "Itanium-II x4, 8 GbE senders".into(),
+        format!("{:.2}", it.aggregate_gbps),
+        "7.2".into(),
+    ]);
+    println!("{}", t.render());
+
+    let mut s = Table::new("§3.1 STREAM copy bandwidth", &["host", "Gb/s", "paper"]);
+    for (name, mem, paper) in [
+        ("PE2650 (GC-LE)", MemorySpec::gc_le(), "~8.5"),
+        ("PE4600 (GC-HE)", MemorySpec::gc_he(), "12.8"),
+        ("E7505", MemorySpec::e7505(), "≈PE2650"),
+    ] {
+        s.row(vec![
+            name.into(),
+            format!("{:.1}", run_stream(&mem).copy.gbps()),
+            paper.into(),
+        ]);
+    }
+    println!("{}", s.render());
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    c.bench_function("anecdotal/e7505_point", |b| b.iter(|| e7505_out_of_box(BENCH_COUNT)));
+    c.bench_function("anecdotal/itanium_aggregation_8", |b| {
+        b.iter(|| itanium_aggregation(8, Nanos::from_millis(10), Nanos::from_millis(10)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = tengig_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! §3.5.4 regenerator: 10GbE against GbE, Myrinet, and QsNet — the
+//! published baselines with our simulated 10GbE numbers and the paper's
+//! advantage percentages recomputed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tengig::config::LadderRung;
+use tengig::experiments::latency::netpipe_point;
+use tengig::experiments::throughput::nttcp_point;
+use tengig::report::Table;
+use tengig_bench::BENCH_COUNT;
+use tengig_ethernet::Mtu;
+use tengig_nic::Interconnect;
+
+fn regenerate() {
+    let cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
+    let thr = nttcp_point(cfg, 8108, BENCH_COUNT, 7).throughput;
+    let lat = netpipe_point(cfg, 1, false);
+    let mut t = Table::new(
+        "§3.5.4 interconnect comparison",
+        &["interconnect", "unidirectional", "latency", "10GbE thr advantage", "10GbE lat advantage"],
+    );
+    for ic in Interconnect::all_baselines() {
+        let thr_adv = (thr.gbps() / ic.unidirectional.gbps() - 1.0) * 100.0;
+        let lat_adv =
+            (1.0 - lat.as_nanos() as f64 / ic.latency.as_nanos() as f64) * 100.0;
+        t.row(vec![
+            ic.name.to_string(),
+            ic.unidirectional.to_string(),
+            format!("{:.1} us", ic.latency.as_micros_f64()),
+            format!("{thr_adv:+.0}%"),
+            format!("{lat_adv:+.0}%"),
+        ]);
+    }
+    t.row(vec![
+        "10GbE/TCP (simulated)".into(),
+        thr.to_string(),
+        format!("{:.1} us", lat.as_micros_f64()),
+        "—".into(),
+        "—".into(),
+    ]);
+    println!("{}", t.render());
+    println!("paper: >300% vs GbE, >120% vs Myrinet/IP, >80% vs QsNet/IP throughput;\n~40% better latency than GbE, worse than the native GM/Elan3 APIs\n");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
+    c.bench_function("comparison/tuned_10gbe_measurement", |b| {
+        b.iter(|| nttcp_point(cfg, 8108, BENCH_COUNT, 7))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = tengig_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

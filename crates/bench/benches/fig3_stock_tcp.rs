@@ -1,0 +1,54 @@
+//! Fig. 3 regenerator: throughput of stock TCP, 1500- vs 9000-byte MTU,
+//! as a function of payload size. Paper peaks: 1.8 / 2.7 Gb/s.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tengig::config::LadderRung;
+use tengig::experiments::throughput::{nttcp_point, throughput_sweep};
+use tengig::report::figure;
+use tengig_bench::BENCH_COUNT;
+use tengig_ethernet::Mtu;
+
+fn regenerate() {
+    let payloads: Vec<u64> = (512..=16_384).step_by(1_024).chain([1448, 8948]).collect();
+    let mut payloads = payloads;
+    payloads.sort_unstable();
+    let series = vec![
+        throughput_sweep(
+            LadderRung::Stock.pe2650_config(Mtu::STANDARD),
+            "1500MTU,SMP,512PCI",
+            &payloads,
+            BENCH_COUNT,
+        ),
+        throughput_sweep(
+            LadderRung::Stock.pe2650_config(Mtu::JUMBO_9000),
+            "9000MTU,SMP,512PCI",
+            &payloads,
+            BENCH_COUNT,
+        ),
+    ];
+    println!("{}", figure("Fig. 3: throughput of stock TCP (Mb/s vs payload bytes)", &series));
+    println!(
+        "peaks: 1500 MTU {:.0} Mb/s (paper 1800), 9000 MTU {:.0} Mb/s (paper 2700)\n",
+        series[0].peak(),
+        series[1].peak()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let std_cfg = LadderRung::Stock.pe2650_config(Mtu::STANDARD);
+    let jumbo_cfg = LadderRung::Stock.pe2650_config(Mtu::JUMBO_9000);
+    c.bench_function("fig3/stock_1500_mss_point", |b| {
+        b.iter(|| nttcp_point(std_cfg, 1448, BENCH_COUNT, 1))
+    });
+    c.bench_function("fig3/stock_9000_mss_point", |b| {
+        b.iter(|| nttcp_point(jumbo_cfg, 8948, BENCH_COUNT, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = tengig_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Fig. 4 regenerator: TCP with oversized (256 KB) windows, MMRBC 4096,
+//! uniprocessor kernel. Paper peaks: 2.47 / 3.9 Gb/s — and the 7436-8948 B
+//! dip of Fig. 3 is gone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tengig::config::LadderRung;
+use tengig::experiments::throughput::{nttcp_point, throughput_sweep};
+use tengig::report::figure;
+use tengig_bench::BENCH_COUNT;
+use tengig_ethernet::Mtu;
+
+fn regenerate() {
+    let mut payloads: Vec<u64> = (512..=16_384).step_by(1_024).collect();
+    payloads.extend([1448, 7436, 8192, 8948]);
+    payloads.sort_unstable();
+    payloads.dedup();
+    let series = vec![
+        throughput_sweep(
+            LadderRung::OversizedWindows.pe2650_config(Mtu::STANDARD),
+            "1500MTU,UP,4096PCI,256kbuf,medres",
+            &payloads,
+            BENCH_COUNT,
+        ),
+        throughput_sweep(
+            LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000),
+            "9000MTU,UP,4096PCI,256kbuf,medres",
+            &payloads,
+            BENCH_COUNT,
+        ),
+    ];
+    println!("{}", figure("Fig. 4: oversized windows + MMRBC 4096 + UP (Mb/s)", &series));
+    let dip = series[1].min_in(7_436.0, 8_947.0).unwrap_or(0.0);
+    println!(
+        "peaks: 1500 {:.0} Mb/s (paper 2470), 9000 {:.0} Mb/s (paper 3900); \
+         9000 dip region min {:.0} Mb/s vs peak {:.0}\n",
+        series[0].peak(),
+        series[1].peak(),
+        dip,
+        series[1].peak()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let cfg = LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000);
+    c.bench_function("fig4/tuned_9000_mss_point", |b| {
+        b.iter(|| nttcp_point(cfg, 8948, BENCH_COUNT, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = tengig_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

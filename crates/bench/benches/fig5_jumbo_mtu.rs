@@ -1,0 +1,68 @@
+//! Fig. 5 regenerator: non-standard MTUs 8160 and 16000 with the full
+//! tuning stack, against the theoretical GbE/Myrinet/QsNet reference
+//! lines. Paper peaks: 4.11 / 4.09 Gb/s, with the 16000 curve's average
+//! clearly higher.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tengig::config::LadderRung;
+use tengig::experiments::throughput::{nttcp_point, throughput_sweep};
+use tengig::report::figure;
+use tengig_bench::BENCH_COUNT;
+use tengig_ethernet::Mtu;
+use tengig_sim::stats::Series;
+
+fn regenerate() {
+    let mut payloads: Vec<u64> = (1_024..=16_384).step_by(1_024).collect();
+    payloads.extend([8_108, 15_948]);
+    payloads.sort_unstable();
+    payloads.dedup();
+    let m16000 = throughput_sweep(
+        LadderRung::Mtu16000.pe2650_config(Mtu::MAX_INTEL_16000),
+        "16000MTU,UP,4096PCI,256kbuf",
+        &payloads,
+        BENCH_COUNT,
+    );
+    let m8160 = throughput_sweep(
+        LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160),
+        "8160MTU,UP,4096PCI,256kbuf",
+        &payloads,
+        BENCH_COUNT,
+    );
+    let mut series = vec![m16000, m8160];
+    for (label, gbps) in
+        [("Quadrics (theoretical)", 3.2), ("Myrinet (theoretical)", 2.0), ("GbE (theoretical)", 1.0)]
+    {
+        let mut s = Series::new(label);
+        s.push(1_024.0, gbps * 1000.0);
+        s.push(16_384.0, gbps * 1000.0);
+        series.push(s);
+    }
+    println!("{}", figure("Fig. 5: cumulative optimizations with non-standard MTUs (Mb/s)", &series));
+    println!(
+        "peaks: 16000 {:.0} Mb/s (paper 4090), 8160 {:.0} Mb/s (paper 4110); \
+         means: 16000 {:.0} vs 8160 {:.0}\n",
+        series[0].peak(),
+        series[1].peak(),
+        series[0].mean(),
+        series[1].mean()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
+    c.bench_function("fig5/tuned_8160_mss_point", |b| {
+        b.iter(|| nttcp_point(cfg, 8108, BENCH_COUNT, 1))
+    });
+    let cfg16 = LadderRung::Mtu16000.pe2650_config(Mtu::MAX_INTEL_16000);
+    c.bench_function("fig5/tuned_16000_mss_point", |b| {
+        b.iter(|| nttcp_point(cfg16, 15948, BENCH_COUNT, 1))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = tengig_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 6 regenerator: end-to-end latency vs payload (1 B - 1 KiB),
+//! back-to-back and through the FastIron 1500, with the default 5 µs
+//! interrupt-coalescing delay. Paper: 19 µs / 25 µs at one byte, growing
+//! ~20% to 1 KiB.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tengig::config::LadderRung;
+use tengig::experiments::latency::{latency_sweep, netpipe_point, paper_latency_payloads};
+use tengig::report::figure;
+use tengig_ethernet::Mtu;
+
+fn regenerate() {
+    let cfg = LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000);
+    let payloads = paper_latency_payloads();
+    let series = vec![
+        latency_sweep(cfg, "back-to-back (us)", &payloads, false),
+        latency_sweep(cfg, "through FastIron 1500 (us)", &payloads, true),
+    ];
+    println!("{}", figure("Fig. 6: end-to-end latency (us vs payload bytes)", &series));
+    println!(
+        "1-byte: b2b {:.1} us (paper 19), switch {:.1} us (paper 25); 1 KiB b2b {:.1} us (paper ~23)\n",
+        series[0].at(1.0).unwrap(),
+        series[1].at(1.0).unwrap(),
+        series[0].at(1024.0).unwrap()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let cfg = LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000);
+    c.bench_function("fig6/netpipe_1byte_b2b", |b| b.iter(|| netpipe_point(cfg, 1, false)));
+    c.bench_function("fig6/netpipe_1byte_switch", |b| b.iter(|| netpipe_point(cfg, 1, true)));
+}
+
+criterion_group! {
+    name = benches;
+    config = tengig_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

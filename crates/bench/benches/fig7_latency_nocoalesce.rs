@@ -1,0 +1,46 @@
+//! Fig. 7 regenerator: end-to-end latency with interrupt coalescing
+//! turned off — "we trivially shave off an additional 5 µs (down to 14 µs
+//! end-to-end)".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tengig::config::LadderRung;
+use tengig::experiments::latency::{
+    latency_sweep, netpipe_point, paper_latency_payloads, without_coalescing,
+};
+use tengig::report::figure;
+use tengig_ethernet::Mtu;
+
+fn regenerate() {
+    let base = LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000);
+    let cfg = without_coalescing(base);
+    let payloads = paper_latency_payloads();
+    let series = vec![
+        latency_sweep(cfg, "back-to-back, no coalescing (us)", &payloads, false),
+        latency_sweep(cfg, "through switch, no coalescing (us)", &payloads, true),
+    ];
+    println!(
+        "{}",
+        figure("Fig. 7: latency without interrupt coalescing (us vs payload bytes)", &series)
+    );
+    let with = netpipe_point(base, 1, false).as_micros_f64();
+    let without = series[0].at(1.0).unwrap();
+    println!(
+        "1-byte b2b: {without:.1} us (paper 14); coalescing delta {:.1} us (paper 5)\n",
+        with - without
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let cfg = without_coalescing(LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000));
+    c.bench_function("fig7/netpipe_1byte_nocoalesce", |b| {
+        b.iter(|| netpipe_point(cfg, 1, false))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = tengig_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

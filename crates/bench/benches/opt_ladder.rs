@@ -1,0 +1,42 @@
+//! §3.3 regenerator: the whole optimization ladder, peak/mean throughput
+//! and CPU loads per cumulative tuning step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tengig::experiments::throughput::ladder;
+use tengig::report::Table;
+use tengig_bench::BENCH_COUNT;
+use tengig_ethernet::Mtu;
+
+fn regenerate() {
+    let payloads = [1448, 4096, 8108, 8948, 15948];
+    let results = ladder(Mtu::JUMBO_9000, &payloads, BENCH_COUNT);
+    let mut t = Table::new(
+        "§3.3 optimization ladder (base MTU 9000)",
+        &["configuration", "peak Mb/s", "mean Mb/s", "tx CPU", "rx CPU"],
+    );
+    for r in &results {
+        t.row(vec![
+            r.label.clone(),
+            format!("{:.0}", r.peak_mbps),
+            format!("{:.0}", r.mean_mbps),
+            format!("{:.2}", r.tx_cpu_load),
+            format!("{:.2}", r.rx_cpu_load),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper peaks: 2.7 → 3.6 → (+10% avg) → 3.9 → 4.11 → 4.09 Gb/s\n");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    c.bench_function("ladder/full_six_rungs_single_payload", |b| {
+        b.iter(|| ladder(Mtu::JUMBO_9000, &[8948], 800))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = tengig_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! §5 projection regenerator: RDMA-over-IP / OS-bypass on the same 10GbE
+//! hardware — "throughput approaching 8 Gb/s, end-to-end latencies below
+//! 10 µs, and a CPU load approaching zero".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tengig::config::LadderRung;
+use tengig::experiments::latency::netpipe_point;
+use tengig::experiments::osbypass;
+use tengig::experiments::throughput::nttcp_point;
+use tengig::report::Table;
+use tengig_bench::BENCH_COUNT;
+use tengig_ethernet::Mtu;
+
+fn regenerate() {
+    let mut t = Table::new(
+        "§5 projection: OS-bypass (RDMA over IP) vs the best TCP result",
+        &["path", "Gb/s", "one-way latency", "CPU load"],
+    );
+    let tcp = nttcp_point(
+        LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160),
+        8108,
+        BENCH_COUNT,
+        7,
+    );
+    let tcp_lat = netpipe_point(LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160), 1, false);
+    t.row(vec![
+        "TCP/IP, tuned (measured)".into(),
+        format!("{:.2}", tcp.throughput.gbps()),
+        format!("{:.1} us", tcp_lat.as_micros_f64()),
+        format!("{:.2}", tcp.rx_cpu_load),
+    ]);
+    for mtu in [Mtu::JUMBO_9000, Mtu::MAX_INTEL_16000] {
+        let r = osbypass::throughput(mtu, 4_000);
+        t.row(vec![
+            format!("OS-bypass, {} MTU (projected)", mtu.get()),
+            format!("{:.2}", r.gbps),
+            format!("{:.1} us", r.latency.as_micros_f64()),
+            format!("{:.2}", r.cpu_load),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper §5: \"throughput approaching 8 Gb/s, end-to-end latencies below 10 µs,\nand a CPU load approaching zero\"\n");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    c.bench_function("osbypass/16000_projection", |b| {
+        b.iter(|| osbypass::throughput(Mtu::MAX_INTEL_16000, 2_000))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = tengig_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

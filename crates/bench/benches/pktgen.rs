@@ -1,0 +1,49 @@
+//! §3.5.2 regenerator: the Linux packet generator — the single-copy upper
+//! bound (paper: 5.5 Gb/s, ~88,400 packets/s with 8160-byte packets) and
+//! the TCP/pktgen ratio (~75%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tengig::config::LadderRung;
+use tengig::experiments::throughput::{nttcp_point, pktgen_run};
+use tengig::report::Table;
+use tengig_bench::BENCH_COUNT;
+use tengig_ethernet::Mtu;
+
+fn regenerate() {
+    let cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
+    let mut t = Table::new(
+        "§3.5.2 packet generator (single copy, TCP bypass)",
+        &["packet payload", "packets/s", "Gb/s"],
+    );
+    for payload in [1472u64, 4068, 8132] {
+        let r = pktgen_run(cfg, payload, 6_000);
+        t.row(vec![
+            payload.to_string(),
+            format!("{:.0}", r.pps),
+            format!("{:.2}", r.gbps),
+        ]);
+    }
+    println!("{}", t.render());
+    let pg = pktgen_run(cfg, 8132, 6_000);
+    let tcp = nttcp_point(cfg, 8108, BENCH_COUNT, 1).throughput.gbps();
+    println!(
+        "8160-byte packets: {:.2} Gb/s at {:.0} pps (paper: 5.5 Gb/s, 88,400 pps)\n\
+         TCP/pktgen ratio: {:.0}% (paper ~75%)\n",
+        pg.gbps,
+        pg.pps,
+        tcp / pg.gbps * 100.0
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
+    c.bench_function("pktgen/8160_burst", |b| b.iter(|| pktgen_run(cfg, 8132, 4_000)));
+}
+
+criterion_group! {
+    name = benches;
+    config = tengig_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Table 1 regenerator: time to recover from a single packet loss under
+//! AIMD, for the paper's five path/MSS combinations, plus a simulation
+//! cross-check of the sawtooth at a miniature operating point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tengig::analytic::{recovery_time, table1};
+use tengig::experiments::wan::record_run;
+use tengig::report::{humanize, Table};
+use tengig_net::WanSpec;
+use tengig_sim::{Bandwidth, Nanos};
+
+fn regenerate() {
+    let mut t = Table::new(
+        "Table 1: time to recover from a single packet loss",
+        &["path", "bandwidth", "RTT (ms)", "MSS (bytes)", "time to recover", "paper"],
+    );
+    let paper = ["ms-scale", "1 hr 42 min", "17 min", "3 hr 51 min", "38 min"];
+    for (row, p) in table1().into_iter().zip(paper) {
+        t.row(vec![
+            row.path.to_string(),
+            row.bandwidth.to_string(),
+            format!("{:.1}", row.rtt.as_millis_f64()),
+            row.mss.to_string(),
+            humanize(row.time),
+            p.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Simulation cross-check: sparse random loss on a 10 ms-RTT miniature
+    // of the WAN depresses the mean below the clean rate (the sawtooth).
+    let mini = WanSpec {
+        prop_svl_chi: Nanos::from_millis(2),
+        prop_chi_gva: Nanos::from_millis(3),
+        bottleneck_buffer: 64 << 20,
+        random_loss: 0.0,
+    };
+    let clean = record_run(&mini, None, Nanos::from_millis(600), Nanos::from_millis(600));
+    let lossy = record_run(
+        &mini.with_random_loss(2e-5),
+        None,
+        Nanos::from_millis(600),
+        Nanos::from_secs(2),
+    );
+    println!(
+        "sawtooth cross-check at 10 ms RTT: clean {:.2} Gb/s, with sparse loss {:.2} Gb/s \
+         ({} retransmits)\n",
+        clean.gbps, lossy.gbps, lossy.retransmits
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    c.bench_function("table1/analytic_all_rows", |b| b.iter(table1));
+    c.bench_function("table1/single_row", |b| {
+        b.iter(|| recovery_time(Bandwidth::from_gbps(10), Nanos::from_millis(180), 1460))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = tengig_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

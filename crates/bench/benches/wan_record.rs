@@ -1,0 +1,53 @@
+//! §4 regenerator: the Internet2 Land Speed Record run — single-stream
+//! TCP, Sunnyvale ↔ Geneva, and its mistuned variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tengig::experiments::wan::record_run;
+use tengig::report::{humanize, Table};
+use tengig_net::WanSpec;
+use tengig_sim::Nanos;
+
+fn regenerate() {
+    let wan = WanSpec::record_run();
+    let warmup = Nanos::from_secs(3);
+    let window = Nanos::from_secs(3);
+    let mut t = Table::new(
+        "§4: single-stream TCP over the OC-192/OC-48 circuit (180 ms RTT)",
+        &["buffers", "steady Gb/s", "payload eff.", "rtx", "drops", "1 TB takes"],
+    );
+    let rec = record_run(&wan, None, warmup, window);
+    t.row(vec![
+        "tuned (≈2×BDP)".into(),
+        format!("{:.3}", rec.gbps),
+        format!("{:.1}%", rec.payload_efficiency * 100.0),
+        rec.retransmits.to_string(),
+        rec.drops.to_string(),
+        humanize(rec.terabyte_time),
+    ]);
+    let small = record_run(&wan, Some(8 << 20), warmup, window);
+    t.row(vec![
+        "undersized (8 MB)".into(),
+        format!("{:.3}", small.gbps),
+        format!("{:.1}%", small.payload_efficiency * 100.0),
+        small.retransmits.to_string(),
+        small.drops.to_string(),
+        humanize(small.terabyte_time),
+    ]);
+    println!("{}", t.render());
+    println!("paper: 2.38 Gb/s, ≈99% payload efficiency, a terabyte in <1 hour\n");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let wan = WanSpec::record_run();
+    c.bench_function("wan/record_run_2s_window", |b| {
+        b.iter(|| record_run(&wan, None, Nanos::from_secs(2), Nanos::from_secs(1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = tengig_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Run the full calibration battery and print paper-vs-measured rows.
+use tengig::calib::run_calibration;
+use tengig::report::comparison_table;
+
+fn main() {
+    let targets = run_calibration();
+    let rows: Vec<_> = targets.iter().map(|t| t.cmp.clone()).collect();
+    println!("{}", comparison_table("Calibration: paper vs laboratory", &rows));
+    let mut fails = 0;
+    for t in &targets {
+        if !t.pass() {
+            fails += 1;
+            println!(
+                "OUT-OF-BAND: {} ({:+.1}% vs tolerance ±{:.0}%)",
+                t.cmp.name,
+                t.cmp.rel_error() * 100.0,
+                t.tol * 100.0
+            );
+        }
+    }
+    println!("\n{} targets, {} within tolerance", targets.len(), targets.len() - fails);
+}

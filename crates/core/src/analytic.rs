@@ -1,0 +1,246 @@
+//! Closed-form models from the paper's analysis sections.
+//!
+//! * [`recovery_time`] — Table 1: how long AIMD takes to return to the
+//!   pre-loss rate after a single packet loss,
+//! * [`WindowQuantization`] — §3.5.1 / Fig. 8: the throughput lost to
+//!   MSS-aligned windows, including the sender/receiver MSS-mismatch
+//!   example worked in the text,
+//! * [`BottleneckReport`] — the §3.5.2 resource accounting: which station
+//!   of a host caps a given MTU's throughput.
+
+use crate::config::HostConfig;
+use tengig_ethernet::Mtu;
+use tengig_sim::{Bandwidth, Nanos};
+
+/// Time for TCP to recover its original transmission rate after a single
+/// packet loss (Table 1).
+///
+/// With the congestion window equal to the bandwidth-delay product when
+/// the loss occurs, the window halves and then grows one MSS per RTT, so
+/// recovery takes `W/2` round trips:
+///
+/// ```text
+/// W = C·RTT / (8·MSS)   segments
+/// t = (W / 2) · RTT
+/// ```
+pub fn recovery_time(bandwidth: Bandwidth, rtt: Nanos, mss: u64) -> Nanos {
+    let w_segments = bandwidth.bps() as f64 * rtt.as_secs_f64() / (8.0 * mss as f64);
+    Nanos::from_secs_f64(w_segments / 2.0 * rtt.as_secs_f64())
+}
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryRow {
+    /// Path name.
+    pub path: &'static str,
+    /// Assumed bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Round-trip time.
+    pub rtt: Nanos,
+    /// Maximum segment size.
+    pub mss: u64,
+    /// Computed recovery time.
+    pub time: Nanos,
+}
+
+/// Table 1 of the paper, recomputed. (The LAN row's RTT reconstructs the
+/// paper's LAN measurements: ~0.1 ms round trip at 10 Gb/s.)
+pub fn table1() -> Vec<RecoveryRow> {
+    let rows: [(&'static str, u64, u64, u64); 5] = [
+        ("LAN", 10, 100, 1460),
+        ("Geneva-Chicago", 10, 120_000, 1460),
+        ("Geneva-Chicago", 10, 120_000, 8960),
+        ("Geneva-Sunnyvale", 10, 180_000, 1460),
+        ("Geneva-Sunnyvale", 10, 180_000, 8960),
+    ];
+    rows.iter()
+        .map(|&(path, gbps, rtt_us, mss)| {
+            let bandwidth = Bandwidth::from_gbps(gbps);
+            let rtt = Nanos::from_micros(rtt_us);
+            RecoveryRow { path, bandwidth, rtt, mss, time: recovery_time(bandwidth, rtt, mss) }
+        })
+        .collect()
+}
+
+/// The §3.5.1 window-quantization arithmetic (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowQuantization {
+    /// The ideal (theoretical or advertised) window in bytes.
+    pub ideal_window: u64,
+    /// Sender MSS.
+    pub snd_mss: u64,
+    /// Receiver's MSS estimate (used to round the advertised window).
+    pub rcv_mss: u64,
+}
+
+impl WindowQuantization {
+    /// The window the receiver actually advertises:
+    /// `⌊available/MSS⌋·MSS` (§3.5.1 footnote 6).
+    pub fn advertised(&self) -> u64 {
+        (self.ideal_window / self.rcv_mss) * self.rcv_mss
+    }
+
+    /// The best window the sender can use, with its congestion window kept
+    /// MSS-aligned against the advertised window.
+    pub fn sender_usable(&self) -> u64 {
+        (self.advertised() / self.snd_mss) * self.snd_mss
+    }
+
+    /// Fraction of the ideal window actually usable.
+    pub fn efficiency(&self) -> f64 {
+        self.sender_usable() as f64 / self.ideal_window as f64
+    }
+
+    /// Throughput attenuation in percent: `1 − efficiency`.
+    pub fn attenuation_pct(&self) -> f64 {
+        (1.0 - self.efficiency()) * 100.0
+    }
+}
+
+/// The station of a host that caps throughput for a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Station {
+    /// Per-segment CPU work (stack + copies + allocation).
+    Cpu,
+    /// The shared memory bus.
+    MemoryBus,
+    /// The PCI-X segment.
+    Pcix,
+    /// The 10GbE wire itself.
+    Wire,
+}
+
+/// Per-station throughput ceilings for MSS-sized receive traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct BottleneckReport {
+    /// CPU ceiling.
+    pub cpu: Bandwidth,
+    /// Memory-bus ceiling.
+    pub membus: Bandwidth,
+    /// PCI-X ceiling.
+    pub pcix: Bandwidth,
+    /// Wire ceiling (payload over line rate).
+    pub wire: Bandwidth,
+}
+
+impl BottleneckReport {
+    /// Compute the per-station receive ceilings of `cfg` at `mtu`.
+    pub fn for_config(cfg: &HostConfig, mtu: Mtu) -> Self {
+        let ts = cfg.sysctls.timestamps;
+        let payload = mtu.mss(ts);
+        let frame = payload + 40 + if ts { 12 } else { 0 } + 18;
+        let cpu_time = cfg.hw.cpu.rx_segment_time(ts)
+            + cfg.hw.cpu.copy_time(payload)
+            + cfg.hw.alloc.alloc_cost(frame)
+            + cfg.hw.cpu.plain_time(cfg.hw.cpu.costs.irq_entry) / 2
+            + cfg.hw.cpu.plain_time(cfg.hw.cpu.costs.sched_wakeup) / 4;
+        let bus_bytes = cfg.hw.mem.rx_bus_bytes(frame, payload, 1);
+        BottleneckReport {
+            cpu: tengig_sim::rate_of(payload, cpu_time),
+            membus: tengig_sim::rate_of(payload, cfg.hw.mem.bus_time(bus_bytes)),
+            pcix: tengig_sim::rate_of(payload, cfg.hw.pci.packet_transfer_time(frame)),
+            wire: tengig_sim::rate_of(
+                payload,
+                cfg.nic.serialize_time(Mtu::wire_bytes_for(frame - 18)),
+            ),
+        }
+    }
+
+    /// The binding station (the smallest ceiling).
+    pub fn binding(&self) -> (Station, Bandwidth) {
+        let mut best = (Station::Cpu, self.cpu);
+        for (s, b) in [
+            (Station::MemoryBus, self.membus),
+            (Station::Pcix, self.pcix),
+            (Station::Wire, self.wire),
+        ] {
+            if b < best.1 {
+                best = (s, b);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LadderRung;
+
+    #[test]
+    fn table1_matches_paper_values() {
+        let t = table1();
+        // Geneva-Chicago, 10 Gb/s, MSS 1460: "1 hr 42 min".
+        let gc_small = t[1].time.as_secs_f64();
+        assert!((6100.0..6250.0).contains(&gc_small), "{gc_small} s");
+        // Geneva-Chicago, MSS 8960: ~17 min.
+        let gc_jumbo = t[2].time.as_secs_f64() / 60.0;
+        assert!((16.0..18.0).contains(&gc_jumbo), "{gc_jumbo} min");
+        // Geneva-Sunnyvale, MSS 1460: ~3 hr 51 min.
+        let gs_small = t[3].time.as_secs_f64() / 3600.0;
+        assert!((3.7..4.0).contains(&gs_small), "{gs_small} h");
+        // Geneva-Sunnyvale, MSS 8960: ~38 min.
+        let gs_jumbo = t[4].time.as_secs_f64() / 60.0;
+        assert!((36.0..39.0).contains(&gs_jumbo), "{gs_jumbo} min");
+        // LAN recovers in milliseconds.
+        assert!(t[0].time < Nanos::from_millis(10), "{}", t[0].time);
+    }
+
+    #[test]
+    fn recovery_scales_inverse_with_mss_quadratic_with_rtt() {
+        let c = Bandwidth::from_gbps(10);
+        let r1 = recovery_time(c, Nanos::from_millis(100), 1460);
+        let r2 = recovery_time(c, Nanos::from_millis(100), 2920);
+        assert!((r1.as_secs_f64() / r2.as_secs_f64() - 2.0).abs() < 0.01);
+        let r4 = recovery_time(c, Nanos::from_millis(200), 1460);
+        assert!((r4.as_secs_f64() / r1.as_secs_f64() - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn window_quantization_paper_example() {
+        // §3.5.1: receiver MSS 8948, sender MSS 8960, 33,000 bytes of
+        // available socket memory → advertised 26,844; sender usable
+        // 17,920 — "nearly 50% smaller than the actual available memory".
+        let wq = WindowQuantization { ideal_window: 33_000, snd_mss: 8960, rcv_mss: 8948 };
+        assert_eq!(wq.advertised(), 26_844);
+        assert_eq!(wq.sender_usable(), 17_920);
+        assert!(wq.efficiency() < 0.55, "{}", wq.efficiency());
+    }
+
+    #[test]
+    fn window_quantization_lan_example() {
+        // §3.5.1: 48 KB ideal window, 8948-byte MSS → 5 of 5.5 packets,
+        // "attenuates the ideal data rate by nearly 17%".
+        let wq = WindowQuantization { ideal_window: 48_000, snd_mss: 8948, rcv_mss: 8948 };
+        assert_eq!(wq.advertised() / 8948, 5);
+        let att = wq.attenuation_pct();
+        assert!((6.0..8.0).contains(&att), "{att}%"); // 5×8948=44740 of 48000
+        // The paper's 17% figure compares 5 packets to the ideal 5.5+:
+        let vs_six: f64 = 1.0 - (5.0 * 8948.0) / (6.0 * 8948.0);
+        assert!((vs_six * 100.0 - 16.7).abs() < 0.1);
+    }
+
+    #[test]
+    fn small_mss_quantizes_gently() {
+        let jumbo = WindowQuantization { ideal_window: 48_000, snd_mss: 8948, rcv_mss: 8948 };
+        let std = WindowQuantization { ideal_window: 48_000, snd_mss: 1448, rcv_mss: 1448 };
+        assert!(std.efficiency() > jumbo.efficiency());
+        assert!(std.efficiency() > 0.97);
+    }
+
+    #[test]
+    fn bottleneck_shifts_across_the_ladder() {
+        // Stock jumbo: the PCI-X bus binds (512-byte bursts).
+        let stock = LadderRung::Stock.pe2650_config(Mtu::JUMBO_9000);
+        let (station, _) = BottleneckReport::for_config(&stock, Mtu::JUMBO_9000).binding();
+        assert_eq!(station, Station::Pcix);
+        // Tuned 8160: the PCI bus no longer binds.
+        let tuned = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
+        let rep = BottleneckReport::for_config(&tuned, Mtu::TUNED_8160);
+        let (station, ceiling) = rep.binding();
+        assert_ne!(station, Station::Pcix);
+        assert!((3.5..5.0).contains(&ceiling.gbps()), "{}", ceiling.gbps());
+        // Nothing ever beats the wire.
+        assert!(rep.wire.gbps() > rep.cpu.gbps());
+    }
+}

@@ -1,0 +1,172 @@
+//! Experiment configuration: one struct holding every knob the paper turns,
+//! plus named presets for each rung of the §3.3 optimization ladder.
+
+use tengig_ethernet::Mtu;
+use tengig_hw::{HostSpec, KernelMode};
+use tengig_nic::NicSpec;
+use tengig_sim::Nanos;
+use tengig_tcp::Sysctls;
+
+/// A complete host-side configuration: hardware + adapter + stack tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostConfig {
+    /// Hardware description.
+    pub hw: HostSpec,
+    /// Adapter description.
+    pub nic: NicSpec,
+    /// Stack tuning.
+    pub sysctls: Sysctls,
+}
+
+impl HostConfig {
+    /// Apply one tuning step, returning the modified config.
+    pub fn tuned(mut self, step: TuningStep) -> Self {
+        match step {
+            TuningStep::Mmrbc(v) => self.hw = self.hw.with_mmrbc(v),
+            TuningStep::Kernel(k) => self.hw = self.hw.with_kernel(k),
+            TuningStep::Buffers(b) => self.sysctls = self.sysctls.with_buffers(b),
+            TuningStep::Mtu(m) => self.sysctls = self.sysctls.with_mtu(m),
+            TuningStep::Coalescing(d) => self.nic = self.nic.with_coalescing(d),
+            TuningStep::Timestamps(t) => self.sysctls = self.sysctls.with_timestamps(t),
+            TuningStep::Txqueuelen(l) => self.sysctls = self.sysctls.with_txqueuelen(l),
+        }
+        self
+    }
+}
+
+/// One tuning action from the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TuningStep {
+    /// Set the PCI-X maximum memory read byte count register.
+    Mmrbc(u64),
+    /// Boot a different kernel flavour.
+    Kernel(KernelMode),
+    /// Set socket buffer sizes (`tcp_rmem`/`tcp_wmem`).
+    Buffers(u64),
+    /// Set the interface MTU.
+    Mtu(Mtu),
+    /// Set the adapter's interrupt-coalescing delay.
+    Coalescing(Nanos),
+    /// Enable/disable RFC 1323 timestamps.
+    Timestamps(bool),
+    /// Set the device transmit queue length.
+    Txqueuelen(u64),
+}
+
+/// The §3.3 optimization ladder, in the paper's order. Each rung names the
+/// configuration used for one curve/measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LadderRung {
+    /// Stock Dell PE2650: SMP kernel, MMRBC 512, default windows.
+    Stock,
+    /// + MMRBC 4096.
+    PciBurst,
+    /// + uniprocessor kernel.
+    Uniprocessor,
+    /// + 256 KB socket buffers ("oversized windows").
+    OversizedWindows,
+    /// + 8160-byte MTU (single 8 KiB block per frame).
+    Mtu8160,
+    /// + 16000-byte MTU (largest the adapter supports).
+    Mtu16000,
+}
+
+impl LadderRung {
+    /// All rungs in paper order.
+    pub const ALL: [LadderRung; 6] = [
+        LadderRung::Stock,
+        LadderRung::PciBurst,
+        LadderRung::Uniprocessor,
+        LadderRung::OversizedWindows,
+        LadderRung::Mtu8160,
+        LadderRung::Mtu16000,
+    ];
+
+    /// The figure-legend style label for this rung at a given MTU.
+    pub fn label(&self, mtu: Mtu) -> String {
+        let m = mtu.get();
+        match self {
+            LadderRung::Stock => format!("{m}MTU,SMP,512PCI"),
+            LadderRung::PciBurst => format!("{m}MTU,SMP,4096PCI"),
+            LadderRung::Uniprocessor => format!("{m}MTU,UP,4096PCI"),
+            LadderRung::OversizedWindows => format!("{m}MTU,UP,4096PCI,256kbuf"),
+            LadderRung::Mtu8160 => "8160MTU,UP,4096PCI,256kbuf".to_string(),
+            LadderRung::Mtu16000 => "16000MTU,UP,4096PCI,256kbuf".to_string(),
+        }
+    }
+
+    /// Build the PE2650 host configuration for this rung with the given
+    /// base MTU (the MTU rungs override it).
+    pub fn pe2650_config(&self, mtu: Mtu) -> HostConfig {
+        let base = HostConfig {
+            hw: HostSpec::pe2650(),
+            nic: NicSpec::intel_pro_10gbe(),
+            sysctls: Sysctls::linux24_defaults().with_mtu(mtu),
+        };
+        match self {
+            LadderRung::Stock => base,
+            LadderRung::PciBurst => base.tuned(TuningStep::Mmrbc(4096)),
+            LadderRung::Uniprocessor => base
+                .tuned(TuningStep::Mmrbc(4096))
+                .tuned(TuningStep::Kernel(KernelMode::Uniprocessor)),
+            LadderRung::OversizedWindows => base
+                .tuned(TuningStep::Mmrbc(4096))
+                .tuned(TuningStep::Kernel(KernelMode::Uniprocessor))
+                .tuned(TuningStep::Buffers(256 * 1024)),
+            LadderRung::Mtu8160 => base
+                .tuned(TuningStep::Mmrbc(4096))
+                .tuned(TuningStep::Kernel(KernelMode::Uniprocessor))
+                .tuned(TuningStep::Buffers(256 * 1024))
+                .tuned(TuningStep::Mtu(Mtu::TUNED_8160)),
+            LadderRung::Mtu16000 => base
+                .tuned(TuningStep::Mmrbc(4096))
+                .tuned(TuningStep::Kernel(KernelMode::Uniprocessor))
+                .tuned(TuningStep::Buffers(256 * 1024))
+                .tuned(TuningStep::Mtu(Mtu::MAX_INTEL_16000)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_cumulative() {
+        let stock = LadderRung::Stock.pe2650_config(Mtu::JUMBO_9000);
+        assert_eq!(stock.hw.pci.mmrbc, 512);
+        assert_eq!(stock.hw.cpu.kernel, KernelMode::Smp);
+        let up = LadderRung::Uniprocessor.pe2650_config(Mtu::JUMBO_9000);
+        assert_eq!(up.hw.pci.mmrbc, 4096, "UP rung keeps the PCI tuning");
+        assert_eq!(up.hw.cpu.kernel, KernelMode::Uniprocessor);
+        let win = LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000);
+        assert_eq!(win.sysctls.tcp_rmem.default, 262_144);
+        let m8 = LadderRung::Mtu8160.pe2650_config(Mtu::JUMBO_9000);
+        assert_eq!(m8.sysctls.mtu, Mtu::TUNED_8160);
+        assert_eq!(m8.sysctls.tcp_rmem.default, 262_144, "MTU rung keeps buffers");
+    }
+
+    #[test]
+    fn labels_match_paper_style() {
+        assert_eq!(LadderRung::Stock.label(Mtu::JUMBO_9000), "9000MTU,SMP,512PCI");
+        assert_eq!(
+            LadderRung::OversizedWindows.label(Mtu::STANDARD),
+            "1500MTU,UP,4096PCI,256kbuf"
+        );
+    }
+
+    #[test]
+    fn tuning_steps_compose() {
+        let cfg = HostConfig {
+            hw: HostSpec::pe2650(),
+            nic: NicSpec::intel_pro_10gbe(),
+            sysctls: Sysctls::linux24_defaults(),
+        }
+        .tuned(TuningStep::Coalescing(Nanos::ZERO))
+        .tuned(TuningStep::Timestamps(false))
+        .tuned(TuningStep::Txqueuelen(10_000));
+        assert_eq!(cfg.nic.rx_coalesce_delay, Nanos::ZERO);
+        assert!(!cfg.sysctls.timestamps);
+        assert_eq!(cfg.sysctls.txqueuelen, 10_000);
+    }
+}

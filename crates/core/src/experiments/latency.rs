@@ -1,0 +1,108 @@
+//! NetPipe latency experiments: Figs. 6 and 7.
+
+use super::two_host_lab;
+use crate::config::{HostConfig, TuningStep};
+use crate::lab::{self, App};
+use parking_lot::Mutex;
+use tengig_sim::stats::Series;
+use tengig_sim::Nanos;
+use tengig_tools::NetPipe;
+
+/// Rounds per NetPipe point ("an averaged round-trip time over several
+/// single-byte, ping-pong tests").
+pub const ROUNDS: u64 = 50;
+
+/// One-way latency for one payload size.
+pub fn netpipe_point(cfg: HostConfig, payload: u64, through_switch: bool) -> Nanos {
+    let app = App::NetPipe(NetPipe::new(payload, ROUNDS));
+    let (mut lab, mut eng) = two_host_lab(cfg, cfg, app, 17 + payload, through_switch);
+    lab::kick(&mut lab, &mut eng);
+    eng.run(&mut lab);
+    assert!(lab.all_done(), "netpipe did not complete");
+    let App::NetPipe(np) = &lab.flows[0].app else { unreachable!() };
+    np.one_way_latency()
+}
+
+/// The Fig. 6/7 payload range: 1 byte to 1 KiB.
+pub fn paper_latency_payloads() -> Vec<u64> {
+    let mut v = vec![1u64];
+    v.extend((64..=1024).step_by(64));
+    v
+}
+
+/// Sweep one-way latency over payloads (µs on the y axis), in parallel.
+pub fn latency_sweep(
+    cfg: HostConfig,
+    label: impl Into<String>,
+    payloads: &[u64],
+    through_switch: bool,
+) -> Series {
+    let results: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::with_capacity(payloads.len()));
+    crossbeam::scope(|s| {
+        for &p in payloads {
+            let results = &results;
+            s.spawn(move |_| {
+                let lat = netpipe_point(cfg, p, through_switch);
+                results.lock().push((p, lat.as_micros_f64()));
+            });
+        }
+    })
+    .expect("latency sweep thread panicked");
+    let mut pts = results.into_inner();
+    pts.sort_unstable_by_key(|&(p, _)| p);
+    let mut series = Series::new(label);
+    for (p, us) in pts {
+        series.push(p as f64, us);
+    }
+    series
+}
+
+/// The Fig. 7 configuration: interrupt coalescing off.
+pub fn without_coalescing(cfg: HostConfig) -> HostConfig {
+    cfg.tuned(TuningStep::Coalescing(Nanos::ZERO))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LadderRung;
+    use tengig_ethernet::Mtu;
+
+    fn base() -> HostConfig {
+        LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000)
+    }
+
+    #[test]
+    fn switch_adds_latency() {
+        let b2b = netpipe_point(base(), 1, false);
+        let sw = netpipe_point(base(), 1, true);
+        let delta = sw.as_micros_f64() - b2b.as_micros_f64();
+        // Paper: 25 µs vs 19 µs → ≈ 6 µs through the FastIron.
+        assert!((4.5..7.5).contains(&delta), "switch delta {delta} µs");
+    }
+
+    #[test]
+    fn coalescing_off_saves_about_5us() {
+        let on = netpipe_point(base(), 1, false);
+        let off = netpipe_point(without_coalescing(base()), 1, false);
+        let delta = on.as_micros_f64() - off.as_micros_f64();
+        assert!((4.0..6.0).contains(&delta), "coalescing delta {delta} µs");
+    }
+
+    #[test]
+    fn latency_grows_modestly_with_payload() {
+        // Fig. 6: +~20% from 1 byte to 1024 bytes, stepwise.
+        let l1 = netpipe_point(base(), 1, false).as_micros_f64();
+        let l1024 = netpipe_point(base(), 1024, false).as_micros_f64();
+        let growth = l1024 / l1;
+        assert!((1.05..1.5).contains(&growth), "growth {growth} ({l1} → {l1024})");
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_payload() {
+        let s = latency_sweep(base(), "b2b", &[1, 256, 512, 1024], false);
+        for w in s.points.windows(2) {
+            assert!(w[1].y >= w[0].y - 0.2, "latency should not shrink: {w:?}");
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! NTTCP throughput experiments: Figs. 3-5, the §3.3 optimization ladder,
+//! the §3.4 anecdotal hosts, and the §3.5.2 packet generator.
+
+use super::{b2b_lab, run_to_completion};
+use crate::config::{HostConfig, LadderRung};
+use crate::lab::{self, App};
+use parking_lot::Mutex;
+use tengig_ethernet::Mtu;
+use tengig_sim::stats::Series;
+use tengig_sim::{rate_of, Nanos};
+use tengig_tools::{NttcpReceiver, NttcpResult, NttcpSender, Pktgen};
+
+/// Default packet count per sweep point. The paper uses 32,768; sweeps
+/// converge well before that, so callers may reduce it for quick runs.
+pub const DEFAULT_COUNT: u64 = 32_768;
+
+/// Run a single NTTCP point back-to-back.
+pub fn nttcp_point(cfg: HostConfig, payload: u64, count: u64, seed: u64) -> NttcpResult {
+    let app = App::Nttcp {
+        tx: NttcpSender::new(payload, count),
+        rx: NttcpReceiver::new(payload * count),
+    };
+    let (mut lab, mut eng) = b2b_lab(cfg, app, seed);
+    run_to_completion(&mut lab, &mut eng);
+    let flow = &lab.flows[0];
+    let App::Nttcp { tx, rx } = &flow.app else { unreachable!() };
+    NttcpResult::from_run(tx, rx, lab::cpu_load(&lab, 0, 0), lab::cpu_load(&lab, 0, 1))
+        .expect("run completed")
+}
+
+/// Sweep NTTCP throughput over payload sizes, in parallel (one simulation
+/// per thread). Returns a figure series labeled like the paper's legends.
+pub fn throughput_sweep(
+    cfg: HostConfig,
+    label: impl Into<String>,
+    payloads: &[u64],
+    count: u64,
+) -> Series {
+    let results: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::with_capacity(payloads.len()));
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let chunk = payloads.len().div_ceil(threads);
+    crossbeam::scope(|s| {
+        for ch in payloads.chunks(chunk.max(1)) {
+            let results = &results;
+            s.spawn(move |_| {
+                for &p in ch {
+                    let r = nttcp_point(cfg, p, count, 7 + p);
+                    results.lock().push((p, r.throughput.gbps() * 1000.0));
+                }
+            });
+        }
+    })
+    .expect("sweep thread panicked");
+    let mut pts = results.into_inner();
+    pts.sort_unstable_by_key(|&(p, _)| p);
+    let mut series = Series::new(label);
+    for (p, mbps) in pts {
+        series.push(p as f64, mbps);
+    }
+    series
+}
+
+/// One rung of the §3.3 ladder, measured.
+#[derive(Debug, Clone)]
+pub struct LadderResult {
+    /// The rung.
+    pub rung: LadderRung,
+    /// Legend-style label.
+    pub label: String,
+    /// Peak throughput over the sweep (Mb/s).
+    pub peak_mbps: f64,
+    /// Mean throughput over the sweep (Mb/s).
+    pub mean_mbps: f64,
+    /// Receiver CPU load at the full-MSS point.
+    pub rx_cpu_load: f64,
+    /// Sender CPU load at the full-MSS point.
+    pub tx_cpu_load: f64,
+}
+
+/// Run the full optimization ladder at one base MTU with a reduced sweep
+/// (the peaks live near the MSS, so a coarse sweep finds them).
+pub fn ladder(mtu: Mtu, payloads: &[u64], count: u64) -> Vec<LadderResult> {
+    LadderRung::ALL
+        .iter()
+        .map(|&rung| {
+            let cfg = rung.pe2650_config(mtu);
+            let label = rung.label(mtu);
+            let series = throughput_sweep(cfg, label.clone(), payloads, count);
+            // CPU load measured at the configured MSS (full segments).
+            let full = nttcp_point(cfg, cfg.sysctls.mss(), count, 11);
+            LadderResult {
+                rung,
+                label,
+                peak_mbps: series.peak(),
+                mean_mbps: series.mean(),
+                rx_cpu_load: full.rx_cpu_load,
+                tx_cpu_load: full.tx_cpu_load,
+            }
+        })
+        .collect()
+}
+
+/// Run a single Iperf point back-to-back: a timed stream of `payload`-byte
+/// writes, measured over `duration` after `start`.
+///
+/// §3.2: "Iperf measures the amount of data sent over a consistent stream
+/// in a set time … well suited for measuring raw bandwidth"; the paper
+/// notes it agrees with NTTCP within 2-3%.
+pub fn iperf_point(
+    cfg: HostConfig,
+    payload: u64,
+    start: Nanos,
+    duration: Nanos,
+    seed: u64,
+) -> f64 {
+    let app = App::Iperf(tengig_tools::Iperf::new(start, duration, payload));
+    let (mut lab, mut eng) = b2b_lab(cfg, app, seed);
+    crate::lab::kick(&mut lab, &mut eng);
+    // Run past the deadline so in-flight data lands and is counted (the
+    // tool itself clips to the window).
+    eng.run_until(&mut lab, start + duration + Nanos::from_millis(20));
+    let App::Iperf(ip) = &lab.flows[0].app else { unreachable!() };
+    ip.throughput().gbps()
+}
+
+/// The §3.5.2 packet-generator experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct PktgenResult {
+    /// Payload per packet.
+    pub payload: u64,
+    /// Achieved packets per second.
+    pub pps: f64,
+    /// Achieved payload bandwidth in Gb/s.
+    pub gbps: f64,
+}
+
+/// Run pktgen back-to-back with `count` packets of `payload` bytes.
+pub fn pktgen_run(cfg: HostConfig, payload: u64, count: u64) -> PktgenResult {
+    let (mut lab, mut eng) = b2b_lab(cfg, App::Pktgen(Pktgen::new(payload, count)), 3);
+    run_to_completion(&mut lab, &mut eng);
+    let App::Pktgen(pg) = &lab.flows[0].app else { unreachable!() };
+    PktgenResult { payload, pps: pg.packets_per_sec(), gbps: pg.throughput().gbps() }
+}
+
+/// Steady-state throughput of a long NTTCP run measured over a window
+/// (used by WAN and anecdotal experiments where slow-start warmup must be
+/// excluded).
+pub fn windowed_throughput(
+    mut lab: crate::lab::Lab,
+    mut eng: tengig_sim::Engine<crate::lab::Lab>,
+    warmup: Nanos,
+    window: Nanos,
+) -> f64 {
+    crate::lab::kick(&mut lab, &mut eng);
+    eng.run_until(&mut lab, warmup);
+    let bytes_at = |lab: &crate::lab::Lab| match &lab.flows[0].app {
+        App::Nttcp { rx, .. } => rx.received,
+        _ => 0,
+    };
+    let b0 = bytes_at(&lab);
+    eng.run_until(&mut lab, warmup + window);
+    let b1 = bytes_at(&lab);
+    rate_of(b1 - b0, window).gbps()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICK: u64 = 1200;
+
+    #[test]
+    fn jumbo_beats_standard_mtu_stock() {
+        // Fig. 3 shape: 9000 MTU ≈ 1.5x the 1500 MTU peak, stock config.
+        let std = nttcp_point(LadderRung::Stock.pe2650_config(Mtu::STANDARD), 1448, QUICK, 1);
+        let jumbo = nttcp_point(LadderRung::Stock.pe2650_config(Mtu::JUMBO_9000), 8948, QUICK, 1);
+        let r = jumbo.throughput.gbps() / std.throughput.gbps();
+        assert!((1.25..2.2).contains(&r), "jumbo/std ratio {r}");
+    }
+
+    #[test]
+    fn sweep_is_sorted_and_labeled() {
+        let cfg = LadderRung::Stock.pe2650_config(Mtu::STANDARD);
+        let s = throughput_sweep(cfg, "1500MTU,SMP,512PCI", &[512, 1448, 1024], 300);
+        assert_eq!(s.label, "1500MTU,SMP,512PCI");
+        let xs: Vec<f64> = s.points.iter().map(|p| p.x).collect();
+        assert_eq!(xs, vec![512.0, 1024.0, 1448.0]);
+        assert!(s.peak() > 0.0);
+    }
+
+    #[test]
+    fn ladder_improves_monotonically_at_jumbo_peak() {
+        // The paper's ladder: each rung's peak ≥ the previous (within
+        // simulation noise at reduced packet counts).
+        let results = ladder(Mtu::JUMBO_9000, &[8948], QUICK);
+        assert_eq!(results.len(), 6);
+        let stock = results[0].peak_mbps;
+        let win = results[3].peak_mbps;
+        let m8160 = results[4].peak_mbps;
+        assert!(win > stock * 1.2, "windows rung {win} vs stock {stock}");
+        assert!(m8160 >= win * 0.9, "8160 {m8160} vs windows {win}");
+    }
+
+    #[test]
+    fn pktgen_beats_tcp() {
+        // §3.5.2: observed TCP ≈ 75% of pktgen.
+        let cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
+        let pg = pktgen_run(cfg, 8132, 2000);
+        let tcp = nttcp_point(cfg, 8108, QUICK, 1);
+        assert!(
+            pg.gbps > tcp.throughput.gbps(),
+            "pktgen {} must beat TCP {}",
+            pg.gbps,
+            tcp.throughput.gbps()
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! The §4 WAN experiment: the Internet2 Land Speed Record run.
+//!
+//! A single TCP stream from Sunnyvale to Geneva across the OC-192/OC-48
+//! circuit, with socket buffers tuned to the bandwidth-delay product so the
+//! flow-control window caps the congestion window just below the congested
+//! state — "the network approaches congestion but avoids it altogether".
+
+use crate::config::HostConfig;
+use crate::lab::{self, App, Lab};
+use tengig_net::WanSpec;
+use tengig_nic::NicSpec;
+use tengig_sim::{rate_of, Engine, Nanos, SimRng};
+use tengig_tcp::Sysctls;
+use tengig_tools::{NttcpReceiver, NttcpSender};
+
+/// Result of a WAN run.
+#[derive(Debug, Clone, Copy)]
+pub struct WanResult {
+    /// Steady-state throughput over the measurement window, Gb/s.
+    pub gbps: f64,
+    /// Retransmissions observed at the sender.
+    pub retransmits: u64,
+    /// Congestion drops at the bottleneck.
+    pub drops: u64,
+    /// Payload efficiency relative to the OC-48 payload capacity.
+    pub payload_efficiency: f64,
+    /// Projected time to move a terabyte at the measured rate.
+    pub terabyte_time: Nanos,
+}
+
+/// The §4.1 endpoint: dual 2.4 GHz Xeon, jumbo frames, buffers ≈ BDP.
+pub fn wan_host(wan: &WanSpec, buffer: Option<u64>) -> HostConfig {
+    let bdp = wan.bdp();
+    HostConfig {
+        hw: tengig_hw::HostSpec::wan_endpoint(),
+        nic: NicSpec::intel_pro_10gbe(),
+        sysctls: Sysctls::wan_tuned(buffer.unwrap_or(bdp)),
+    }
+}
+
+/// Build the WAN lab: two hosts across the OC-192/OC-48 circuit.
+pub fn wan_lab(wan: &WanSpec, buffer: Option<u64>) -> (Lab, Engine<Lab>) {
+    let cfg = wan_host(wan, buffer);
+    let mut lab = Lab::new();
+    let svl = lab.add_host(cfg);
+    let gva = lab.add_host(cfg);
+    let mut rng = SimRng::seeded(2003);
+    let fwd = lab.add_link(&wan.forward_path(), rng.fork("fwd"));
+    let rev = lab.add_link(&wan.reverse_path(), rng.fork("rev"));
+    // Effectively endless stream: the run is window-measured.
+    let payload = cfg.sysctls.mss();
+    let count = 100_000_000;
+    lab.add_flow(
+        svl,
+        gva,
+        vec![fwd],
+        vec![rev],
+        App::Nttcp {
+            tx: NttcpSender::new(payload, count),
+            rx: NttcpReceiver::new(payload * count),
+        },
+    );
+    let mut eng = Engine::new();
+    eng.event_limit = 2_000_000_000;
+    (lab, eng)
+}
+
+/// Run the record scenario: warm up past slow start, then measure.
+pub fn record_run(wan: &WanSpec, buffer: Option<u64>, warmup: Nanos, window: Nanos) -> WanResult {
+    let (mut lab, mut eng) = wan_lab(wan, buffer);
+    lab::kick(&mut lab, &mut eng);
+    eng.run_until(&mut lab, warmup);
+    let received = |lab: &Lab| match &lab.flows[0].app {
+        App::Nttcp { rx, .. } => rx.received,
+        _ => 0,
+    };
+    let b0 = received(&lab);
+    eng.run_until(&mut lab, warmup + window);
+    let b1 = received(&lab);
+    let gbps = rate_of(b1 - b0, window).gbps();
+    let bottleneck = wan.forward_path().bottleneck().gbps();
+    let drops = lab.links[0].total_drops();
+    WanResult {
+        gbps,
+        retransmits: lab.flows[0].conns[0].stats.retransmits,
+        drops,
+        payload_efficiency: gbps / bottleneck,
+        terabyte_time: Nanos::from_secs_f64(1e12 * 8.0 / (gbps * 1e9)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bdp_tuned_run_is_lossless_and_fast() {
+        let wan = WanSpec::record_run();
+        // Short debug-friendly windows: 3 s warmup (slow start at 90 ms
+        // one-way needs ~15 RTTs), 2 s measurement.
+        let r = record_run(&wan, None, Nanos::from_secs(3), Nanos::from_secs(2));
+        assert_eq!(r.retransmits, 0, "BDP-capped flow must not lose packets");
+        assert_eq!(r.drops, 0);
+        assert!(r.gbps > 2.0, "steady state {} Gb/s (paper: 2.38)", r.gbps);
+        assert!(r.payload_efficiency > 0.85, "efficiency {}", r.payload_efficiency);
+        // A terabyte in less than an hour (paper's headline).
+        assert!(
+            r.terabyte_time < Nanos::from_secs(3600),
+            "terabyte in {}",
+            r.terabyte_time
+        );
+    }
+
+    #[test]
+    fn undersized_buffers_throttle_throughput() {
+        let wan = WanSpec::record_run();
+        let small = record_run(
+            &wan,
+            Some(8 << 20), // 8 MB ≪ 54 MB BDP
+            Nanos::from_secs(2),
+            Nanos::from_secs(2),
+        );
+        // W/RTT with W=6 MB usable (3/4 of 8 MB) and RTT 180 ms ≈ 0.27 Gb/s.
+        assert!(small.gbps < 0.6, "undersized buffer still got {} Gb/s", small.gbps);
+    }
+}

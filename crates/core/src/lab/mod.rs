@@ -1,0 +1,699 @@
+//! The laboratory: hosts, links, flows, and the engine wiring that turns
+//! sans-IO state-machine actions into scheduled, resource-charged events.
+//!
+//! The end-to-end pipeline for one data segment, exactly as §2-3 of the
+//! paper describe the path:
+//!
+//! ```text
+//! sender app write ─syscall─▶ TCP tx (CPU: stack+copy) ─▶ memory bus
+//!   ─▶ PCI-X DMA (MMRBC bursts) ─▶ wire/switch/WAN (store-and-forward)
+//!   ─▶ rx PCI-X DMA ─▶ memory bus ─▶ interrupt coalescer (5 µs default)
+//!   ─▶ hard IRQ + TCP rx (CPU: stack+alloc) ─▶ app read (CPU: copy)
+//! ```
+//!
+//! Every stage is a FIFO resource, so contention, batching, and queueing
+//! delays emerge rather than being assumed.
+
+pub mod host;
+
+use crate::config::HostConfig;
+pub use host::{HostRt, RxFrame};
+use tengig_net::{Path, PathState};
+use tengig_nic::CoalesceAction;
+use tengig_sim::{Engine, Nanos, SimRng, Stage};
+use tengig_tcp::{Action, Segment, Sysctls, TcpConn};
+use tengig_tools::{Iperf, NetPipe, NttcpReceiver, NttcpSender, PingPongSide, Pktgen};
+
+/// The application driving a flow.
+#[derive(Debug)]
+pub enum App {
+    /// NTTCP bulk transfer: endpoint 0 transmits, endpoint 1 receives.
+    Nttcp {
+        /// Sender half.
+        tx: NttcpSender,
+        /// Receiver half.
+        rx: NttcpReceiver,
+    },
+    /// NetPipe ping-pong: endpoint 0 initiates.
+    NetPipe(NetPipe),
+    /// pktgen: endpoint 0 blasts raw UDP frames at endpoint 1.
+    Pktgen(Pktgen),
+    /// Iperf: endpoint 0 streams for a fixed duration; endpoint 1 counts
+    /// bytes delivered within the window.
+    Iperf(Iperf),
+}
+
+/// Measurement bookkeeping for a flow.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FlowMeasure {
+    /// First application write.
+    pub t_start: Option<Nanos>,
+    /// Workload completion.
+    pub t_done: Option<Nanos>,
+    /// Hottest-CPU busy time at start, per endpoint.
+    pub cpu_busy_start: [Nanos; 2],
+    /// Hottest-CPU busy time captured at the completion event (timers that
+    /// fire after completion must not pollute the load figure).
+    pub cpu_busy_end: [Nanos; 2],
+}
+
+/// One flow between two hosts.
+#[derive(Debug)]
+pub struct FlowRt {
+    /// Host index per endpoint.
+    pub host: [usize; 2],
+    /// Link-id route per direction (`route[0]`: ep0→ep1).
+    pub route: [Vec<usize>; 2],
+    /// Connection state per endpoint.
+    pub conns: [TcpConn; 2],
+    /// The driving application.
+    pub app: App,
+    /// Measurement state.
+    pub meas: FlowMeasure,
+    /// Delivered bytes awaiting an application read, per endpoint (the
+    /// reader batches everything available into one `recv`).
+    pub read_pending: [u64; 2],
+    /// Whether a read event is already scheduled, per endpoint.
+    pub read_scheduled: [bool; 2],
+}
+
+/// The world the engine runs.
+#[derive(Debug)]
+pub struct Lab {
+    /// Hosts by index.
+    pub hosts: Vec<HostRt>,
+    /// Links by index (shared across flows where topology demands).
+    pub links: Vec<PathState>,
+    /// Flows by index.
+    pub flows: Vec<FlowRt>,
+}
+
+impl Lab {
+    /// An empty laboratory.
+    pub fn new() -> Self {
+        Lab { hosts: Vec::new(), links: Vec::new(), flows: Vec::new() }
+    }
+
+    /// Add a host; returns its index.
+    pub fn add_host(&mut self, cfg: HostConfig) -> usize {
+        self.hosts.push(HostRt::new(cfg));
+        self.hosts.len() - 1
+    }
+
+    /// Add a link; returns its index.
+    pub fn add_link(&mut self, path: &Path, rng: SimRng) -> usize {
+        self.links.push(PathState::new(path, rng));
+        self.links.len() - 1
+    }
+
+    /// Add a flow; returns its index. Connections are created from each
+    /// endpoint's sysctls, with the peer's MSS taken from the peer config
+    /// (an established connection has negotiated `min(mss_a, mss_b)`).
+    pub fn add_flow(
+        &mut self,
+        a: usize,
+        b: usize,
+        route_fwd: Vec<usize>,
+        route_rev: Vec<usize>,
+        app: App,
+    ) -> usize {
+        let s_a: Sysctls = self.hosts[a].cfg.sysctls;
+        let s_b: Sysctls = self.hosts[b].cfg.sysctls;
+        let conn_a = TcpConn::new(s_a, s_b.mss());
+        let conn_b = TcpConn::new(s_b, s_a.mss());
+        self.flows.push(FlowRt {
+            host: [a, b],
+            route: [route_fwd, route_rev],
+            conns: [conn_a, conn_b],
+            app,
+            meas: FlowMeasure::default(),
+            read_pending: [0, 0],
+            read_scheduled: [false, false],
+        });
+        self.flows.len() - 1
+    }
+
+    /// Whether every flow's workload has completed.
+    pub fn all_done(&self) -> bool {
+        self.flows.iter().all(|f| f.meas.t_done.is_some())
+    }
+}
+
+impl Default for Lab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// ---------------------------------------------------------------------
+// engine wiring (free functions: events close over flow/endpoint indices)
+// ---------------------------------------------------------------------
+
+/// Start every flow's workload shortly after t=0 (staggered so multi-flow
+/// runs do not phase-lock).
+pub fn kick(lab: &mut Lab, eng: &mut Engine<Lab>) {
+    for f in 0..lab.flows.len() {
+        let at = Nanos::from_micros(1) + Nanos::from_nanos(137 * f as u64);
+        eng.schedule_at(at, move |lab, eng| start_flow(lab, eng, f));
+    }
+}
+
+fn start_flow(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize) {
+    // Capture CPU baselines for load measurement.
+    let now = eng.now();
+    for ep in 0..2 {
+        let h = lab.flows[f].host[ep];
+        lab.flows[f].meas.cpu_busy_start[ep] = lab.hosts[h].hottest_cpu_busy(now);
+    }
+    match &mut lab.flows[f].app {
+        App::Nttcp { .. } | App::Iperf(_) => app_write_pump(lab, eng, f),
+        App::NetPipe(np) => {
+            if let Some(w) = np.start_ping(now) {
+                lab.flows[f].meas.t_start.get_or_insert(now);
+                app_write(lab, eng, f, 0, w);
+            }
+        }
+        App::Pktgen(_) => pktgen_tick(lab, eng, f),
+    }
+}
+
+/// The NTTCP sender loop: issue writes while buffer space allows.
+fn app_write_pump(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize) {
+    let now = eng.now();
+    loop {
+        let space = lab.flows[f].conns[0].snd_buf_space();
+        let next = match &mut lab.flows[f].app {
+            App::Nttcp { tx, .. } => tx.next_write(now, space),
+            App::Iperf(ip) => {
+                (ip.keep_writing(now) && space >= ip.payload).then_some(ip.payload)
+            }
+            _ => None,
+        };
+        let Some(w) = next else { break };
+        lab.flows[f].meas.t_start.get_or_insert(now);
+        app_write(lab, eng, f, 0, w);
+    }
+}
+
+/// One application write at endpoint `ep`: charge the syscall, push the
+/// bytes into the connection, process the resulting actions.
+fn app_write(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, ep: usize, bytes: u64) {
+    let now = eng.now();
+    let h = lab.flows[f].host[ep];
+    let cpu_idx = lab.hosts[h].app_cpu(f);
+    let cost = lab.hosts[h].write_cpu_cost(bytes);
+    lab.hosts[h].cpu.admit_pinned(cpu_idx, now, cost);
+    let bus = lab.hosts[h].write_bus_time(bytes);
+    lab.hosts[h].membus.admit(now, bus);
+    let (accepted, actions) = lab.flows[f].conns[ep].on_app_write(now, bytes);
+    debug_assert_eq!(accepted, bytes, "writer checked space before writing");
+    process_actions(lab, eng, f, ep, actions);
+}
+
+/// Turn connection actions into scheduled, cost-charged events.
+pub fn process_actions(
+    lab: &mut Lab,
+    eng: &mut Engine<Lab>,
+    f: usize,
+    ep: usize,
+    actions: Vec<Action>,
+) {
+    for act in actions {
+        match act {
+            Action::Send(seg) => send_segment(lab, eng, f, ep, seg),
+            Action::SetTimer { kind, at, gen } => {
+                eng.schedule_at(at, move |lab, eng| {
+                    let acts = lab.flows[f].conns[ep].on_timer(eng.now(), kind, gen);
+                    process_actions(lab, eng, f, ep, acts);
+                });
+            }
+            Action::DeliverData { bytes } => schedule_app_read(lab, eng, f, ep, bytes),
+            Action::SndBufSpace => {
+                if ep == 0 && matches!(lab.flows[f].app, App::Nttcp { .. } | App::Iperf(_)) {
+                    app_write_pump(lab, eng, f);
+                }
+            }
+        }
+    }
+}
+
+/// Transmit pipeline: CPU → (event) → PCI-X DMA with concurrent memory-bus
+/// traffic → (event) → link route → arrival.
+///
+/// Each stage is engaged by an engine event at the moment the previous
+/// stage finishes, so every server admission happens at current time — a
+/// server is never reserved in the future (which would waste idle gaps and
+/// ratchet queues ahead of the clock).
+fn send_segment(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, src_ep: usize, seg: Segment) {
+    let now = eng.now();
+    let h = lab.flows[f].host[src_ep];
+
+    // CPU: data segments are produced in app/softirq context on the CPU
+    // that ran the triggering event; charge the app CPU for data, the IRQ
+    // CPU for pure ACKs (they are emitted from receive processing).
+    let host = &mut lab.hosts[h];
+    let cpu_idx = if seg.is_pure_ack() { host.irq_cpu() } else { host.app_cpu(f) };
+    let cpu_cost = host.tx_cpu_cost(&seg);
+    let cpu_adm = host.cpu.admit_pinned(cpu_idx, now, cpu_cost);
+    if host.tracer.is_enabled() {
+        host.tracer.emit(now, Stage::TxStack, seg.seq, seg.len, cpu_cost);
+        if seg.retransmit {
+            host.tracer.emit(now, Stage::Retransmit, seg.seq, seg.len, Nanos::ZERO);
+        }
+    }
+    eng.schedule_at(cpu_adm.done, move |lab, eng| tx_dma(lab, eng, f, src_ep, seg));
+}
+
+/// Stage 2 of transmit: the NIC DMA-reads the frame over PCI-X, its
+/// memory-bus traffic concurrent with the bus transfer.
+fn tx_dma(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, src_ep: usize, seg: Segment) {
+    let now = eng.now();
+    let h = lab.flows[f].host[src_ep];
+    let frame = HostRt::frame_bytes(&seg);
+    let host = &mut lab.hosts[h];
+    let pci = host.pci_time(frame);
+    let pci_adm = host.pci.admit(now, pci);
+    let bus_adm = host.membus.admit(now, host.tx_bus_time(&seg));
+    let t3 = pci_adm.done.max(bus_adm.done);
+    if host.tracer.is_enabled() {
+        host.tracer.emit(now, Stage::TxDma, seg.seq, frame, pci);
+    }
+    eng.schedule_at(t3, move |lab, eng| tx_wire(lab, eng, f, src_ep, seg));
+}
+
+/// Stage 3 of transmit: walk the link route (serialization + queueing
+/// happens inside the hop states).
+fn tx_wire(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, src_ep: usize, seg: Segment) {
+    let now = eng.now();
+    let h = lab.flows[f].host[src_ep];
+    let dst_ep = 1 - src_ep;
+    let wire = tengig_ethernet::Mtu::wire_bytes_for(seg.ip_bytes());
+    let mut t = now;
+    let mut dropped = false;
+    for &lid in &lab.flows[f].route[src_ep] {
+        match lab.links[lid].send(t, wire) {
+            Some(arr) => t = arr,
+            None => {
+                dropped = true;
+                break;
+            }
+        }
+    }
+    let host = &mut lab.hosts[h];
+    if dropped {
+        if host.tracer.is_enabled() {
+            host.tracer.emit(t, Stage::Drop, seg.seq, seg.len, Nanos::ZERO);
+        }
+        return;
+    }
+    if host.tracer.is_enabled() {
+        host.tracer.emit(now, Stage::Wire, seg.seq, wire, Nanos::ZERO);
+    }
+    eng.schedule_at(t, move |lab, eng| frame_arrival(lab, eng, f, dst_ep, seg));
+}
+
+/// A frame fully arrived at the destination NIC: rx DMA, then coalescing.
+fn frame_arrival(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, dst_ep: usize, seg: Segment) {
+    let now = eng.now();
+    let h = lab.flows[f].host[dst_ep];
+    let host = &mut lab.hosts[h];
+    let frame = HostRt::frame_bytes(&seg);
+    // The DMA's memory-bus traffic happens during the PCI-X transfer; both
+    // engaged now, DMA complete when both are done.
+    let pci_adm = host.pci.admit(now, host.pci_time(frame));
+    let bus_adm = host.membus.admit(now, host.rx_dma_bus_time(frame));
+    let t_dma = pci_adm.done.max(bus_adm.done);
+    if host.tracer.is_enabled() {
+        host.tracer.emit(now, Stage::RxDma, seg.seq, frame, t_dma.saturating_sub(now));
+    }
+    eng.schedule_at(t_dma, move |lab, eng| {
+        let h = lab.flows[f].host[dst_ep];
+        lab.hosts[h].rx_pending.push_back(RxFrame::Tcp { flow: f, ep: dst_ep, seg });
+        coalesce_frame(lab, eng, h);
+    });
+}
+
+/// Run the coalescer for a DMA-complete frame on host `h`.
+fn coalesce_frame(lab: &mut Lab, eng: &mut Engine<Lab>, h: usize) {
+    let now = eng.now();
+    let (action, gen) = lab.hosts[h].coalescer.on_frame(now);
+    match action {
+        CoalesceAction::FireNow => {
+            let batch = lab.hosts[h].coalescer.fire_now();
+            process_rx_batch(lab, eng, h, batch);
+        }
+        CoalesceAction::ArmTimer(at) => {
+            eng.schedule_at(at, move |lab, eng| {
+                if let Some(batch) = lab.hosts[h].coalescer.on_timer(gen) {
+                    process_rx_batch(lab, eng, h, batch);
+                }
+            });
+        }
+        CoalesceAction::None => {}
+    }
+}
+
+/// An interrupt fired on host `h` covering `batch` frames: charge the IRQ
+/// entry once, then per-frame stack processing; each frame's protocol work
+/// completes at its own CPU-admission time.
+fn process_rx_batch(lab: &mut Lab, eng: &mut Engine<Lab>, h: usize, batch: u32) {
+    let now = eng.now();
+    let irq_cpu = lab.hosts[h].irq_cpu();
+    let irq = lab.hosts[h].irq_cost();
+    lab.hosts[h].cpu.admit_pinned(irq_cpu, now, irq);
+    if lab.hosts[h].tracer.is_enabled() {
+        lab.hosts[h].tracer.emit(now, Stage::Interrupt, 0, batch as u64, irq);
+    }
+    for _ in 0..batch {
+        let Some(frame) = lab.hosts[h].rx_pending.pop_front() else { break };
+        match frame {
+            RxFrame::Tcp { flow, ep, seg } => {
+                let cost = lab.hosts[h].rx_cpu_cost(&seg);
+                let done = lab.hosts[h].cpu.admit_pinned(irq_cpu, now, cost).done;
+                if lab.hosts[h].tracer.is_enabled() {
+                    let stage = if seg.is_pure_ack() { Stage::Ack } else { Stage::RxStack };
+                    lab.hosts[h].tracer.emit(now, stage, seg.seq, seg.len, cost);
+                }
+                eng.schedule_at(done, move |lab, eng| {
+                    let acts = lab.flows[flow].conns[ep].on_segment(eng.now(), &seg);
+                    process_actions(lab, eng, flow, ep, acts);
+                });
+            }
+            RxFrame::Udp { flow, bytes } => {
+                // pktgen sink: count only.
+                let _ = (flow, bytes);
+            }
+        }
+    }
+}
+
+/// Note newly delivered bytes and (if no read is already in flight)
+/// schedule the application's read. The reader loops on `recv`, so all
+/// bytes that accumulate while one read executes are drained by the next
+/// in a single syscall — syscall and wakeup costs amortize over the batch.
+fn schedule_app_read(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, ep: usize, bytes: u64) {
+    lab.flows[f].read_pending[ep] += bytes;
+    if !lab.flows[f].read_scheduled[ep] {
+        lab.flows[f].read_scheduled[ep] = true;
+        eng.schedule_now(move |lab, eng| app_read(lab, eng, f, ep, true));
+    }
+}
+
+/// Largest single copy-to-user chunk: the kernel yields to softirq work at
+/// page-cluster granularity, so one huge read cannot monopolize the CPU —
+/// interrupt processing interleaves between chunks.
+const READ_CHUNK: u64 = 16_384;
+
+/// Execute one (chunk of a) batched application read. `fresh` marks the
+/// first chunk after a wakeup, which pays the syscall + wakeup cost;
+/// continuation chunks are pure copy.
+fn app_read(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, ep: usize, fresh: bool) {
+    let now = eng.now();
+    let pending = lab.flows[f].read_pending[ep];
+    if pending == 0 {
+        lab.flows[f].read_scheduled[ep] = false;
+        return;
+    }
+    let bytes = pending.min(READ_CHUNK);
+    lab.flows[f].read_pending[ep] -= bytes;
+    let h = lab.flows[f].host[ep];
+    let cpu_idx = lab.hosts[h].app_cpu(f);
+    let cpu = &lab.hosts[h].cfg.hw.cpu;
+    let cost = if fresh {
+        lab.hosts[h].read_cpu_cost(bytes)
+    } else {
+        cpu.copy_time(bytes)
+    };
+    let cpu_adm = lab.hosts[h].cpu.admit_pinned(cpu_idx, now, cost);
+    // The copy's bus traffic rides along with the copy loop; it charges
+    // the shared bus but does not re-gate the reader, which is clocked by
+    // CPU availability alone (a recv loop drains as fast as it can copy).
+    let bus = lab.hosts[h].read_bus_time(bytes);
+    lab.hosts[h].membus.admit(now, bus);
+    let t2 = cpu_adm.done;
+    eng.schedule_at(t2, move |lab, eng| {
+        let acts = lab.flows[f].conns[ep].on_app_read(eng.now(), bytes);
+        process_actions(lab, eng, f, ep, acts);
+        app_on_delivered(lab, eng, f, ep, bytes);
+        // Drain anything that arrived while this chunk copied.
+        if lab.flows[f].read_pending[ep] > 0 {
+            app_read(lab, eng, f, ep, false);
+        } else {
+            lab.flows[f].read_scheduled[ep] = false;
+        }
+    });
+}
+
+/// Record a flow's completion time and CPU snapshots (idempotent).
+fn mark_done(lab: &mut Lab, f: usize, now: Nanos) {
+    if lab.flows[f].meas.t_done.is_some() {
+        return;
+    }
+    lab.flows[f].meas.t_done = Some(now);
+    for ep in 0..2 {
+        let h = lab.flows[f].host[ep];
+        lab.flows[f].meas.cpu_busy_end[ep] = lab.hosts[h].hottest_cpu_busy(now);
+    }
+}
+
+/// Workload reaction to delivered-and-read data.
+fn app_on_delivered(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, ep: usize, bytes: u64) {
+    let now = eng.now();
+    let mut write_back: Option<(usize, u64)> = None;
+    match &mut lab.flows[f].app {
+        App::Nttcp { rx, .. } => {
+            if ep == 1 {
+                rx.on_delivered(now, bytes);
+                if rx.is_done() {
+                    mark_done(lab, f, now);
+                }
+            }
+        }
+        App::NetPipe(np) => {
+            let side = if ep == 1 { PingPongSide::Echoer } else { PingPongSide::Initiator };
+            if let Some(w) = np.on_delivered(now, side, bytes) {
+                write_back = Some((ep, w));
+            }
+            if np.is_done() {
+                mark_done(lab, f, now);
+            }
+        }
+        App::Iperf(ip) => {
+            if ep == 1 {
+                ip.on_delivered(now, bytes);
+                if now >= ip.deadline() {
+                    mark_done(lab, f, now);
+                }
+            }
+        }
+        App::Pktgen(_) => {}
+    }
+    if let Some((wep, w)) = write_back {
+        app_write(lab, eng, f, wep, w);
+    }
+}
+
+// ---------------------------------------------------------------------
+// pktgen (single-copy, TCP-bypass)
+// ---------------------------------------------------------------------
+
+/// One iteration of the kernel packet-generator loop.
+fn pktgen_tick(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize) {
+    let now = eng.now();
+    let h = lab.flows[f].host[0];
+    let (ip_bytes, proceed) = match &mut lab.flows[f].app {
+        App::Pktgen(pg) => {
+            let ip = pg.ip_bytes();
+            (ip, pg.next_packet(now))
+        }
+        _ => (0, false),
+    };
+    if !proceed {
+        return;
+    }
+    lab.flows[f].meas.t_start.get_or_insert(now);
+    let frame = ip_bytes + tengig_ethernet::ETH_HEADER + tengig_ethernet::ETH_FCS;
+    let wire = tengig_ethernet::Mtu::wire_bytes_for(ip_bytes);
+    let host = &mut lab.hosts[h];
+    // Loop CPU cost (single copy: no user copy, pre-formed skb). The CPU
+    // runs ahead of the DMA ring, so the loop cost does not gate the PCI
+    // admission; ring backpressure below is what throttles the loop.
+    let cpu = host.cfg.hw.cpu.plain_time(tengig_tools::pktgen::LOOP_COST);
+    let t1 = host.cpu.admit_pinned(0, now, cpu).done;
+    // PCI-X, with the DMA's memory-bus traffic concurrent.
+    let pci_time = host.pci_time(frame);
+    let adm = host.pci.admit(now, pci_time);
+    host.membus.admit(now, host.rx_dma_bus_time(frame));
+    let t3 = adm.done;
+    // Wire.
+    let mut t = t3;
+    let mut dropped = false;
+    for &lid in &lab.flows[f].route[0] {
+        match lab.links[lid].send(t, wire) {
+            Some(arr) => t = arr,
+            None => {
+                dropped = true;
+                break;
+            }
+        }
+    }
+    if !dropped {
+        if let App::Pktgen(pg) = &mut lab.flows[f].app {
+            pg.on_wire_done(t);
+        }
+    }
+    // Self-clock: the loop runs ahead until the descriptor ring
+    // (RING_DEPTH packets) is full, then blocks on ring space.
+    let ring = pci_time * tengig_tools::pktgen::RING_DEPTH as u64;
+    let gate = lab.hosts[h].pci.busy_until().saturating_sub(ring);
+    let next = t1.max(gate);
+    let done = matches!(&lab.flows[f].app, App::Pktgen(pg) if pg.finished());
+    if done {
+        let t_done = t.max(now);
+        mark_done(lab, f, t_done);
+    } else {
+        eng.schedule_at(next, move |lab, eng| pktgen_tick(lab, eng, f));
+    }
+}
+
+// ---------------------------------------------------------------------
+// results
+// ---------------------------------------------------------------------
+
+/// CPU load of flow `f`'s endpoint `ep` over the measurement interval,
+/// from the busy snapshots taken at start and completion.
+pub fn cpu_load(lab: &Lab, f: usize, ep: usize) -> f64 {
+    let m = &lab.flows[f].meas;
+    let (Some(start), Some(end)) = (m.t_start, m.t_done) else { return 0.0 };
+    if end <= start {
+        return 0.0;
+    }
+    let busy = m.cpu_busy_end[ep].saturating_sub(m.cpu_busy_start[ep]);
+    (busy.as_nanos() as f64 / (end - start).as_nanos() as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LadderRung;
+    use tengig_ethernet::Mtu;
+    use tengig_net::Hop;
+    use tengig_sim::Bandwidth;
+
+    fn b2b_lab(rung: LadderRung, mtu: Mtu, payload: u64, count: u64) -> (Lab, Engine<Lab>) {
+        let cfg = rung.pe2650_config(mtu);
+        let mut lab = Lab::new();
+        let a = lab.add_host(cfg);
+        let b = lab.add_host(cfg);
+        let path = Path {
+            hops: vec![Hop::wire("xover", Bandwidth::from_gbps(10), Nanos::from_nanos(50))],
+        };
+        let l_ab = lab.add_link(&path, SimRng::seeded(1));
+        let l_ba = lab.add_link(&path, SimRng::seeded(2));
+        let total = payload * count;
+        lab.add_flow(
+            a,
+            b,
+            vec![l_ab],
+            vec![l_ba],
+            App::Nttcp { tx: NttcpSender::new(payload, count), rx: NttcpReceiver::new(total) },
+        );
+        let mut eng = Engine::new();
+        eng.event_limit = 50_000_000;
+        kick(&mut lab, &mut eng);
+        (lab, eng)
+    }
+
+    #[test]
+    fn small_nttcp_run_completes() {
+        let (mut lab, mut eng) = b2b_lab(LadderRung::Stock, Mtu::STANDARD, 1448, 200);
+        eng.run(&mut lab);
+        assert!(lab.all_done(), "flow must finish");
+        let m = lab.flows[0].meas;
+        let elapsed = m.t_done.unwrap() - m.t_start.unwrap();
+        let gbps = tengig_sim::rate_of(1448 * 200, elapsed).gbps();
+        assert!(gbps > 0.3, "throughput {gbps} too low");
+        assert!(gbps < 10.0, "throughput {gbps} above line rate");
+        assert_eq!(lab.flows[0].conns[0].stats.retransmits, 0);
+    }
+
+    #[test]
+    fn tuned_beats_stock_for_jumbo() {
+        let run = |rung| {
+            let (mut lab, mut eng) = b2b_lab(rung, Mtu::JUMBO_9000, 8948, 600);
+            eng.run(&mut lab);
+            assert!(lab.all_done());
+            let m = lab.flows[0].meas;
+            tengig_sim::rate_of(8948 * 600, m.t_done.unwrap() - m.t_start.unwrap()).gbps()
+        };
+        let stock = run(LadderRung::Stock);
+        let tuned = run(LadderRung::OversizedWindows);
+        assert!(
+            tuned > stock * 1.15,
+            "tuned {tuned} Gb/s must clearly beat stock {stock} Gb/s"
+        );
+    }
+
+    #[test]
+    fn netpipe_latency_roundtrip() {
+        let cfg = LadderRung::Stock.pe2650_config(Mtu::STANDARD);
+        let mut lab = Lab::new();
+        let a = lab.add_host(cfg);
+        let b = lab.add_host(cfg);
+        let path = Path {
+            hops: vec![Hop::wire("xover", Bandwidth::from_gbps(10), Nanos::from_nanos(50))],
+        };
+        let l1 = lab.add_link(&path, SimRng::seeded(1));
+        let l2 = lab.add_link(&path, SimRng::seeded(2));
+        lab.add_flow(a, b, vec![l1], vec![l2], App::NetPipe(NetPipe::new(1, 20)));
+        let mut eng = Engine::new();
+        kick(&mut lab, &mut eng);
+        eng.run(&mut lab);
+        assert!(lab.all_done());
+        let App::NetPipe(np) = &lab.flows[0].app else { panic!() };
+        let lat = np.one_way_latency().as_micros_f64();
+        // Calibration target is 19 µs; insist on the right ballpark here.
+        assert!((10.0..40.0).contains(&lat), "one-way latency {lat} µs");
+    }
+
+    #[test]
+    fn pktgen_reaches_multi_gigabit() {
+        let cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
+        let mut lab = Lab::new();
+        let a = lab.add_host(cfg);
+        let b = lab.add_host(cfg);
+        let path = Path {
+            hops: vec![Hop::wire("xover", Bandwidth::from_gbps(10), Nanos::from_nanos(50))],
+        };
+        let l1 = lab.add_link(&path, SimRng::seeded(1));
+        let l2 = lab.add_link(&path, SimRng::seeded(2));
+        lab.add_flow(a, b, vec![l1], vec![l2], App::Pktgen(Pktgen::new(8132, 3000)));
+        let mut eng = Engine::new();
+        kick(&mut lab, &mut eng);
+        eng.run(&mut lab);
+        assert!(lab.all_done());
+        let App::Pktgen(pg) = &lab.flows[0].app else { panic!() };
+        let gbps = pg.throughput().gbps();
+        assert!((4.0..7.0).contains(&gbps), "pktgen {gbps} Gb/s (paper: 5.5)");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_result() {
+        let run = || {
+            let (mut lab, mut eng) = b2b_lab(LadderRung::Stock, Mtu::STANDARD, 1000, 150);
+            eng.run(&mut lab);
+            let m = lab.flows[0].meas;
+            (m.t_start.unwrap(), m.t_done.unwrap(), eng.executed())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cpu_load_measured() {
+        let (mut lab, mut eng) = b2b_lab(LadderRung::Stock, Mtu::STANDARD, 1448, 500);
+        eng.run(&mut lab);
+        let rx_load = cpu_load(&lab, 0, 1);
+        assert!(rx_load > 0.2, "receiver load {rx_load}");
+        assert!(rx_load <= 1.0);
+    }
+}

@@ -1,0 +1,20 @@
+//! `tengig` — a 10-Gigabit Ethernet end-to-end performance laboratory.
+//!
+//! Reproduction of "Optimizing 10-Gigabit Ethernet for Networks of
+//! Workstations, Clusters, and Grids: A Case Study" (SC 2003) as a
+//! deterministic packet-level simulation. See `DESIGN.md` at the repository
+//! root for the system inventory and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod calib;
+pub mod config;
+pub mod experiments;
+pub mod lab;
+pub mod report;
+
+pub use config::{HostConfig, LadderRung, TuningStep};
+pub use lab::{App, FlowRt, HostRt, Lab};

@@ -1,0 +1,190 @@
+//! Rendering: fixed-width tables and gnuplot-style series dumps, plus the
+//! paper-vs-measured comparison rows used by `EXPERIMENTS.md` and the
+//! benches.
+
+use std::fmt::Write as _;
+use tengig_sim::stats::Series;
+use tengig_sim::Nanos;
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells are stringified by the caller).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(line, "{h:<w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{c:<w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+}
+
+/// One paper-vs-measured comparison row.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// What is being compared.
+    pub name: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// The laboratory's measured value.
+    pub measured: f64,
+    /// Unit label.
+    pub unit: &'static str,
+}
+
+impl Comparison {
+    /// Relative error of the measurement against the paper's value.
+    pub fn rel_error(&self) -> f64 {
+        if self.paper == 0.0 {
+            return 0.0;
+        }
+        (self.measured - self.paper) / self.paper
+    }
+
+    /// Whether the measurement falls within `tol` relative error.
+    pub fn within(&self, tol: f64) -> bool {
+        self.rel_error().abs() <= tol
+    }
+}
+
+/// Render a set of comparisons as a table.
+pub fn comparison_table(title: &str, rows: &[Comparison]) -> String {
+    let mut t = Table::new(title, &["metric", "paper", "measured", "error"]);
+    for c in rows {
+        t.row(vec![
+            c.name.clone(),
+            format!("{:.3} {}", c.paper, c.unit),
+            format!("{:.3} {}", c.measured, c.unit),
+            format!("{:+.1}%", c.rel_error() * 100.0),
+        ]);
+    }
+    t.render()
+}
+
+/// Render a figure as gnuplot-style columns, one block per series.
+pub fn figure(title: &str, series: &[Series]) -> String {
+    let mut out = format!("## {title}\n");
+    for s in series {
+        let _ = write!(out, "{s}");
+        out.push('\n');
+    }
+    out
+}
+
+/// Human-friendly duration for Table 1 ("1 hr 42 min" style).
+pub fn humanize(d: Nanos) -> String {
+    let s = d.as_secs_f64();
+    if s < 1.0 {
+        format!("{:.1} ms", s * 1e3)
+    } else if s < 60.0 {
+        format!("{s:.1} s")
+    } else if s < 3600.0 {
+        format!("{:.0} min", s / 60.0)
+    } else {
+        let h = (s / 3600.0).floor();
+        let m = ((s - h * 3600.0) / 60.0).round();
+        format!("{h:.0} hr {m:.0} min")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "bbbb"]);
+        t.row(vec!["x".into(), "1".into()]);
+        t.row(vec!["longer".into(), "22".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("longer"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn comparison_math() {
+        let c = Comparison { name: "peak".into(), paper: 4.11, measured: 4.06, unit: "Gb/s" };
+        assert!(c.within(0.05));
+        assert!(!c.within(0.001));
+        assert!(c.rel_error() < 0.0);
+        let table = comparison_table("t", &[c]);
+        assert!(table.contains("peak"));
+        assert!(table.contains("%"));
+    }
+
+    #[test]
+    fn humanize_formats() {
+        assert_eq!(humanize(Nanos::from_millis(4)), "4.0 ms");
+        assert_eq!(humanize(Nanos::from_secs(30)), "30.0 s");
+        assert_eq!(humanize(Nanos::from_secs(17 * 60)), "17 min");
+        assert_eq!(humanize(Nanos::from_secs(6164)), "1 hr 43 min");
+    }
+
+    #[test]
+    fn figure_contains_all_series() {
+        let mut s1 = Series::new("curve-a");
+        s1.push(1.0, 2.0);
+        let mut s2 = Series::new("curve-b");
+        s2.push(1.0, 3.0);
+        let f = figure("Fig. 3", &[s1, s2]);
+        assert!(f.contains("curve-a") && f.contains("curve-b"));
+    }
+}

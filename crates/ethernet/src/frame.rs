@@ -1,0 +1,121 @@
+//! Simulated Ethernet frames.
+//!
+//! Frames carry sizes and identifiers, not payload bytes: every quantity the
+//! laboratory measures (throughput, latency, loss, CPU cost) depends only on
+//! byte *counts*, so materializing payloads would be pure overhead. The
+//! `kind` field carries the encapsulated protocol unit so receivers can
+//! dispatch without parsing.
+
+use crate::mtu::Mtu;
+use std::fmt;
+
+/// A 48-bit MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// A locally administered address derived from a small host index —
+    /// handy for building topologies.
+    pub const fn host(idx: u8) -> MacAddr {
+        MacAddr([0x02, 0x10, 0x6e, 0x00, 0x00, idx])
+    }
+
+    /// The broadcast address.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(f, "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", b[0], b[1], b[2], b[3], b[4], b[5])
+    }
+}
+
+/// What a frame encapsulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// A TCP segment: connection id within the lab, plus a segment token the
+    /// TCP layer uses to identify the segment on delivery.
+    Tcp {
+        /// Laboratory-wide connection identifier.
+        conn: u32,
+        /// Opaque token minted by the sending TCP (sequence-number based).
+        token: u64,
+    },
+    /// A UDP datagram (the pktgen workload).
+    Udp {
+        /// Flow identifier.
+        flow: u32,
+        /// Datagram index within the flow.
+        index: u64,
+    },
+    /// A raw test frame (NetPipe-style ping-pong payloads).
+    Raw {
+        /// Exchange identifier.
+        id: u64,
+    },
+}
+
+/// A simulated Ethernet frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Frame {
+    /// Source address.
+    pub src: MacAddr,
+    /// Destination address.
+    pub dst: MacAddr,
+    /// IP-packet bytes carried (headers + payload; excludes Ethernet framing).
+    pub ip_bytes: u64,
+    /// Encapsulated protocol unit.
+    pub kind: FrameKind,
+}
+
+impl Frame {
+    /// Byte-times this frame consumes on a wire (framing + preamble + IFG,
+    /// with runt padding).
+    pub const fn wire_bytes(&self) -> u64 {
+        Mtu::wire_bytes_for(self.ip_bytes)
+    }
+
+    /// Bytes of buffer the frame occupies in a kernel receive ring
+    /// (IP packet + Ethernet header + FCS).
+    pub const fn buffer_bytes(&self) -> u64 {
+        self.ip_bytes + crate::mtu::ETH_HEADER + crate::mtu::ETH_FCS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_and_identity() {
+        let a = MacAddr::host(3);
+        assert_eq!(a, MacAddr::host(3));
+        assert_ne!(a, MacAddr::host(4));
+        assert!(a.to_string().ends_with(":03"));
+        assert_eq!(MacAddr::BROADCAST.to_string(), "ff:ff:ff:ff:ff:ff");
+    }
+
+    #[test]
+    fn frame_sizes() {
+        let f = Frame {
+            src: MacAddr::host(0),
+            dst: MacAddr::host(1),
+            ip_bytes: 1500,
+            kind: FrameKind::Tcp { conn: 0, token: 42 },
+        };
+        assert_eq!(f.wire_bytes(), 1538);
+        assert_eq!(f.buffer_bytes(), 1518);
+    }
+
+    #[test]
+    fn runt_frames_pad_on_wire() {
+        let f = Frame {
+            src: MacAddr::host(0),
+            dst: MacAddr::host(1),
+            ip_bytes: 40,
+            kind: FrameKind::Raw { id: 1 },
+        };
+        assert_eq!(f.wire_bytes(), 84); // 46 min payload + 18 framing + 20 preamble/IFG
+    }
+}

@@ -1,0 +1,217 @@
+//! Whole-host presets: every machine the paper measures, as one spec.
+
+use crate::alloc::BlockAllocator;
+use crate::cpu::{CpuSpec, KernelMode};
+use crate::memory::MemorySpec;
+use crate::pcix::PcixSpec;
+use tengig_sim::Bandwidth;
+
+/// A complete host hardware description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostSpec {
+    /// Display name ("PE2650", …).
+    pub name: &'static str,
+    /// CPU complex and kernel mode.
+    pub cpu: CpuSpec,
+    /// Memory subsystem.
+    pub mem: MemorySpec,
+    /// The PCI-X segment the NIC sits on.
+    pub pci: PcixSpec,
+    /// Kernel block allocator.
+    pub alloc: BlockAllocator,
+}
+
+impl HostSpec {
+    /// Dell PowerEdge 2650: dual 2.2 GHz Xeon, 400 MHz FSB, ServerWorks
+    /// GC-LE, dedicated 133 MHz PCI-X — the paper's workhorse (§3.1).
+    pub fn pe2650() -> Self {
+        HostSpec {
+            name: "PE2650",
+            cpu: CpuSpec::pe2650(),
+            mem: MemorySpec::gc_le(),
+            pci: PcixSpec::dell_133(),
+            alloc: BlockAllocator::linux24(),
+        }
+    }
+
+    /// Dell PowerEdge 4600: dual 2.4 GHz Xeon, ServerWorks GC-HE,
+    /// dedicated 100 MHz PCI-X (§3.1).
+    pub fn pe4600() -> Self {
+        HostSpec {
+            name: "PE4600",
+            cpu: CpuSpec::pe4600(),
+            mem: MemorySpec::gc_he(),
+            pci: PcixSpec::dell_100(),
+            alloc: BlockAllocator::linux24(),
+        }
+    }
+
+    /// The Intel-provided loaners: dual 2.66 GHz Xeon, 533 MHz FSB, Intel
+    /// E7505 chipset, 100 MHz PCI-X (§3.1). Out of the box these carry a
+    /// sane MMRBC already.
+    pub fn e7505() -> Self {
+        let mut pci = PcixSpec::dell_100().with_mmrbc(4096);
+        // Newer memory-controller-hub bridge: lighter per-transaction cost.
+        pci.packet_overhead = tengig_sim::Nanos::from_nanos(1500);
+        HostSpec {
+            name: "E7505",
+            cpu: CpuSpec::e7505(),
+            mem: MemorySpec::e7505(),
+            pci,
+            alloc: BlockAllocator::linux24(),
+        }
+    }
+
+    /// The 1 GHz quad-processor Itanium-II system of §3.4, with a server
+    /// chipset whose PCI-X bridge carries lower per-transaction overheads.
+    pub fn itanium2_quad() -> Self {
+        let mut pci = PcixSpec::dell_133().with_mmrbc(4096);
+        pci.burst_overhead = tengig_sim::Nanos::from_nanos(400);
+        pci.packet_overhead = tengig_sim::Nanos::from_nanos(800);
+        HostSpec {
+            name: "Itanium2x4",
+            cpu: CpuSpec::itanium2_quad(),
+            mem: MemorySpec::itanium2(),
+            pci,
+            alloc: BlockAllocator::linux24(),
+        }
+    }
+
+    /// A commodity GbE workstation used as a multi-flow sender/sink. Its
+    /// e1000-class NIC reaches near line rate at 1500 MTU, as the paper
+    /// notes of the authors' GbE experience (§3.5.4).
+    pub fn gbe_workstation() -> Self {
+        HostSpec {
+            name: "GbE-WS",
+            cpu: CpuSpec::workstation(),
+            mem: MemorySpec::workstation(),
+            pci: PcixSpec::dell_133().with_mmrbc(4096),
+            alloc: BlockAllocator::linux24(),
+        }
+    }
+
+    /// The WAN end hosts of §4.1: dual 2.4 GHz Xeon, 2 GB memory, dedicated
+    /// 133 MHz PCI-X.
+    pub fn wan_endpoint() -> Self {
+        HostSpec {
+            name: "WAN-host",
+            cpu: CpuSpec::pe4600(),
+            mem: MemorySpec::gc_he(),
+            pci: PcixSpec::dell_133().with_mmrbc(4096),
+            alloc: BlockAllocator::linux24(),
+        }
+    }
+
+    /// Replace the kernel mode.
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.cpu = self.cpu.with_kernel(kernel);
+        self
+    }
+
+    /// Replace the MMRBC setting.
+    pub fn with_mmrbc(mut self, mmrbc: u64) -> Self {
+        self.pci = self.pci.with_mmrbc(mmrbc);
+        self
+    }
+
+    /// Back-of-envelope host receive ceiling for MSS-sized segments of
+    /// `payload` bytes in `frame_bytes` frames: the minimum of the memory
+    /// bus, PCI-X, and single-CPU stack ceilings. The simulator produces
+    /// the real number; this is the analytic cross-check.
+    pub fn rx_ceiling(&self, frame_bytes: u64, payload: u64, timestamps: bool) -> Bandwidth {
+        let mem = self.mem.rx_ceiling(frame_bytes, payload, 1);
+        let pci = self.pci.effective_bandwidth(frame_bytes);
+        let per_seg = self.cpu.rx_segment_time(timestamps)
+            + self.cpu.copy_time(payload)
+            + self.alloc.alloc_cost(frame_bytes)
+            + self.cpu.plain_time(self.cpu.costs.irq_entry) / 4 // coalesced batches
+            + self.cpu.plain_time(self.cpu.costs.sched_wakeup) / 4;
+        let cpu = tengig_sim::rate_of(payload, per_seg);
+        Bandwidth::from_bps(mem.bps().min(pci.bps()).min(cpu.bps()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tengig_ethernet::Mtu;
+
+    fn ceiling(spec: &HostSpec, mtu: Mtu) -> f64 {
+        spec.rx_ceiling(mtu.frame_bytes(), mtu.mss(true), true).gbps()
+    }
+
+    #[test]
+    fn pe2650_stock_is_pci_bound_for_jumbo() {
+        let stock = HostSpec::pe2650();
+        let c = ceiling(&stock, Mtu::JUMBO_9000);
+        assert!((3.0..4.0).contains(&c), "stock jumbo ceiling {c}");
+        // Raising MMRBC moves the bottleneck off the PCI-X bus: the bus
+        // station itself gains >60%, the whole-host ceiling shifts to the
+        // CPU/memory stations.
+        let tuned = stock.with_mmrbc(4096);
+        let c2 = ceiling(&tuned, Mtu::JUMBO_9000);
+        assert!(c2 > c, "mmrbc gain {c} -> {c2}");
+        let pci_gain = tuned.pci.effective_bandwidth(9018).gbps()
+            / stock.pci.effective_bandwidth(9018).gbps();
+        assert!(pci_gain > 1.6, "pci station gain {pci_gain}");
+    }
+
+    #[test]
+    fn pe2650_standard_mtu_is_cpu_bound() {
+        // At 1500 MTU the MMRBC barely matters (paper: "only a marginal
+        // increase").
+        let stock = ceiling(&HostSpec::pe2650(), Mtu::STANDARD);
+        let tuned = ceiling(&HostSpec::pe2650().with_mmrbc(4096), Mtu::STANDARD);
+        assert!(tuned / stock < 1.25, "1500 gain {}", tuned / stock);
+        assert!((1.5..2.6).contains(&stock), "1500 ceiling {stock}");
+    }
+
+    #[test]
+    fn tuned_8160_ceiling_near_paper_peak() {
+        let tuned = HostSpec::pe2650().with_mmrbc(4096).with_kernel(KernelMode::Uniprocessor);
+        let c = ceiling(&tuned, Mtu::TUNED_8160);
+        assert!((3.8..4.8).contains(&c), "8160 ceiling {c}");
+    }
+
+    #[test]
+    fn uniprocessor_beats_smp() {
+        let smp = ceiling(&HostSpec::pe2650().with_mmrbc(4096), Mtu::STANDARD);
+        let up = ceiling(
+            &HostSpec::pe2650().with_mmrbc(4096).with_kernel(KernelMode::Uniprocessor),
+            Mtu::STANDARD,
+        );
+        assert!(up > smp * 1.1, "up {up} vs smp {smp}");
+    }
+
+    #[test]
+    fn e7505_beats_tuned_pe2650_out_of_box() {
+        // §3.4: the loaners did 4.64 Gb/s essentially out of the box
+        // (timestamps disabled), beating the tuned PE2650's 4.11.
+        let e7 = HostSpec::e7505().rx_ceiling(9018, Mtu::JUMBO_9000.mss(false), false).gbps();
+        let pe = HostSpec::pe2650()
+            .with_mmrbc(4096)
+            .with_kernel(KernelMode::Uniprocessor)
+            .rx_ceiling(Mtu::TUNED_8160.frame_bytes(), Mtu::TUNED_8160.mss(true), true)
+            .gbps();
+        assert!(e7 > pe, "e7505 {e7} vs pe2650 {pe}");
+        assert!((4.1..5.3).contains(&e7), "e7505 ceiling {e7}");
+    }
+
+    #[test]
+    fn itanium_ceiling_supports_aggregation_result() {
+        // §3.4: 7.2 Gb/s aggregated into the quad Itanium-II. A single
+        // flow is CPU-bound, but the aggregation spreads flows over four
+        // CPUs; the shared stations (PCI-X, memory) must clear ~7 Gb/s.
+        let it = HostSpec::itanium2_quad();
+        assert!(it.pci.effective_bandwidth(9018).gbps() > 6.0);
+        assert!(it.mem.rx_ceiling(9018, Mtu::JUMBO_9000.mss(true), 1).gbps() > 7.0);
+        let single = it.rx_ceiling(9018, Mtu::JUMBO_9000.mss(true), true).gbps();
+        assert!(single * it.cpu.cores as f64 > 7.2, "4 cpus x {single}");
+    }
+
+    #[test]
+    fn wan_endpoint_comfortably_exceeds_oc48() {
+        let c = ceiling(&HostSpec::wan_endpoint(), Mtu::JUMBO_9000);
+        assert!(c > 2.5, "WAN host ceiling {c} must exceed the OC-48 bottleneck");
+    }
+}

@@ -1,0 +1,254 @@
+//! CPU and kernel-path cost model.
+//!
+//! The Linux 2.4 stack charges the CPU fixed per-operation costs (syscall
+//! entry, TCP/IP transmit and receive processing, hard-interrupt entry,
+//! scheduler wakeups) plus per-byte costs for the copies between user space
+//! and socket buffers. Two kernel-mode effects from the paper:
+//!
+//! * **SMP pathology** — "the P4 Xeon SMP architecture assigns each
+//!   interrupt to a single CPU instead of processing them in a round-robin
+//!   manner"; on top of the pinning, the SMP kernel pays locking and
+//!   cache-bouncing overhead on every packet. Replacing it with a
+//!   uniprocessor (UP) kernel bought the paper ~10% at 9000 MTU and
+//!   20-25% at 1500 (§3.3).
+//! * **TCP timestamps** — 12 option bytes plus per-segment processing;
+//!   invisible when the CPU has headroom (PE2650), worth ~10% when it does
+//!   not (the Intel E7505 loaners, §3.4).
+
+use tengig_sim::Nanos;
+
+/// Which kernel flavour the host boots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// SMP kernel: all NIC interrupts pinned to CPU 0; per-packet stack
+    /// processing pays the SMP overhead factor.
+    Smp,
+    /// Uniprocessor kernel: one CPU, no SMP locking overhead.
+    Uniprocessor,
+}
+
+/// Fixed and per-byte costs of the kernel network path, quoted at a
+/// reference 2.2 GHz Xeon and scaled by clock for other CPUs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StackCosts {
+    /// Syscall + sockfd work per application `write()`/`read()`.
+    pub syscall: Nanos,
+    /// TCP/IP transmit processing per segment (excluding the copy).
+    pub tx_segment: Nanos,
+    /// TCP/IP receive processing per segment (softirq; excluding the copy).
+    pub rx_segment: Nanos,
+    /// Hard-interrupt entry/exit per interrupt (amortized over coalesced
+    /// packet batches).
+    pub irq_entry: Nanos,
+    /// Scheduler wakeup of a blocked reader/writer.
+    pub sched_wakeup: Nanos,
+    /// CPU time per byte copied between user space and an skb.
+    /// Distinct from memory-bus occupancy: this is the core executing the
+    /// copy loop.
+    pub copy_per_byte_ns: f64,
+    /// Extra per-segment processing when RFC 1323 timestamps are on.
+    pub timestamp: Nanos,
+    /// Pure ACK processing (sender side) per ACK received.
+    pub ack_process: Nanos,
+    /// Multiplier on per-segment stack work under an SMP kernel.
+    pub smp_factor: f64,
+}
+
+impl Default for StackCosts {
+    fn default() -> Self {
+        Self::linux24_reference()
+    }
+}
+
+impl StackCosts {
+    /// Calibrated Linux 2.4 costs at the 2.2 GHz reference clock.
+    pub fn linux24_reference() -> Self {
+        StackCosts {
+            syscall: Nanos::from_nanos(500),
+            tx_segment: Nanos::from_nanos(1300),
+            rx_segment: Nanos::from_nanos(2400),
+            irq_entry: Nanos::from_nanos(1000),
+            sched_wakeup: Nanos::from_nanos(1000),
+            copy_per_byte_ns: 1.15,
+            timestamp: Nanos::from_nanos(400),
+            ack_process: Nanos::from_nanos(700),
+            smp_factor: 1.25,
+        }
+    }
+}
+
+/// A host's CPU complex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuSpec {
+    /// Number of processors.
+    pub cores: usize,
+    /// Clock in GHz.
+    pub ghz: f64,
+    /// Kernel flavour.
+    pub kernel: KernelMode,
+    /// Reference stack costs (at 2.2 GHz).
+    pub costs: StackCosts,
+}
+
+impl CpuSpec {
+    /// Dell PE2650: dual 2.2 GHz Xeon, stock SMP kernel.
+    pub fn pe2650() -> Self {
+        CpuSpec { cores: 2, ghz: 2.2, kernel: KernelMode::Smp, costs: StackCosts::default() }
+    }
+
+    /// Dell PE4600: dual 2.4 GHz Xeon.
+    pub fn pe4600() -> Self {
+        CpuSpec { cores: 2, ghz: 2.4, kernel: KernelMode::Smp, costs: StackCosts::default() }
+    }
+
+    /// Intel E7505 loaners: dual 2.66 GHz Xeon.
+    pub fn e7505() -> Self {
+        CpuSpec { cores: 2, ghz: 2.66, kernel: KernelMode::Smp, costs: StackCosts::default() }
+    }
+
+    /// Quad 1.0 GHz Itanium-II. Wide cores: the clock alone under-states
+    /// them, so the reference costs are reached at 1 GHz via a per-clock
+    /// efficiency of 2.2 (EPIC vs P4 Xeon per-cycle work on kernel paths).
+    pub fn itanium2_quad() -> Self {
+        CpuSpec { cores: 4, ghz: 2.2, kernel: KernelMode::Smp, costs: StackCosts::default() }
+    }
+
+    /// A 2.0 GHz GbE workstation.
+    pub fn workstation() -> Self {
+        CpuSpec { cores: 1, ghz: 2.0, kernel: KernelMode::Uniprocessor, costs: StackCosts::default() }
+    }
+
+    /// Switch kernel flavour.
+    pub fn with_kernel(mut self, kernel: KernelMode) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Clock scale factor relative to the 2.2 GHz reference.
+    fn clock_scale(&self) -> f64 {
+        2.2 / self.ghz
+    }
+
+    /// The SMP multiplier in effect (1.0 under a UP kernel).
+    pub fn smp_multiplier(&self) -> f64 {
+        match self.kernel {
+            KernelMode::Smp => self.costs.smp_factor,
+            KernelMode::Uniprocessor => 1.0,
+        }
+    }
+
+    /// Number of CPUs the scheduler can use: a UP kernel sees one CPU
+    /// regardless of the socket count.
+    pub fn usable_cores(&self) -> usize {
+        match self.kernel {
+            KernelMode::Smp => self.cores,
+            KernelMode::Uniprocessor => 1,
+        }
+    }
+
+    /// Scale a reference fixed cost to this CPU (clock + SMP factor).
+    pub fn stack_time(&self, reference: Nanos) -> Nanos {
+        reference.scale(self.clock_scale() * self.smp_multiplier())
+    }
+
+    /// Scale a reference fixed cost by clock only (work outside the locked
+    /// stack paths: copies, syscall entry).
+    pub fn plain_time(&self, reference: Nanos) -> Nanos {
+        reference.scale(self.clock_scale())
+    }
+
+    /// CPU time to copy `bytes` between user space and an skb, in 64-byte
+    /// cache-line quanta (the source of the stepwise latency growth in
+    /// Fig. 6). The SMP factor applies here too: on the SMP kernel the
+    /// copy chases cache lines the interrupt CPU dirtied.
+    pub fn copy_time(&self, bytes: u64) -> Nanos {
+        if bytes == 0 {
+            return Nanos::ZERO;
+        }
+        let lines = bytes.div_ceil(64);
+        let ns = lines as f64
+            * 64.0
+            * self.costs.copy_per_byte_ns
+            * self.clock_scale()
+            * self.smp_multiplier();
+        Nanos::from_nanos(ns.round() as u64)
+    }
+
+    /// Per-segment receive-side stack cost (softirq processing plus the
+    /// timestamp option if enabled), excluding interrupt entry and copies.
+    pub fn rx_segment_time(&self, timestamps: bool) -> Nanos {
+        let base = self.stack_time(self.costs.rx_segment);
+        if timestamps {
+            base + self.stack_time(self.costs.timestamp)
+        } else {
+            base
+        }
+    }
+
+    /// Per-segment transmit-side stack cost.
+    pub fn tx_segment_time(&self, timestamps: bool) -> Nanos {
+        let base = self.stack_time(self.costs.tx_segment);
+        if timestamps {
+            base + self.stack_time(self.costs.timestamp)
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smp_multiplier_only_under_smp() {
+        let smp = CpuSpec::pe2650();
+        let up = smp.with_kernel(KernelMode::Uniprocessor);
+        assert!((smp.smp_multiplier() - 1.25).abs() < 1e-12);
+        assert!((up.smp_multiplier() - 1.0).abs() < 1e-12);
+        assert!(smp.stack_time(Nanos::from_nanos(1000)) > up.stack_time(Nanos::from_nanos(1000)));
+        assert_eq!(up.usable_cores(), 1);
+        assert_eq!(smp.usable_cores(), 2);
+    }
+
+    #[test]
+    fn faster_clock_means_lower_cost() {
+        let pe = CpuSpec::pe2650();
+        let e7 = CpuSpec::e7505();
+        assert!(e7.stack_time(Nanos::from_nanos(3500)) < pe.stack_time(Nanos::from_nanos(3500)));
+        // Reference CPU at reference clock passes costs through (modulo SMP).
+        let up = pe.with_kernel(KernelMode::Uniprocessor);
+        assert_eq!(up.stack_time(Nanos::from_nanos(3500)), Nanos::from_nanos(3500));
+    }
+
+    #[test]
+    fn copy_time_is_stepwise_in_cache_lines() {
+        let up = CpuSpec::pe2650().with_kernel(KernelMode::Uniprocessor);
+        // Within one cache line, cost is flat.
+        assert_eq!(up.copy_time(1), up.copy_time(64));
+        // Crossing the line boundary steps up.
+        assert!(up.copy_time(65) > up.copy_time(64));
+        assert_eq!(up.copy_time(65), up.copy_time(128));
+        assert_eq!(up.copy_time(0), Nanos::ZERO);
+        // 8948 bytes at 1.15 ns/B ≈ 10.3 µs (DMA-cold destination lines).
+        let t = up.copy_time(8948).as_micros_f64();
+        assert!((9.8..10.8).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn timestamps_add_per_segment_cost() {
+        let up = CpuSpec::pe2650().with_kernel(KernelMode::Uniprocessor);
+        assert!(up.rx_segment_time(true) > up.rx_segment_time(false));
+        assert_eq!(
+            up.rx_segment_time(true) - up.rx_segment_time(false),
+            Nanos::from_nanos(400)
+        );
+    }
+
+    #[test]
+    fn presets_sane() {
+        assert_eq!(CpuSpec::pe2650().cores, 2);
+        assert_eq!(CpuSpec::itanium2_quad().cores, 4);
+        assert!(CpuSpec::e7505().ghz > CpuSpec::pe4600().ghz);
+    }
+}

@@ -1,0 +1,48 @@
+//! `tengig-hw` — models of the 2003-era host hardware the SC'03 case study
+//! ran on.
+//!
+//! The paper's central finding is that the end-to-end bottleneck is "the host
+//! software's ability to move data between every component in the system",
+//! not the 10GbE link. This crate models the components data moves through:
+//!
+//! * [`cpu`] — CPUs, kernel mode (the SMP-interrupt pathology vs a
+//!   uniprocessor kernel), and the per-segment / per-byte costs of the
+//!   Linux 2.4 stack,
+//! * [`pcix`] — the PCI-X bus with its maximum-memory-read-byte-count
+//!   (MMRBC) burst model, the paper's first big tuning win,
+//! * [`memory`] — the front-side-bus/memory subsystem (STREAM-calibrated),
+//! * [`alloc`] — Linux's power-of-2 block allocation for socket buffers,
+//!   which explains why an 8160-byte MTU beats 9000,
+//! * [`chipset`] — presets for every host the paper measures (Dell PE2650 /
+//!   GC-LE, Dell PE4600 / GC-HE, the Intel E7505 loaners, the quad
+//!   Itanium-II, and a GbE workstation for multi-flow senders).
+//!
+//! ## Where the default numbers come from
+//!
+//! The per-segment and per-byte cost constants are calibrated jointly against
+//! the paper's measurements (see `tengig::calib` for the machine-checked
+//! targets). The anchor points:
+//!
+//! * one-byte NetPipe latency 19 µs back-to-back with a 5 µs coalescing
+//!   delay (fixes the sum of fixed path costs at ~14 µs),
+//! * stock-TCP peaks 1.8 / 2.7 Gb/s (1500 / 9000 MTU) with CPU loads
+//!   0.9 / 0.4 (fixes the 1500-byte CPU ceiling and the 512-byte-burst PCI-X
+//!   ceiling),
+//! * the tuned 4.11 Gb/s peak at MTU 8160 (fixes the memory-bus ceiling),
+//! * the 5.5 Gb/s single-copy packet-generator limit (fixes the PCI-X
+//!   per-packet descriptor overhead).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod chipset;
+pub mod cpu;
+pub mod memory;
+pub mod pcix;
+
+pub use alloc::BlockAllocator;
+pub use chipset::HostSpec;
+pub use cpu::{CpuSpec, KernelMode, StackCosts};
+pub use memory::MemorySpec;
+pub use pcix::PcixSpec;

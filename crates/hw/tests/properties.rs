@@ -1,0 +1,69 @@
+//! Property tests for the host-hardware models.
+
+use proptest::prelude::*;
+use tengig_hw::{BlockAllocator, CpuSpec, HostSpec, KernelMode, PcixSpec};
+
+proptest! {
+    /// The allocator always returns a power-of-2 block at least as large as
+    /// the request, and truesize strictly exceeds the block content.
+    #[test]
+    fn allocator_blocks_are_powers_of_two(bytes in 0u64..1_000_000) {
+        let block = BlockAllocator::block_size(bytes);
+        prop_assert!(block.is_power_of_two());
+        prop_assert!(block >= bytes.max(1));
+        // Minimal: halving the block (if possible) would not fit.
+        if block > 256 {
+            prop_assert!(block / 2 < bytes.max(1) || block == 256);
+        }
+        prop_assert!(BlockAllocator::truesize(bytes) > block);
+        prop_assert_eq!(BlockAllocator::waste(bytes), block - bytes);
+    }
+
+    /// Allocation cost is monotone in request size.
+    #[test]
+    fn alloc_cost_monotone(a in 1u64..100_000, b in 1u64..100_000) {
+        let alloc = BlockAllocator::linux24();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(alloc.alloc_cost(lo) <= alloc.alloc_cost(hi));
+    }
+
+    /// PCI-X transfer time is monotone in bytes and anti-monotone in MMRBC.
+    #[test]
+    fn pcix_monotonicity(bytes in 1u64..60_000) {
+        let base = PcixSpec::dell_133();
+        prop_assert!(base.packet_transfer_time(bytes) <= base.packet_transfer_time(bytes + 512));
+        let mut prev = base.with_mmrbc(512).packet_transfer_time(bytes);
+        for mmrbc in [1024u64, 2048, 4096] {
+            let t = base.with_mmrbc(mmrbc).packet_transfer_time(bytes);
+            prop_assert!(t <= prev, "bigger bursts never slower");
+            prev = t;
+        }
+    }
+
+    /// Copy time is monotone, stepwise in 64-byte quanta, and the SMP
+    /// kernel never copies faster than the UP kernel.
+    #[test]
+    fn copy_time_properties(bytes in 1u64..100_000) {
+        let smp = CpuSpec::pe2650();
+        let up = smp.with_kernel(KernelMode::Uniprocessor);
+        prop_assert!(up.copy_time(bytes) <= up.copy_time(bytes + 64));
+        // Within one cache line, cost is flat.
+        let base = (bytes - 1) / 64 * 64 + 1;
+        prop_assert_eq!(up.copy_time(base), up.copy_time(base.div_ceil(64) * 64));
+        prop_assert!(smp.copy_time(bytes) >= up.copy_time(bytes));
+    }
+
+    /// The analytic host receive ceiling is positive, below the wire rate,
+    /// and never improves when the SMP kernel replaces UP.
+    #[test]
+    fn host_ceiling_sane(payload in 256u64..15_948) {
+        let frame = payload + 58;
+        let up = HostSpec::pe2650().with_mmrbc(4096).with_kernel(KernelMode::Uniprocessor);
+        let smp = HostSpec::pe2650().with_mmrbc(4096);
+        let c_up = up.rx_ceiling(frame, payload, true);
+        let c_smp = smp.rx_ceiling(frame, payload, true);
+        prop_assert!(c_up.bps() > 0);
+        prop_assert!(c_up.gbps() < 10.0);
+        prop_assert!(c_smp.bps() <= c_up.bps());
+    }
+}

@@ -1,0 +1,19 @@
+//! `tengig-net` — the network fabric between hosts.
+//!
+//! * [`link`] — store-and-forward hops and multi-hop paths with FIFO
+//!   serialization, drop-tail buffers, POS framing, and random loss,
+//! * [`switch`] — the Foundry FastIron 1500 (480 Gb/s backplane, per-port
+//!   egress queues, ~6 µs forwarding latency),
+//! * [`wan`] — the Sunnyvale → Chicago → Geneva OC-192/OC-48 circuit of the
+//!   Internet2 Land Speed Record run (§4).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod switch;
+pub mod wan;
+
+pub use link::{Hop, HopState, Path, PathState};
+pub use switch::{PortSpec, Switch, SwitchSpec};
+pub use wan::{pos_payload, WanSpec, OC192_LINE, OC48_LINE, POS_FRAMING};

@@ -1,0 +1,294 @@
+//! Links and multi-hop paths.
+//!
+//! A [`Path`] is a sequence of store-and-forward [`Hop`]s. Each hop
+//! serializes the frame at its rate (a FIFO server, so frames queue behind
+//! each other), optionally bounded by a drop-tail buffer, then the frame
+//! propagates for the hop's delay. This is enough to model everything from
+//! a crossover cable to the Sunnyvale–Geneva OC-192/OC-48 circuit.
+
+use tengig_sim::stats::Counter;
+use tengig_sim::{Bandwidth, FifoServer, Nanos, SimRng};
+
+/// Static description of one hop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hop {
+    /// Display name ("xover", "OC-48", …).
+    pub name: &'static str,
+    /// Serialization rate (payload rate for POS circuits).
+    pub rate: Bandwidth,
+    /// Propagation delay.
+    pub prop: Nanos,
+    /// Fixed per-frame forwarding latency (switch/router lookup etc.).
+    pub fixed: Nanos,
+    /// Egress buffer in bytes; `None` = effectively unbounded.
+    pub buffer_bytes: Option<u64>,
+    /// Per-frame framing overhead added on this medium (e.g. PPP/HDLC on
+    /// POS), in bytes.
+    pub framing: u64,
+    /// Independent random loss probability per frame (bit errors); the WAN
+    /// experiment's premise is that this is ~0 and all loss is congestion.
+    pub random_loss: f64,
+}
+
+impl Hop {
+    /// A plain wire at `rate` with propagation `prop` and no buffer limit.
+    pub fn wire(name: &'static str, rate: Bandwidth, prop: Nanos) -> Self {
+        Hop {
+            name,
+            rate,
+            prop,
+            fixed: Nanos::ZERO,
+            buffer_bytes: None,
+            framing: 0,
+            random_loss: 0.0,
+        }
+    }
+
+    /// Bound the egress buffer.
+    pub fn with_buffer(mut self, bytes: u64) -> Self {
+        self.buffer_bytes = Some(bytes);
+        self
+    }
+
+    /// Add fixed forwarding latency.
+    pub fn with_fixed(mut self, fixed: Nanos) -> Self {
+        self.fixed = fixed;
+        self
+    }
+
+    /// Add per-frame media framing overhead.
+    pub fn with_framing(mut self, bytes: u64) -> Self {
+        self.framing = bytes;
+        self
+    }
+
+    /// Add a random per-frame loss probability.
+    pub fn with_random_loss(mut self, p: f64) -> Self {
+        self.random_loss = p;
+        self
+    }
+}
+
+/// Runtime state of one hop.
+#[derive(Debug)]
+pub struct HopState {
+    /// The hop description.
+    pub spec: Hop,
+    server: FifoServer,
+    /// Frames dropped at this hop (buffer overflow).
+    pub drops: Counter,
+    /// Frames dropped by the random-loss process.
+    pub random_drops: Counter,
+    /// Frames forwarded.
+    pub forwarded: Counter,
+    /// Peak backlog observed, in bytes.
+    pub peak_backlog_bytes: u64,
+}
+
+impl HopState {
+    /// Fresh state for a hop.
+    pub fn new(spec: Hop) -> Self {
+        HopState {
+            spec,
+            server: FifoServer::new(spec.name),
+            drops: Counter::default(),
+            random_drops: Counter::default(),
+            forwarded: Counter::default(),
+            peak_backlog_bytes: 0,
+        }
+    }
+
+    /// Current backlog in bytes (queue occupancy approximated through the
+    /// serialization backlog).
+    pub fn backlog_bytes(&self, now: Nanos) -> u64 {
+        self.spec.rate.bytes_in(self.server.backlog(now))
+    }
+
+    /// Offer a frame of `wire_bytes` to this hop at `now`.
+    ///
+    /// Returns the arrival time at the far end, or `None` if the frame was
+    /// dropped (buffer overflow or random loss).
+    pub fn offer(&mut self, now: Nanos, wire_bytes: u64, rng: &mut SimRng) -> Option<Nanos> {
+        if self.spec.random_loss > 0.0 && rng.chance(self.spec.random_loss) {
+            self.random_drops.bump();
+            return None;
+        }
+        let bytes = wire_bytes + self.spec.framing;
+        if let Some(cap) = self.spec.buffer_bytes {
+            let backlog = self.backlog_bytes(now);
+            if backlog + bytes > cap {
+                self.drops.bump();
+                return None;
+            }
+        }
+        let backlog = self.backlog_bytes(now);
+        self.peak_backlog_bytes = self.peak_backlog_bytes.max(backlog + bytes);
+        let service = self.spec.rate.time_to_send(bytes);
+        let adm = self.server.admit(now, service);
+        self.forwarded.bump();
+        Some(adm.done + self.spec.prop + self.spec.fixed)
+    }
+
+    /// Utilization of the hop's serializer over `[0, now]`.
+    pub fn utilization(&self, now: Nanos) -> f64 {
+        self.server.utilization(now)
+    }
+}
+
+/// A static path description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Hops in order from sender to receiver.
+    pub hops: Vec<Hop>,
+}
+
+impl Path {
+    /// One-way propagation + fixed latency (excluding serialization).
+    pub fn base_latency(&self) -> Nanos {
+        self.hops.iter().map(|h| h.prop + h.fixed).sum()
+    }
+
+    /// The rate of the slowest hop — the path's bottleneck bandwidth.
+    pub fn bottleneck(&self) -> Bandwidth {
+        self.hops
+            .iter()
+            .map(|h| h.rate)
+            .min()
+            .unwrap_or(Bandwidth::ZERO)
+    }
+
+    /// Serialization time for a frame across all hops (store-and-forward).
+    pub fn serialization(&self, wire_bytes: u64) -> Nanos {
+        self.hops.iter().map(|h| h.rate.time_to_send(wire_bytes + h.framing)).sum()
+    }
+
+    /// Unloaded one-way delay for a frame of `wire_bytes`.
+    pub fn one_way(&self, wire_bytes: u64) -> Nanos {
+        self.base_latency() + self.serialization(wire_bytes)
+    }
+}
+
+/// Runtime state of a path.
+#[derive(Debug)]
+pub struct PathState {
+    /// Hop states in order.
+    pub hops: Vec<HopState>,
+    rng: SimRng,
+}
+
+impl PathState {
+    /// Instantiate runtime state for `path`.
+    pub fn new(path: &Path, rng: SimRng) -> Self {
+        PathState { hops: path.hops.iter().map(|&h| HopState::new(h)).collect(), rng }
+    }
+
+    /// Walk a frame of `wire_bytes` down the path starting at `now`.
+    /// Returns the delivery time, or `None` if any hop dropped it.
+    pub fn send(&mut self, now: Nanos, wire_bytes: u64) -> Option<Nanos> {
+        let mut t = now;
+        for hop in &mut self.hops {
+            t = hop.offer(t, wire_bytes, &mut self.rng)?;
+        }
+        Some(t)
+    }
+
+    /// Total frames dropped across all hops.
+    pub fn total_drops(&self) -> u64 {
+        self.hops.iter().map(|h| h.drops.get() + h.random_drops.get()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gbps10() -> Bandwidth {
+        Bandwidth::from_gbps(10)
+    }
+
+    #[test]
+    fn single_wire_delivery_time() {
+        let path = Path { hops: vec![Hop::wire("xover", gbps10(), Nanos::from_nanos(50))] };
+        let mut st = PathState::new(&path, SimRng::seeded(1));
+        // 1538 wire bytes at 10 Gb/s = 1230.4 → 1231 ns, + 50 ns prop.
+        let t = st.send(Nanos::ZERO, 1538).unwrap();
+        assert_eq!(t, Nanos(1281));
+    }
+
+    #[test]
+    fn frames_queue_behind_each_other() {
+        let path = Path { hops: vec![Hop::wire("xover", gbps10(), Nanos::ZERO)] };
+        let mut st = PathState::new(&path, SimRng::seeded(1));
+        let t1 = st.send(Nanos::ZERO, 12_500).unwrap(); // 10 µs serialization
+        let t2 = st.send(Nanos::ZERO, 12_500).unwrap();
+        assert_eq!(t1, Nanos::from_micros(10));
+        assert_eq!(t2, Nanos::from_micros(20), "second frame waits for the first");
+    }
+
+    #[test]
+    fn store_and_forward_adds_per_hop_serialization() {
+        let two = Path {
+            hops: vec![
+                Hop::wire("a", gbps10(), Nanos::ZERO),
+                Hop::wire("b", gbps10(), Nanos::ZERO),
+            ],
+        };
+        let one = Path { hops: vec![Hop::wire("a", gbps10(), Nanos::ZERO)] };
+        assert_eq!(two.one_way(12_500), one.one_way(12_500) * 2);
+    }
+
+    #[test]
+    fn drop_tail_buffer_overflow() {
+        // 1 Gb/s hop with a 20 KB buffer: a burst of 10 × 9 KB frames
+        // overflows.
+        let hop = Hop::wire("slow", Bandwidth::from_gbps(1), Nanos::ZERO).with_buffer(20_000);
+        let path = Path { hops: vec![hop] };
+        let mut st = PathState::new(&path, SimRng::seeded(1));
+        let mut delivered = 0;
+        for _ in 0..10 {
+            if st.send(Nanos::ZERO, 9018).is_some() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 2, "only two 9 KB frames fit a 20 KB buffer at t=0");
+        assert_eq!(st.total_drops(), 8);
+        // After the queue drains, frames flow again.
+        let later = Nanos::from_millis(10);
+        assert!(st.send(later, 9018).is_some());
+    }
+
+    #[test]
+    fn bottleneck_and_base_latency() {
+        let path = Path {
+            hops: vec![
+                Hop::wire("oc192", Bandwidth::from_gbps_f64(9.6), Nanos::from_millis(30)),
+                Hop::wire("oc48", Bandwidth::from_gbps_f64(2.4), Nanos::from_millis(60)),
+            ],
+        };
+        assert_eq!(path.bottleneck(), Bandwidth::from_gbps_f64(2.4));
+        assert_eq!(path.base_latency(), Nanos::from_millis(90));
+    }
+
+    #[test]
+    fn random_loss_drops_roughly_p_fraction() {
+        let hop = Hop::wire("lossy", gbps10(), Nanos::ZERO).with_random_loss(0.1);
+        let path = Path { hops: vec![hop] };
+        let mut st = PathState::new(&path, SimRng::seeded(42));
+        let mut dropped = 0;
+        for i in 0..10_000u64 {
+            if st.send(Nanos::from_micros(10 * i), 1538).is_none() {
+                dropped += 1;
+            }
+        }
+        assert!((800..1200).contains(&dropped), "dropped {dropped}/10000 at p=0.1");
+    }
+
+    #[test]
+    fn framing_overhead_charged_per_hop() {
+        let plain = Hop::wire("pos", gbps10(), Nanos::ZERO);
+        let pos = plain.with_framing(9);
+        let p1 = Path { hops: vec![plain] };
+        let p2 = Path { hops: vec![pos] };
+        assert!(p2.serialization(9018) > p1.serialization(9018));
+    }
+}

@@ -1,0 +1,168 @@
+//! The §4 wide-area network: Sunnyvale → Geneva, 10,037 km.
+//!
+//! "The WAN utilized a loaned Level3 OC-192 POS (10 Gb/s) circuit from the
+//! Level3 PoP at Sunnyvale to StarLight in Chicago and then traversed the
+//! transatlantic LHCnet OC-48 POS (2.5 Gb/s) circuit between Chicago and
+//! Geneva." End-to-end RTT: 180 ms. The bottleneck is the OC-48 whose
+//! SONET-payload capacity is ≈ 2.4 Gb/s — the paper's 2.38 Gb/s record is
+//! "roughly 99% payload efficiency" of that circuit.
+
+use crate::link::{Hop, Path};
+use tengig_sim::{Bandwidth, Nanos};
+
+/// SONET OC-48 line rate.
+pub const OC48_LINE: u64 = 2_488_320_000;
+/// SONET OC-192 line rate.
+pub const OC192_LINE: u64 = 9_953_280_000;
+
+/// Payload (SPE) rate of an OC-n circuit: the SONET section/line/path
+/// overhead consumes ≈ 3.7% of the line rate.
+pub fn pos_payload(line_bps: u64) -> Bandwidth {
+    Bandwidth::from_bps((line_bps as f64 * 0.966) as u64)
+}
+
+/// Per-frame PPP/HDLC framing overhead on a POS circuit.
+pub const POS_FRAMING: u64 = 9;
+
+/// Parameters of the record run's path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WanSpec {
+    /// One-way propagation Sunnyvale → Chicago.
+    pub prop_svl_chi: Nanos,
+    /// One-way propagation Chicago → Geneva.
+    pub prop_chi_gva: Nanos,
+    /// Bottleneck router egress buffer (Chicago, onto the OC-48).
+    pub bottleneck_buffer: u64,
+    /// Random (non-congestion) loss probability per frame.
+    pub random_loss: f64,
+}
+
+impl Default for WanSpec {
+    fn default() -> Self {
+        Self::record_run()
+    }
+}
+
+impl WanSpec {
+    /// The February 27, 2003 record run: 180 ms RTT (90 ms one way),
+    /// loss-free except for congestion.
+    pub fn record_run() -> Self {
+        WanSpec {
+            // ~3,000 km Sunnyvale→Chicago, ~7,000 km Chicago→Geneva;
+            // split the 90 ms one-way budget accordingly (router and
+            // regeneration delays folded in).
+            prop_svl_chi: Nanos::from_millis(27),
+            prop_chi_gva: Nanos::from_millis(63),
+            bottleneck_buffer: 64 << 20,
+            random_loss: 0.0,
+        }
+    }
+
+    /// Replace the bottleneck buffer size.
+    pub fn with_bottleneck_buffer(mut self, bytes: u64) -> Self {
+        self.bottleneck_buffer = bytes;
+        self
+    }
+
+    /// Add random loss (for Table 1-style recovery studies).
+    pub fn with_random_loss(mut self, p: f64) -> Self {
+        self.random_loss = p;
+        self
+    }
+
+    /// The forward path (data direction): GbE-attached host → Cisco GSR
+    /// 12406 → OC-192 to StarLight → Juniper T640 → Cisco 7609 → OC-48 →
+    /// Cisco 7606 Geneva.
+    pub fn forward_path(&self) -> Path {
+        Path {
+            hops: vec![
+                // Host uplink into the Sunnyvale GSR.
+                Hop::wire("svl-uplink", Bandwidth::from_gbps(10), Nanos::from_micros(5))
+                    .with_fixed(Nanos::from_micros(10)),
+                // Level3 OC-192 POS to Chicago.
+                Hop::wire("oc192-svl-chi", pos_payload(OC192_LINE), self.prop_svl_chi)
+                    .with_framing(POS_FRAMING)
+                    .with_fixed(Nanos::from_micros(20)),
+                // StarLight: TeraGrid T640 → Cisco 7609, then the
+                // transatlantic OC-48 — the bottleneck, with a finite
+                // egress buffer where congestion loss happens.
+                Hop::wire("oc48-chi-gva", pos_payload(OC48_LINE), self.prop_chi_gva)
+                    .with_framing(POS_FRAMING)
+                    .with_fixed(Nanos::from_micros(30))
+                    .with_buffer(self.bottleneck_buffer)
+                    .with_random_loss(self.random_loss),
+                // Geneva access hop.
+                Hop::wire("gva-access", Bandwidth::from_gbps(10), Nanos::from_micros(5))
+                    .with_fixed(Nanos::from_micros(10)),
+            ],
+        }
+    }
+
+    /// The reverse (ACK) path: same circuit, ACKs are small so the OC-48 is
+    /// never binding for them.
+    pub fn reverse_path(&self) -> Path {
+        self.forward_path()
+    }
+
+    /// Round-trip time for a small frame, unloaded.
+    pub fn rtt_small(&self) -> Nanos {
+        self.forward_path().one_way(90) + self.reverse_path().one_way(90)
+    }
+
+    /// The path's bandwidth-delay product at the bottleneck payload rate.
+    pub fn bdp(&self) -> u64 {
+        pos_payload(OC48_LINE).delay_product(self.rtt_small())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_is_180ms() {
+        let wan = WanSpec::record_run();
+        let rtt = wan.rtt_small().as_millis_f64();
+        assert!((179.0..182.0).contains(&rtt), "RTT {rtt} ms");
+    }
+
+    #[test]
+    fn bottleneck_is_the_oc48_payload_rate() {
+        let wan = WanSpec::record_run();
+        let b = wan.forward_path().bottleneck().gbps();
+        assert!((2.35..2.45).contains(&b), "bottleneck {b} Gb/s");
+        // 2.38 Gb/s over this is ≈ 99% payload efficiency.
+        assert!(2.38 / b > 0.98, "record vs bottleneck: {}", 2.38 / b);
+    }
+
+    #[test]
+    fn bdp_near_56_megabytes() {
+        // The §4.1 tuning sets socket buffers to ≈ BDP; at 2.4 Gb/s and
+        // 180 ms that is ~54 MB.
+        let bdp = WanSpec::record_run().bdp();
+        assert!((50_000_000..58_000_000).contains(&bdp), "BDP {bdp}");
+    }
+
+    #[test]
+    fn pos_payload_overhead() {
+        assert!((pos_payload(OC48_LINE).gbps() - 2.4).abs() < 0.01);
+        assert!((pos_payload(OC192_LINE).gbps() - 9.61).abs() < 0.05);
+    }
+
+    #[test]
+    fn small_buffer_forces_congestion_loss_under_overdrive() {
+        use tengig_sim::SimRng;
+        let wan = WanSpec::record_run().with_bottleneck_buffer(64_000);
+        let path = wan.forward_path();
+        let mut st = crate::link::PathState::new(&path, SimRng::seeded(3));
+        // Blast 100 jumbo frames instantaneously: the OC-48 egress buffer
+        // (64 KB) cannot hold them.
+        let mut dropped = 0;
+        for _ in 0..100 {
+            if st.send(Nanos::ZERO, 9038).is_none() {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 50, "dropped {dropped}");
+    }
+}

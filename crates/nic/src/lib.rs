@@ -1,0 +1,23 @@
+//! `tengig-nic` — network adapter models.
+//!
+//! * [`spec`] — static descriptions of the adapters the paper measures:
+//!   the Intel PRO/10GbE LR (82597EX) with its interrupt-coalescing delay,
+//!   checksum offload, and TCP segmentation offload (TSO), and an
+//!   e1000-class GbE adapter for the multi-flow senders.
+//! * [`coalesce`] — the receive-interrupt coalescing state machine: the 5 µs
+//!   delay the paper turns off to shave end-to-end latency from 19 µs to
+//!   14 µs (Fig. 6 vs Fig. 7), and the batching that makes multi-sender
+//!   receive as fast as transmit (§3.5.2).
+//! * [`baseline`] — the comparison interconnects of §3.5.4: Gigabit
+//!   Ethernet, Myrinet (GM and IP), and Quadrics QsNet (Elan3 and IP).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod coalesce;
+pub mod spec;
+
+pub use baseline::{Interconnect, InterconnectApi};
+pub use coalesce::{CoalesceAction, Coalescer};
+pub use spec::NicSpec;

@@ -1,0 +1,62 @@
+//! Property tests for the interrupt coalescer.
+
+use proptest::prelude::*;
+use tengig_nic::{CoalesceAction, Coalescer};
+use tengig_sim::Nanos;
+
+proptest! {
+    /// Frame conservation: every frame offered is covered by exactly one
+    /// interrupt batch, for any arrival pattern and any configuration.
+    #[test]
+    fn every_frame_is_batched_exactly_once(
+        gaps in proptest::collection::vec(0u64..20_000, 1..200),
+        delay_us in 0u64..20,
+        max_frames in 1u32..64,
+    ) {
+        let mut c = Coalescer::new(Nanos::from_micros(delay_us), max_frames);
+        let mut now = Nanos::ZERO;
+        let mut batched = 0u64;
+        let mut armed: Option<(Nanos, u64)> = None;
+        for gap in &gaps {
+            now += Nanos(*gap);
+            // Fire a pending timer that would have expired by now.
+            if let Some((at, gen)) = armed {
+                if at <= now {
+                    if let Some(b) = c.on_timer(gen) {
+                        batched += b as u64;
+                    }
+                    armed = None;
+                }
+            }
+            let (action, gen) = c.on_frame(now);
+            match action {
+                CoalesceAction::FireNow => batched += c.fire_now() as u64,
+                CoalesceAction::ArmTimer(at) => armed = Some((at, gen)),
+                CoalesceAction::None => {}
+            }
+        }
+        // Drain the final timer.
+        if let Some((_, gen)) = armed {
+            if let Some(b) = c.on_timer(gen) {
+                batched += b as u64;
+            }
+        }
+        // Whatever remains pending is exactly the unfired tail.
+        prop_assert_eq!(batched + c.pending() as u64, gaps.len() as u64);
+        prop_assert_eq!(c.frames(), gaps.len() as u64);
+        // Batches never exceed the bound.
+        prop_assert!(c.mean_batch() <= max_frames as f64 + 1e-9);
+    }
+
+    /// With coalescing disabled, interrupts equal frames.
+    #[test]
+    fn disabled_coalescing_is_one_to_one(n in 1u64..500) {
+        let mut c = Coalescer::new(Nanos::ZERO, 32);
+        for i in 0..n {
+            let (a, _) = c.on_frame(Nanos(i * 100));
+            prop_assert_eq!(a, CoalesceAction::FireNow);
+            prop_assert_eq!(c.fire_now(), 1);
+        }
+        prop_assert_eq!(c.interrupts(), n);
+    }
+}

@@ -1,0 +1,252 @@
+//! The discrete-event engine.
+//!
+//! [`Engine<W>`] is a deterministic event calendar over a caller-supplied
+//! world type `W`. Events are boxed `FnOnce(&mut W, &mut Engine<W>)` closures
+//! keyed by `(time, sequence)`; the sequence number breaks ties in insertion
+//! order, so two runs with identical inputs execute identical schedules.
+//!
+//! The closure form keeps the engine agnostic of everything above it: the
+//! TCP stack, NIC models, and workload tools are pure state machines, and the
+//! composition layer (the `tengig` core crate) turns their actions into
+//! scheduled closures.
+
+use crate::time::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Type of the boxed event callbacks executed by the engine.
+pub type Event<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Entry<W> {
+    at: Nanos,
+    seq: u64,
+    f: Event<W>,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest
+// (time, seq) first.
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event scheduler over world state `W`.
+pub struct Engine<W> {
+    now: Nanos,
+    seq: u64,
+    executed: u64,
+    queue: BinaryHeap<Entry<W>>,
+    /// Hard cap on executed events; guards against runaway feedback loops in
+    /// model composition bugs. [`Engine::run`] panics when exceeded.
+    pub event_limit: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// Create an empty engine at time zero.
+    pub fn new() -> Self {
+        Engine {
+            now: Nanos::ZERO,
+            seq: 0,
+            executed: 0,
+            queue: BinaryHeap::new(),
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Current virtual time. Monotonically non-decreasing across callbacks.
+    #[inline]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `f` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is a model bug; the engine clamps to `now` in
+    /// release builds and panics in debug builds.
+    pub fn schedule_at<F>(&mut self, at: Nanos, f: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        debug_assert!(at >= self.now, "event scheduled in the past: {} < {}", at, self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry { at, seq, f: Box::new(f) });
+    }
+
+    /// Schedule `f` to run `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: Nanos, f: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        let at = self.now.saturating_add(delay);
+        self.schedule_at(at, f);
+    }
+
+    /// Schedule `f` to run "immediately" (at the current time, after all
+    /// callbacks already queued for this instant).
+    pub fn schedule_now<F>(&mut self, f: F)
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.schedule_at(self.now, f);
+    }
+
+    /// Run a single event if one is pending. Returns `false` when the
+    /// calendar is empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        let Some(entry) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(entry.at >= self.now, "time went backwards");
+        self.now = entry.at;
+        self.executed += 1;
+        (entry.f)(world, self);
+        true
+    }
+
+    /// Run until the calendar drains.
+    ///
+    /// Panics if `event_limit` is exceeded — an engine that never drains
+    /// means some component keeps rescheduling itself unconditionally.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {
+            assert!(
+                self.executed <= self.event_limit,
+                "event limit {} exceeded at t={}",
+                self.event_limit,
+                self.now
+            );
+        }
+    }
+
+    /// Run until the calendar drains or virtual time would pass `deadline`.
+    ///
+    /// Events scheduled strictly after `deadline` remain queued; the clock is
+    /// left at the last executed event (≤ `deadline`).
+    pub fn run_until(&mut self, world: &mut W, deadline: Nanos) {
+        while let Some(next) = self.queue.peek().map(|e| e.at) {
+            if next > deadline {
+                break;
+            }
+            self.step(world);
+            assert!(
+                self.executed <= self.event_limit,
+                "event limit {} exceeded at t={}",
+                self.event_limit,
+                self.now
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        eng.schedule_at(Nanos(30), |w: &mut Vec<u32>, _| w.push(3));
+        eng.schedule_at(Nanos(10), |w, _| w.push(1));
+        eng.schedule_at(Nanos(20), |w, _| w.push(2));
+        eng.run(&mut log);
+        assert_eq!(log, vec![1, 2, 3]);
+        assert_eq!(eng.now(), Nanos(30));
+        assert_eq!(eng.executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        for i in 0..100 {
+            eng.schedule_at(Nanos(5), move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        eng.run(&mut log);
+        assert_eq!(log, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut eng: Engine<Vec<Nanos>> = Engine::new();
+        let mut log = Vec::new();
+        eng.schedule_at(Nanos(10), |w: &mut Vec<Nanos>, e: &mut Engine<Vec<Nanos>>| {
+            w.push(e.now());
+            e.schedule_in(Nanos(5), |w, e| w.push(e.now()));
+            e.schedule_now(|w, e| w.push(e.now()));
+        });
+        eng.run(&mut log);
+        assert_eq!(log, vec![Nanos(10), Nanos(10), Nanos(15)]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        for t in [5u64, 10, 15, 20] {
+            eng.schedule_at(Nanos(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        eng.run_until(&mut log, Nanos(12));
+        assert_eq!(log, vec![5, 10]);
+        assert_eq!(eng.pending(), 2);
+        // Continuing runs the rest.
+        eng.run(&mut log);
+        assert_eq!(log, vec![5, 10, 15, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_trips_on_livelock() {
+        fn respawn(_: &mut (), e: &mut Engine<()>) {
+            e.schedule_in(Nanos(1), respawn);
+        }
+        let mut eng: Engine<()> = Engine::new();
+        eng.event_limit = 1000;
+        eng.schedule_at(Nanos(0), respawn);
+        eng.run(&mut ());
+    }
+
+    #[test]
+    fn saturating_delay_does_not_overflow() {
+        let mut eng: Engine<u32> = Engine::new();
+        let mut w = 0u32;
+        eng.schedule_at(Nanos(100), |_, e: &mut Engine<u32>| {
+            e.schedule_in(Nanos::MAX, |w: &mut u32, _| *w += 1);
+        });
+        eng.run(&mut w);
+        assert_eq!(w, 1);
+        assert_eq!(eng.now(), Nanos::MAX);
+    }
+}

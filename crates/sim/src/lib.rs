@@ -1,0 +1,37 @@
+//! `tengig-sim` — the discrete-event simulation kernel of the `tengig`
+//! 10-Gigabit-Ethernet performance laboratory.
+//!
+//! This crate knows nothing about networking. It provides:
+//!
+//! * [`Nanos`] — the nanosecond-resolution virtual clock value,
+//! * [`Bandwidth`] — data rates and serialization-time arithmetic,
+//! * [`Engine`] — a deterministic closure-based event calendar,
+//! * [`FifoServer`]/[`ServerBank`] — analytic work-conserving resources used
+//!   to model CPUs, buses, and wires,
+//! * [`DropTailQueue`] — bounded byte queues for switch/router buffers,
+//! * statistics instruments ([`stats`]) and a packet-path tracer ([`trace`],
+//!   the substrate of the MAGNET analog),
+//! * [`SimRng`] — deterministic, forkable randomness.
+//!
+//! Everything above (hosts, NICs, TCP, switches, the WAN) is built from these
+//! pieces by the other `tengig-*` crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod queue;
+pub mod rng;
+pub mod server;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod units;
+
+pub use engine::Engine;
+pub use queue::{DropTailQueue, Enqueue};
+pub use rng::SimRng;
+pub use server::{Admission, FifoServer, ServerBank};
+pub use time::Nanos;
+pub use trace::{Stage, TraceEvent, Tracer};
+pub use units::{rate_of, Bandwidth};

@@ -1,0 +1,168 @@
+//! Bounded drop-tail byte queues — the buffer model for switch ports and
+//! router line cards.
+//!
+//! The WAN experiment's central fact is that "packet loss is due exclusively
+//! to congestion in the network, i.e., packets are dropped when the number of
+//! unacknowledged packets exceeds the available capacity of the network"
+//! (§4.2). [`DropTailQueue`] realizes that: it admits items up to a byte
+//! capacity and drops beyond it, with exact accounting.
+
+use crate::stats::Counter;
+
+/// An enqueued item: an opaque token plus its byte size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Queued<T> {
+    /// Caller's token (e.g. a frame id).
+    pub item: T,
+    /// Size charged against the queue's byte capacity.
+    pub bytes: u64,
+}
+
+/// Result of an enqueue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enqueue {
+    /// Item accepted; queue depth in bytes after admission.
+    Accepted {
+        /// Queue depth in bytes after admission.
+        depth: u64,
+    },
+    /// Item dropped (would exceed capacity).
+    Dropped,
+}
+
+/// A bounded FIFO byte queue with drop-tail semantics.
+#[derive(Debug, Clone)]
+pub struct DropTailQueue<T> {
+    capacity_bytes: u64,
+    depth_bytes: u64,
+    items: std::collections::VecDeque<Queued<T>>,
+    /// Count of accepted items.
+    pub accepted: Counter,
+    /// Count of dropped items.
+    pub dropped: Counter,
+    /// Highest byte depth ever reached.
+    pub peak_depth: u64,
+}
+
+impl<T> DropTailQueue<T> {
+    /// A queue holding at most `capacity_bytes` bytes.
+    pub fn new(capacity_bytes: u64) -> Self {
+        DropTailQueue {
+            capacity_bytes,
+            depth_bytes: 0,
+            items: std::collections::VecDeque::new(),
+            accepted: Counter::default(),
+            dropped: Counter::default(),
+            peak_depth: 0,
+        }
+    }
+
+    /// Attempt to enqueue `item` of `bytes` bytes.
+    ///
+    /// A zero-capacity queue drops everything; an item larger than the whole
+    /// capacity is always dropped.
+    pub fn enqueue(&mut self, item: T, bytes: u64) -> Enqueue {
+        if self.depth_bytes + bytes > self.capacity_bytes {
+            self.dropped.bump();
+            return Enqueue::Dropped;
+        }
+        self.depth_bytes += bytes;
+        self.peak_depth = self.peak_depth.max(self.depth_bytes);
+        self.items.push_back(Queued { item, bytes });
+        self.accepted.bump();
+        Enqueue::Accepted { depth: self.depth_bytes }
+    }
+
+    /// Remove and return the oldest item.
+    pub fn dequeue(&mut self) -> Option<Queued<T>> {
+        let q = self.items.pop_front()?;
+        self.depth_bytes -= q.bytes;
+        Some(q)
+    }
+
+    /// Current depth in bytes.
+    pub fn depth_bytes(&self) -> u64 {
+        self.depth_bytes
+    }
+
+    /// Current depth in items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Configured byte capacity.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Free space in bytes.
+    pub fn headroom(&self) -> u64 {
+        self.capacity_bytes - self.depth_bytes
+    }
+
+    /// Loss fraction over the queue's lifetime (`dropped / offered`).
+    pub fn loss_rate(&self) -> f64 {
+        let offered = self.accepted.get() + self.dropped.get();
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped.get() as f64 / offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_depth_accounting() {
+        let mut q = DropTailQueue::new(10_000);
+        assert!(matches!(q.enqueue('a', 4000), Enqueue::Accepted { depth: 4000 }));
+        assert!(matches!(q.enqueue('b', 4000), Enqueue::Accepted { depth: 8000 }));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.headroom(), 2000);
+        let first = q.dequeue().unwrap();
+        assert_eq!(first.item, 'a');
+        assert_eq!(q.depth_bytes(), 4000);
+        assert_eq!(q.dequeue().unwrap().item, 'b');
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_tail_on_overflow() {
+        let mut q = DropTailQueue::new(9000);
+        assert!(matches!(q.enqueue(1, 8000), Enqueue::Accepted { .. }));
+        assert_eq!(q.enqueue(2, 1500), Enqueue::Dropped);
+        assert_eq!(q.dropped.get(), 1);
+        assert_eq!(q.accepted.get(), 1);
+        assert!((q.loss_rate() - 0.5).abs() < 1e-12);
+        // After draining there is room again.
+        q.dequeue();
+        assert!(matches!(q.enqueue(3, 1500), Enqueue::Accepted { .. }));
+    }
+
+    #[test]
+    fn oversized_item_always_drops() {
+        let mut q = DropTailQueue::new(1000);
+        assert_eq!(q.enqueue((), 1001), Enqueue::Dropped);
+        let mut z = DropTailQueue::new(0);
+        assert_eq!(z.enqueue((), 1), Enqueue::Dropped);
+    }
+
+    #[test]
+    fn peak_depth_tracks_high_water() {
+        let mut q = DropTailQueue::new(10_000);
+        q.enqueue(1, 6000);
+        q.enqueue(2, 3000);
+        q.dequeue();
+        q.dequeue();
+        assert_eq!(q.peak_depth, 9000);
+        assert_eq!(q.depth_bytes(), 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Packet-path tracing — the substrate for the laboratory's MAGNET analog.
+//!
+//! MAGNET (Gardner et al., CCGrid'03) let the paper's authors trace the path
+//! of individual packets through the Linux TCP stack with negligible
+//! overhead, quantifying how many packets took each path and what each path
+//! cost. [`Tracer`] provides the same capability for the simulated stack:
+//! components emit [`TraceEvent`]s tagged with a [`Stage`]; the tracer keeps
+//! a bounded ring of recent events plus full per-stage counters, and supports
+//! random sampling (MAGNET observed "a random sampling of packets").
+
+use crate::rng::SimRng;
+use crate::time::Nanos;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// A stage of the end-to-end path a packet can be observed at.
+///
+/// These mirror the stations of the simulated pipeline; MAGNET's kernel
+/// tracepoints map onto the TX/RX stack stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Application wrote data into the socket.
+    AppWrite,
+    /// User → kernel (skb) copy on the transmit side.
+    TxCopy,
+    /// TCP/IP transmit processing (segmentation, headers, checksum).
+    TxStack,
+    /// DMA descriptor + payload crossing the I/O bus outbound.
+    TxDma,
+    /// Frame serialized onto the wire.
+    Wire,
+    /// Frame traversed a switch.
+    Switch,
+    /// DMA into host memory on the receive side.
+    RxDma,
+    /// Interrupt raised (possibly after a coalescing delay).
+    Interrupt,
+    /// TCP/IP receive processing.
+    RxStack,
+    /// Kernel → user copy on the receive side.
+    RxCopy,
+    /// Application read the data.
+    AppRead,
+    /// Packet dropped (queue overflow, loss model, allocation failure).
+    Drop,
+    /// Retransmission triggered (timeout or fast retransmit).
+    Retransmit,
+    /// ACK generated.
+    Ack,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::AppWrite => "app-write",
+            Stage::TxCopy => "tx-copy",
+            Stage::TxStack => "tx-stack",
+            Stage::TxDma => "tx-dma",
+            Stage::Wire => "wire",
+            Stage::Switch => "switch",
+            Stage::RxDma => "rx-dma",
+            Stage::Interrupt => "interrupt",
+            Stage::RxStack => "rx-stack",
+            Stage::RxCopy => "rx-copy",
+            Stage::AppRead => "app-read",
+            Stage::Drop => "drop",
+            Stage::Retransmit => "retransmit",
+            Stage::Ack => "ack",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One observed packet event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub at: Nanos,
+    /// Which pipeline stage observed it.
+    pub stage: Stage,
+    /// Packet/segment identifier (sequence number or generator index).
+    pub packet: u64,
+    /// Payload or frame size in bytes, when meaningful.
+    pub bytes: u64,
+    /// How long the stage took (service time), when meaningful.
+    pub cost: Nanos,
+}
+
+/// Per-stage aggregate: how many packets took this path and what it cost —
+/// MAGNET's headline output.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Number of events observed at this stage.
+    pub count: u64,
+    /// Total bytes observed.
+    pub bytes: u64,
+    /// Total stage cost.
+    pub cost: Nanos,
+}
+
+impl StageStats {
+    /// Mean cost per observed event.
+    pub fn mean_cost(&self) -> Nanos {
+        if self.count == 0 {
+            Nanos::ZERO
+        } else {
+            self.cost / self.count
+        }
+    }
+}
+
+/// The tracer. Cheap when disabled: a disabled tracer only tests one bool.
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: bool,
+    /// Keep only every k-th packet's detailed events (1 = all).
+    sample_every: u64,
+    ring_capacity: usize,
+    ring: VecDeque<TraceEvent>,
+    stats: BTreeMap<Stage, StageStats>,
+    rng: Option<SimRng>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing.
+    pub fn disabled() -> Self {
+        Tracer {
+            enabled: false,
+            sample_every: 1,
+            ring_capacity: 0,
+            ring: VecDeque::new(),
+            stats: BTreeMap::new(),
+            rng: None,
+        }
+    }
+
+    /// A tracer recording every event, keeping the most recent
+    /// `ring_capacity` in detail.
+    pub fn full(ring_capacity: usize) -> Self {
+        Tracer {
+            enabled: true,
+            sample_every: 1,
+            ring_capacity,
+            ring: VecDeque::with_capacity(ring_capacity.min(4096)),
+            stats: BTreeMap::new(),
+            rng: None,
+        }
+    }
+
+    /// A tracer that aggregates all events but keeps detailed ring entries
+    /// only for a random ~1/k sample of packets (MAGNET's sampling mode).
+    pub fn sampling(ring_capacity: usize, every: u64, rng: SimRng) -> Self {
+        Tracer {
+            enabled: true,
+            sample_every: every.max(1),
+            ring_capacity,
+            ring: VecDeque::with_capacity(ring_capacity.min(4096)),
+            stats: BTreeMap::new(),
+            rng: Some(rng),
+        }
+    }
+
+    /// Whether the tracer records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event.
+    pub fn emit(&mut self, at: Nanos, stage: Stage, packet: u64, bytes: u64, cost: Nanos) {
+        if !self.enabled {
+            return;
+        }
+        let s = self.stats.entry(stage).or_default();
+        s.count += 1;
+        s.bytes += bytes;
+        s.cost = s.cost.saturating_add(cost);
+
+        let keep_detail = if self.sample_every == 1 {
+            true
+        } else if let Some(rng) = &mut self.rng {
+            rng.chance(1.0 / self.sample_every as f64)
+        } else {
+            packet % self.sample_every == 0
+        };
+        if keep_detail && self.ring_capacity > 0 {
+            if self.ring.len() == self.ring_capacity {
+                self.ring.pop_front();
+            }
+            self.ring.push_back(TraceEvent { at, stage, packet, bytes, cost });
+        }
+    }
+
+    /// Per-stage aggregates, ordered by stage.
+    pub fn stage_stats(&self) -> &BTreeMap<Stage, StageStats> {
+        &self.stats
+    }
+
+    /// Aggregate for a single stage (zeroes if never observed).
+    pub fn stage(&self, stage: Stage) -> StageStats {
+        self.stats.get(&stage).copied().unwrap_or_default()
+    }
+
+    /// Recently recorded detailed events, oldest first.
+    pub fn recent(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Detailed events for one packet id, oldest first.
+    pub fn packet_path(&self, packet: u64) -> Vec<&TraceEvent> {
+        self.ring.iter().filter(|e| e.packet == packet).collect()
+    }
+
+    /// Render the MAGNET-style per-stage cost profile.
+    pub fn profile(&self) -> String {
+        let mut out = String::from("stage        count        bytes     mean-cost\n");
+        for (stage, s) in &self.stats {
+            out.push_str(&format!(
+                "{:<12} {:>9} {:>12} {:>13}\n",
+                stage.to_string(),
+                s.count,
+                s.bytes,
+                s.mean_cost().to_string()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.emit(Nanos(1), Stage::Wire, 1, 1500, Nanos(1200));
+        assert_eq!(t.stage(Stage::Wire).count, 0);
+        assert_eq!(t.recent().count(), 0);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn full_tracer_aggregates_and_keeps_ring() {
+        let mut t = Tracer::full(2);
+        t.emit(Nanos(1), Stage::Wire, 1, 1500, Nanos(1200));
+        t.emit(Nanos(2), Stage::Wire, 2, 1500, Nanos(1200));
+        t.emit(Nanos(3), Stage::Wire, 3, 1500, Nanos(1200));
+        let s = t.stage(Stage::Wire);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.bytes, 4500);
+        assert_eq!(s.mean_cost(), Nanos(1200));
+        // Ring keeps only the 2 most recent.
+        let ids: Vec<u64> = t.recent().map(|e| e.packet).collect();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn packet_path_reconstruction() {
+        let mut t = Tracer::full(16);
+        for (at, stage) in
+            [(1u64, Stage::TxStack), (2, Stage::TxDma), (3, Stage::Wire), (5, Stage::RxStack)]
+        {
+            t.emit(Nanos(at), stage, 7, 100, Nanos(1));
+        }
+        t.emit(Nanos(4), Stage::Wire, 8, 100, Nanos(1));
+        let path = t.packet_path(7);
+        assert_eq!(path.len(), 4);
+        assert_eq!(path[0].stage, Stage::TxStack);
+        assert_eq!(path[3].stage, Stage::RxStack);
+    }
+
+    #[test]
+    fn deterministic_sampling_keeps_every_kth() {
+        let mut t = Tracer::sampling(1000, 10, SimRng::seeded(5));
+        for p in 0..1000 {
+            t.emit(Nanos(p), Stage::RxStack, p, 1, Nanos(1));
+        }
+        // All events aggregate...
+        assert_eq!(t.stage(Stage::RxStack).count, 1000);
+        // ...but only ~1/10 keep detail.
+        let detail = t.recent().count();
+        assert!((50..200).contains(&detail), "detail={detail}");
+    }
+
+    #[test]
+    fn profile_renders_all_stages() {
+        let mut t = Tracer::full(4);
+        t.emit(Nanos(1), Stage::TxStack, 1, 100, Nanos(10));
+        t.emit(Nanos(2), Stage::Drop, 2, 100, Nanos::ZERO);
+        let p = t.profile();
+        assert!(p.contains("tx-stack"));
+        assert!(p.contains("drop"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the simulation kernel.
+
+use proptest::prelude::*;
+use tengig_sim::{Bandwidth, DropTailQueue, Engine, Enqueue, FifoServer, Nanos};
+
+proptest! {
+    /// The engine executes events in non-decreasing time order regardless of
+    /// insertion order, and ties preserve insertion order.
+    #[test]
+    fn engine_total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut eng: Engine<Vec<(u64, usize)>> = Engine::new();
+        for (i, &t) in times.iter().enumerate() {
+            eng.schedule_at(Nanos(t), move |w: &mut Vec<(u64, usize)>, e: &mut Engine<_>| {
+                w.push((e.now().as_nanos(), i));
+            });
+        }
+        let mut log = Vec::new();
+        eng.run(&mut log);
+        prop_assert_eq!(log.len(), times.len());
+        for pair in log.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "tie order violated");
+            }
+        }
+    }
+
+    /// A FIFO server never overlaps jobs, never idles while work is queued
+    /// (work conservation), and its utilization stays within [0, 1].
+    #[test]
+    fn server_no_overlap_work_conserving(
+        jobs in proptest::collection::vec((0u64..10_000, 1u64..5_000), 1..100)
+    ) {
+        // Admit in arrival-time order, as the engine would.
+        let mut jobs = jobs;
+        jobs.sort_by_key(|&(t, _)| t);
+        let mut s = FifoServer::new("cpu");
+        let mut prev_done = Nanos::ZERO;
+        let mut total_service = Nanos::ZERO;
+        let mut horizon = Nanos::ZERO;
+        for &(t, svc) in &jobs {
+            let a = s.admit(Nanos(t), Nanos(svc));
+            // No overlap: job starts at or after the previous completion.
+            prop_assert!(a.start >= prev_done);
+            // Work conservation: start is exactly max(arrival, prev_done).
+            prop_assert_eq!(a.start, Nanos(t).max(prev_done));
+            prop_assert_eq!(a.done, a.start + Nanos(svc));
+            prev_done = a.done;
+            total_service += Nanos(svc);
+            horizon = a.done.max(Nanos(t));
+        }
+        prop_assert_eq!(s.busy_total(), total_service);
+        let u = s.utilization(horizon);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {}", u);
+    }
+
+    /// Serialization time is monotone in bytes and inversely monotone in rate.
+    #[test]
+    fn bandwidth_monotonicity(bytes in 1u64..10_000_000, gbps in 1u64..100) {
+        let bw = Bandwidth::from_gbps(gbps);
+        let t1 = bw.time_to_send(bytes);
+        let t2 = bw.time_to_send(bytes + 1);
+        prop_assert!(t2 >= t1);
+        let faster = Bandwidth::from_gbps(gbps + 1);
+        prop_assert!(faster.time_to_send(bytes) <= t1);
+        // Round-trip: measured rate from (bytes, t) never exceeds the rate.
+        let measured = tengig_sim::rate_of(bytes, t1);
+        prop_assert!(measured.bps() <= bw.bps() + 1);
+    }
+
+    /// Byte conservation in a drop-tail queue: accepted bytes = dequeued +
+    /// still-queued, and depth never exceeds capacity.
+    #[test]
+    fn queue_conserves_bytes(
+        ops in proptest::collection::vec((any::<bool>(), 1u64..5_000), 1..300),
+        cap in 1_000u64..100_000,
+    ) {
+        let mut q = DropTailQueue::new(cap);
+        let mut accepted_bytes = 0u64;
+        let mut dequeued_bytes = 0u64;
+        for (deq, bytes) in ops {
+            if deq {
+                if let Some(item) = q.dequeue() {
+                    dequeued_bytes += item.bytes;
+                }
+            } else if let Enqueue::Accepted { .. } = q.enqueue((), bytes) {
+                accepted_bytes += bytes;
+            }
+            prop_assert!(q.depth_bytes() <= cap);
+        }
+        prop_assert_eq!(accepted_bytes, dequeued_bytes + q.depth_bytes());
+    }
+
+    /// A chain of timers fired through the engine advances the clock by the
+    /// exact sum of delays.
+    #[test]
+    fn engine_clock_is_exact(delays in proptest::collection::vec(1u64..1_000_000, 1..50)) {
+        struct W { remaining: Vec<u64> }
+        fn tick(w: &mut W, e: &mut Engine<W>) {
+            if let Some(d) = w.remaining.pop() {
+                e.schedule_in(Nanos(d), tick);
+            }
+        }
+        let total: u64 = delays.iter().sum();
+        let mut w = W { remaining: delays };
+        let mut eng = Engine::new();
+        eng.schedule_at(Nanos::ZERO, tick);
+        eng.run(&mut w);
+        prop_assert_eq!(eng.now(), Nanos(total));
+    }
+}

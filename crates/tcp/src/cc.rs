@@ -1,0 +1,257 @@
+//! Reno congestion control, with the congestion window counted in
+//! **segments**, as Linux counts it.
+//!
+//! This unit choice is load-bearing for the paper: "performance is similarly
+//! limited because the congestion window is kept aligned with the MSS"
+//! (§3.5.1) — a sender transmitting sub-MSS segments spends one cwnd slot
+//! per segment regardless of its size, which is exactly the throughput
+//! attenuation Fig. 8 illustrates.
+//!
+//! The additive-increase/multiplicative-decrease behaviour drives Table 1:
+//! after a loss the window halves and regrows one segment per RTT, so a
+//! 10 Gb/s flow at 180 ms RTT with a 1460-byte MSS needs hours to recover.
+
+/// Congestion-control phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Exponential growth to `ssthresh`.
+    SlowStart,
+    /// Linear growth (one segment per RTT).
+    CongestionAvoidance,
+    /// Fast recovery after a triple duplicate ACK; holds the recovery point.
+    FastRecovery,
+}
+
+/// Reno state. All window quantities are in segments.
+#[derive(Debug, Clone)]
+pub struct Reno {
+    /// Congestion window (segments).
+    pub cwnd: u64,
+    /// Slow-start threshold (segments).
+    pub ssthresh: u64,
+    /// Linear-increase accumulator (Linux `snd_cwnd_cnt`).
+    cwnd_cnt: u64,
+    /// Duplicate-ACK counter.
+    dupacks: u32,
+    /// Absolute sequence that ends the current fast-recovery episode.
+    recovery_point: Option<u64>,
+    /// Upper bound on cwnd (segments), from the send-buffer size.
+    pub cwnd_clamp: u64,
+    /// Count of fast retransmits triggered.
+    pub fast_retransmits: u64,
+    /// Count of RTO-driven retransmission episodes.
+    pub timeouts: u64,
+}
+
+/// What the sender should do after a congestion event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcAction {
+    /// Nothing special; transmit as the window allows.
+    None,
+    /// Retransmit the first unacknowledged segment now (fast retransmit).
+    FastRetransmit,
+}
+
+impl Reno {
+    /// A fresh connection with the given initial window (Linux 2.4: 2).
+    pub fn new(initial_cwnd: u64, cwnd_clamp: u64) -> Self {
+        Reno {
+            cwnd: initial_cwnd.max(1),
+            ssthresh: u64::MAX / 2,
+            cwnd_cnt: 0,
+            dupacks: 0,
+            recovery_point: None,
+            cwnd_clamp: cwnd_clamp.max(2),
+            fast_retransmits: 0,
+            timeouts: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        if self.recovery_point.is_some() {
+            Phase::FastRecovery
+        } else if self.cwnd < self.ssthresh {
+            Phase::SlowStart
+        } else {
+            Phase::CongestionAvoidance
+        }
+    }
+
+    /// A new cumulative ACK arrived covering `acked_segs` full segments,
+    /// advancing the left edge to `ack_seq`.
+    ///
+    /// Returns [`CcAction::FastRetransmit`] on a NewReno partial ACK: an
+    /// ACK that advances the left edge but not past the recovery point
+    /// means the *next* segment was also lost and must be retransmitted
+    /// immediately — without this, a multi-loss window recovers one
+    /// segment per RTO and the flow collapses.
+    pub fn on_new_ack(&mut self, ack_seq: u64, acked_segs: u64) -> CcAction {
+        self.dupacks = 0;
+        if let Some(point) = self.recovery_point {
+            if ack_seq >= point {
+                // Recovery complete: deflate to ssthresh (Reno full ACK).
+                self.recovery_point = None;
+                self.cwnd = self.ssthresh.max(2);
+                return CcAction::None;
+            }
+            // Partial ACK: retransmit the next hole (NewReno, RFC 6582).
+            return CcAction::FastRetransmit;
+        }
+        for _ in 0..acked_segs {
+            if self.cwnd < self.ssthresh {
+                // Slow start: one segment per ACKed segment.
+                self.cwnd += 1;
+            } else {
+                // Congestion avoidance: one segment per cwnd ACKs.
+                self.cwnd_cnt += 1;
+                if self.cwnd_cnt >= self.cwnd {
+                    self.cwnd_cnt = 0;
+                    self.cwnd += 1;
+                }
+            }
+        }
+        self.cwnd = self.cwnd.min(self.cwnd_clamp);
+        CcAction::None
+    }
+
+    /// A duplicate ACK arrived while `flight_segs` segments are outstanding
+    /// and `snd_nxt` is the next send offset.
+    pub fn on_dup_ack(&mut self, flight_segs: u64, snd_nxt: u64) -> CcAction {
+        if self.recovery_point.is_some() {
+            // Each further dupack inflates the window by one segment
+            // (Reno fast recovery), letting new data out.
+            self.cwnd = (self.cwnd + 1).min(self.cwnd_clamp);
+            return CcAction::None;
+        }
+        self.dupacks += 1;
+        if self.dupacks >= 3 {
+            self.ssthresh = (flight_segs / 2).max(2);
+            self.cwnd = self.ssthresh + 3;
+            self.recovery_point = Some(snd_nxt);
+            self.dupacks = 0;
+            self.fast_retransmits += 1;
+            CcAction::FastRetransmit
+        } else {
+            CcAction::None
+        }
+    }
+
+    /// The retransmission timer fired with `flight_segs` outstanding.
+    pub fn on_timeout(&mut self, flight_segs: u64) {
+        self.ssthresh = (flight_segs / 2).max(2);
+        self.cwnd = 1;
+        self.cwnd_cnt = 0;
+        self.dupacks = 0;
+        self.recovery_point = None;
+        self.timeouts += 1;
+    }
+
+    /// Whether a sender with `flight_segs` outstanding may transmit one more
+    /// segment.
+    pub fn can_send(&self, flight_segs: u64) -> bool {
+        flight_segs < self.cwnd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut cc = Reno::new(2, u64::MAX / 2);
+        assert_eq!(cc.phase(), Phase::SlowStart);
+        // One RTT: every outstanding segment acked → cwnd doubles.
+        let mut seq = 0u64;
+        for rtt in 0..5 {
+            let w = cc.cwnd;
+            seq += w;
+            cc.on_new_ack(seq, w);
+            assert_eq!(cc.cwnd, w * 2, "rtt {rtt}");
+        }
+    }
+
+    #[test]
+    fn congestion_avoidance_adds_one_per_rtt() {
+        let mut cc = Reno::new(2, u64::MAX / 2);
+        cc.ssthresh = 10;
+        cc.cwnd = 10;
+        assert_eq!(cc.phase(), Phase::CongestionAvoidance);
+        let mut seq = 0u64;
+        for _ in 0..4 {
+            let w = cc.cwnd;
+            seq += w;
+            cc.on_new_ack(seq, w);
+            assert_eq!(cc.cwnd, w + 1);
+        }
+    }
+
+    #[test]
+    fn triple_dupack_halves_window() {
+        let mut cc = Reno::new(2, u64::MAX / 2);
+        cc.ssthresh = 8;
+        cc.cwnd = 100;
+        assert_eq!(cc.on_dup_ack(100, 1000), CcAction::None);
+        assert_eq!(cc.on_dup_ack(100, 1000), CcAction::None);
+        assert_eq!(cc.on_dup_ack(100, 1000), CcAction::FastRetransmit);
+        assert_eq!(cc.phase(), Phase::FastRecovery);
+        assert_eq!(cc.ssthresh, 50);
+        assert_eq!(cc.cwnd, 53); // ssthresh + 3 inflation
+        // Partial dupacks inflate...
+        cc.on_dup_ack(100, 1000);
+        assert_eq!(cc.cwnd, 54);
+        // ...and the full ACK deflates to ssthresh.
+        cc.on_new_ack(1000, 10);
+        assert_eq!(cc.phase(), Phase::CongestionAvoidance);
+        assert_eq!(cc.cwnd, 50);
+        assert_eq!(cc.fast_retransmits, 1);
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_segment() {
+        let mut cc = Reno::new(2, u64::MAX / 2);
+        cc.cwnd = 64;
+        cc.ssthresh = 64;
+        cc.on_timeout(64);
+        assert_eq!(cc.cwnd, 1);
+        assert_eq!(cc.ssthresh, 32);
+        assert_eq!(cc.phase(), Phase::SlowStart);
+        assert_eq!(cc.timeouts, 1);
+    }
+
+    #[test]
+    fn cwnd_respects_clamp() {
+        let mut cc = Reno::new(2, 16);
+        let mut seq = 0u64;
+        for _ in 0..10 {
+            let w = cc.cwnd;
+            seq += w;
+            cc.on_new_ack(seq, w);
+        }
+        assert_eq!(cc.cwnd, 16);
+    }
+
+    #[test]
+    fn can_send_tracks_window() {
+        let cc = Reno::new(2, 100);
+        assert!(cc.can_send(0));
+        assert!(cc.can_send(1));
+        assert!(!cc.can_send(2));
+    }
+
+    #[test]
+    fn recovery_ignores_ack_growth() {
+        let mut cc = Reno::new(2, u64::MAX / 2);
+        cc.cwnd = 40;
+        cc.ssthresh = 40;
+        for _ in 0..3 {
+            cc.on_dup_ack(40, 500);
+        }
+        let during = cc.cwnd;
+        // A partial ACK below the recovery point must not grow the window.
+        cc.on_new_ack(100, 5);
+        assert_eq!(cc.cwnd, during);
+        assert_eq!(cc.phase(), Phase::FastRecovery);
+    }
+}

@@ -1,0 +1,205 @@
+//! The tunable surface of the stack — the knobs the paper turns.
+//!
+//! Mirrors the `/proc/sys/net/{core,ipv4}` parameters the paper's WAN
+//! tuning script sets (§4.1) plus the connection-level options of §3.3.
+
+use tengig_ethernet::Mtu;
+
+/// Socket-buffer triple, as in `tcp_rmem`/`tcp_wmem`: min / default / max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufTriple {
+    /// Floor under memory pressure.
+    pub min: u64,
+    /// Default for new sockets.
+    pub default: u64,
+    /// Ceiling `setsockopt` can reach (subject to `core` limits).
+    pub max: u64,
+}
+
+/// The stack-wide tuning state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sysctls {
+    /// `net.ipv4.tcp_rmem` — receive buffer triple.
+    pub tcp_rmem: BufTriple,
+    /// `net.ipv4.tcp_wmem` — send buffer triple.
+    pub tcp_wmem: BufTriple,
+    /// `net.ipv4.tcp_timestamps` (RFC 1323).
+    pub timestamps: bool,
+    /// `net.ipv4.tcp_window_scaling` (RFC 1323).
+    pub window_scaling: bool,
+    /// `net.ipv4.tcp_adv_win_scale`: the fraction of the receive buffer
+    /// advertised as window is `1 - 2^-scale` (2 → 3/4).
+    pub adv_win_scale: u32,
+    /// Initial congestion window in segments (Linux 2.4: 2).
+    pub initial_cwnd: u64,
+    /// Interface MTU (`ifconfig eth1 mtu N`).
+    pub mtu: Mtu,
+    /// Device transmit queue length in packets (`ifconfig txqueuelen N`).
+    pub txqueuelen: u64,
+    /// Delayed-ACK: acknowledge every n-th full segment.
+    pub delack_segs: u32,
+    /// Delayed-ACK timeout.
+    pub delack_timeout_ms: u64,
+    /// Minimum retransmission timeout (Linux: 200 ms).
+    pub rto_min_ms: u64,
+    /// The "New API" for network processing (§3.3): softirq packet
+    /// processing scheduled outside the interrupt context. Not present in
+    /// the 2.4 kernels the paper measured ("which we have yet to test").
+    pub napi: bool,
+    /// `TCP_NODELAY`-style push-per-write, as NTTCP drives the socket.
+    /// With `false`, writes coalesce into MSS-sized stream segments and a
+    /// trailing partial segment is held while data is in flight (Nagle).
+    pub nodelay: bool,
+}
+
+impl Default for Sysctls {
+    fn default() -> Self {
+        Self::linux24_defaults()
+    }
+}
+
+impl Sysctls {
+    /// Stock Linux 2.4 settings on the paper's testbed.
+    pub fn linux24_defaults() -> Self {
+        Sysctls {
+            tcp_rmem: BufTriple { min: 4096, default: 87_380, max: 174_760 },
+            tcp_wmem: BufTriple { min: 4096, default: 65_536, max: 131_072 },
+            timestamps: true,
+            window_scaling: true,
+            adv_win_scale: 2,
+            initial_cwnd: 2,
+            mtu: Mtu::STANDARD,
+            txqueuelen: 100,
+            delack_segs: 2,
+            delack_timeout_ms: 40,
+            rto_min_ms: 200,
+            napi: false,
+            nodelay: true,
+        }
+    }
+
+    /// Enable the NAPI receive path (a newer-kernel feature, §3.3).
+    pub fn with_napi(mut self, on: bool) -> Self {
+        self.napi = on;
+        self
+    }
+
+    /// Enable/disable push-per-write (`false` = Nagle-style coalescing).
+    pub fn with_nodelay(mut self, on: bool) -> Self {
+        self.nodelay = on;
+        self
+    }
+
+    /// §3.3 "oversized windows": 256 KB socket buffers — "we set the receive
+    /// socket buffer to 256 KB in /proc/sys/net/ipv4/tcp_rmem".
+    pub fn with_buffers(mut self, bytes: u64) -> Self {
+        self.tcp_rmem.default = bytes;
+        self.tcp_rmem.max = self.tcp_rmem.max.max(bytes);
+        self.tcp_wmem.default = bytes;
+        self.tcp_wmem.max = self.tcp_wmem.max.max(bytes);
+        self
+    }
+
+    /// Change the interface MTU.
+    pub fn with_mtu(mut self, mtu: Mtu) -> Self {
+        self.mtu = mtu;
+        self
+    }
+
+    /// Enable/disable RFC 1323 timestamps.
+    pub fn with_timestamps(mut self, on: bool) -> Self {
+        self.timestamps = on;
+        self
+    }
+
+    /// The §4.1 WAN tuning: socket buffers sized to the path's
+    /// bandwidth-delay product (double it, as practitioners do, so the
+    /// 3/4 advertised fraction and skb-truesize accounting still leave a
+    /// full BDP of usable window), jumbo frames, a deep transmit queue.
+    pub fn wan_tuned(bdp_bytes: u64) -> Self {
+        Sysctls::linux24_defaults()
+            .with_buffers(2 * bdp_bytes)
+            .with_mtu(Mtu::JUMBO_9000)
+            .with_txqueuelen(10_000)
+    }
+
+    /// Change the device transmit queue length.
+    pub fn with_txqueuelen(mut self, len: u64) -> Self {
+        self.txqueuelen = len;
+        self
+    }
+
+    /// The window fraction of the receive buffer: `1 - 2^-adv_win_scale`.
+    pub fn window_fraction(&self) -> f64 {
+        1.0 - 1.0 / (1u64 << self.adv_win_scale) as f64
+    }
+
+    /// The maximum window advertisable given buffer size and scaling: with
+    /// window scaling the clamp is the buffer-derived window; without it,
+    /// 65535 bytes.
+    pub fn window_clamp(&self) -> u64 {
+        let w = (self.tcp_rmem.default as f64 * self.window_fraction()) as u64;
+        if self.window_scaling {
+            w
+        } else {
+            w.min(65_535)
+        }
+    }
+
+    /// The effective MSS under these settings.
+    pub fn mss(&self) -> u64 {
+        self.mtu.mss(self.timestamps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_defaults_match_linux24() {
+        let s = Sysctls::default();
+        assert_eq!(s.tcp_rmem.default, 87_380);
+        assert!(s.timestamps);
+        assert_eq!(s.mss(), 1448);
+        // Default window clamp ≈ 64 KB, the paper's "default window
+        // setting of 64 KB".
+        let w = s.window_clamp();
+        assert!((60_000..70_000).contains(&w), "clamp {w}");
+    }
+
+    #[test]
+    fn oversized_windows() {
+        let s = Sysctls::default().with_buffers(256 * 1024).with_mtu(Mtu::JUMBO_9000);
+        assert_eq!(s.tcp_rmem.default, 262_144);
+        assert_eq!(s.mss(), 8948);
+        assert_eq!(s.window_clamp(), 196_608);
+    }
+
+    #[test]
+    fn no_window_scaling_caps_at_64k() {
+        let mut s = Sysctls::default().with_buffers(1 << 20);
+        s.window_scaling = false;
+        assert_eq!(s.window_clamp(), 65_535);
+        s.window_scaling = true;
+        assert!(s.window_clamp() > 65_535);
+    }
+
+    #[test]
+    fn wan_tuning_sets_bdp_buffers() {
+        // OC-48 at 180 ms RTT: BDP ≈ 56 MB.
+        let s = Sysctls::wan_tuned(56_250_000);
+        assert_eq!(s.tcp_rmem.default, 112_500_000);
+        assert_eq!(s.mtu, Mtu::JUMBO_9000);
+        assert_eq!(s.txqueuelen, 10_000);
+        assert!(s.window_clamp() > 40_000_000);
+    }
+
+    #[test]
+    fn window_fraction_from_adv_win_scale() {
+        let mut s = Sysctls::default();
+        assert!((s.window_fraction() - 0.75).abs() < 1e-12);
+        s.adv_win_scale = 1;
+        assert!((s.window_fraction() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,50 @@
+//! A minimal UDP layer — the substrate of the pktgen workload.
+//!
+//! The paper's packet generator "bypasses the TCP/IP and UDP/IP stacks
+//! entirely … transmits pre-formed dummy UDP packets directly to the
+//! adapter". The datagram type here carries the byte accounting for that
+//! path (UDP header + IP header + payload).
+
+/// UDP header size.
+pub const UDP_HEADER: u64 = 8;
+
+/// A UDP datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Datagram {
+    /// Flow identifier.
+    pub flow: u32,
+    /// Index within the flow.
+    pub index: u64,
+    /// Payload bytes.
+    pub payload: u64,
+}
+
+impl Datagram {
+    /// Size as an IP packet.
+    pub fn ip_bytes(&self) -> u64 {
+        self.payload + UDP_HEADER + tengig_ethernet::IP_HEADER
+    }
+
+    /// The largest payload that fits a given MTU.
+    pub fn max_payload(mtu: u64) -> u64 {
+        mtu - UDP_HEADER - tengig_ethernet::IP_HEADER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let d = Datagram { flow: 0, index: 0, payload: 1000 };
+        assert_eq!(d.ip_bytes(), 1028);
+        assert_eq!(Datagram::max_payload(8160), 8132);
+    }
+
+    #[test]
+    fn pktgen_packet_fills_mtu() {
+        let d = Datagram { flow: 1, index: 7, payload: Datagram::max_payload(8160) };
+        assert_eq!(d.ip_bytes(), 8160);
+    }
+}

@@ -1,0 +1,130 @@
+//! tcpdump analog — wire-level segment capture with filters.
+//!
+//! "tcpdump is commonly available and used for analyzing protocols at the
+//! wire level" (§3.2). The capture records every segment crossing an
+//! observation point with its timestamp and direction; filters select
+//! subsets, and the analysis helpers reproduce what the authors did with
+//! the dumps: watching advertised windows and spotting retransmissions.
+
+use tengig_sim::Nanos;
+use tengig_tcp::Segment;
+
+/// Direction of a captured segment relative to the observation point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// From host A to host B.
+    AtoB,
+    /// From host B to host A.
+    BtoA,
+}
+
+/// One captured record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapturedSegment {
+    /// Capture timestamp.
+    pub at: Nanos,
+    /// Direction.
+    pub dir: Direction,
+    /// The segment.
+    pub seg: Segment,
+}
+
+/// A bounded capture buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Capture {
+    records: Vec<CapturedSegment>,
+    /// Optional bound on stored records (like `tcpdump -c`).
+    pub limit: Option<usize>,
+}
+
+impl Capture {
+    /// An unbounded capture.
+    pub fn new() -> Self {
+        Capture::default()
+    }
+
+    /// A capture bounded to `limit` records.
+    pub fn with_limit(limit: usize) -> Self {
+        Capture { records: Vec::new(), limit: Some(limit) }
+    }
+
+    /// Record a segment.
+    pub fn record(&mut self, at: Nanos, dir: Direction, seg: Segment) {
+        if let Some(l) = self.limit {
+            if self.records.len() >= l {
+                return;
+            }
+        }
+        self.records.push(CapturedSegment { at, dir, seg });
+    }
+
+    /// All records in capture order.
+    pub fn records(&self) -> &[CapturedSegment] {
+        &self.records
+    }
+
+    /// Records matching a predicate ("filter expression").
+    pub fn filter<'a>(
+        &'a self,
+        pred: impl Fn(&CapturedSegment) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a CapturedSegment> {
+        self.records.iter().filter(move |r| pred(r))
+    }
+
+    /// Count retransmissions seen in a direction.
+    pub fn retransmissions(&self, dir: Direction) -> usize {
+        self.filter(move |r| r.dir == dir && r.seg.retransmit && r.seg.len > 0).count()
+    }
+
+    /// The advertised-window time series in a direction — what the authors
+    /// used (with MAGNET) to diagnose the §3.5.1 window behaviour.
+    pub fn window_series(&self, dir: Direction) -> Vec<(Nanos, u64)> {
+        self.filter(move |r| r.dir == dir).map(|r| (r.at, r.seg.wnd)).collect()
+    }
+
+    /// Maximum payload observed in a direction (the wire view of MSS).
+    pub fn max_payload(&self, dir: Direction) -> u64 {
+        self.filter(move |r| r.dir == dir).map(|r| r.seg.len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tengig_tcp::Flags;
+
+    fn seg(len: u64, wnd: u64, rtx: bool) -> Segment {
+        Segment {
+            seq: 0,
+            len,
+            ack: 0,
+            wnd,
+            flags: Flags { ack: true, psh: false, fin: false },
+            ts: None,
+            retransmit: rtx,
+        }
+    }
+
+    #[test]
+    fn records_and_filters() {
+        let mut cap = Capture::new();
+        cap.record(Nanos(1), Direction::AtoB, seg(1448, 0, false));
+        cap.record(Nanos(2), Direction::BtoA, seg(0, 65535, false));
+        cap.record(Nanos(3), Direction::AtoB, seg(1448, 0, true));
+        assert_eq!(cap.records().len(), 3);
+        assert_eq!(cap.retransmissions(Direction::AtoB), 1);
+        assert_eq!(cap.retransmissions(Direction::BtoA), 0);
+        assert_eq!(cap.max_payload(Direction::AtoB), 1448);
+        let w = cap.window_series(Direction::BtoA);
+        assert_eq!(w, vec![(Nanos(2), 65535)]);
+    }
+
+    #[test]
+    fn limit_stops_recording() {
+        let mut cap = Capture::with_limit(2);
+        for i in 0..5 {
+            cap.record(Nanos(i), Direction::AtoB, seg(100, 0, false));
+        }
+        assert_eq!(cap.records().len(), 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Iperf — time-bounded raw-bandwidth measurement.
+//!
+//! "Iperf measures the amount of data sent over a consistent stream in a
+//! set time. … Iperf is well suited for measuring raw bandwidth." (§3.2)
+//! The paper notes NTTCP and Iperf typically agree within 2-3%.
+
+use tengig_sim::{rate_of, Bandwidth, Nanos};
+
+/// An Iperf-style timed stream measurement.
+#[derive(Debug, Clone)]
+pub struct Iperf {
+    /// Start of the measurement window.
+    pub start: Nanos,
+    /// Length of the window.
+    pub duration: Nanos,
+    /// Application write size.
+    pub payload: u64,
+    bytes_in_window: u64,
+}
+
+impl Iperf {
+    /// Measure for `duration` starting at `start`, writing `payload`-byte
+    /// chunks.
+    pub fn new(start: Nanos, duration: Nanos, payload: u64) -> Self {
+        Iperf { start, duration, payload, bytes_in_window: 0 }
+    }
+
+    /// End of the measurement window.
+    pub fn deadline(&self) -> Nanos {
+        self.start + self.duration
+    }
+
+    /// Whether the sender should keep writing at `now`.
+    pub fn keep_writing(&self, now: Nanos) -> bool {
+        now < self.deadline()
+    }
+
+    /// `bytes` were delivered at `now`; counted only inside the window.
+    pub fn on_delivered(&mut self, now: Nanos, bytes: u64) {
+        if now >= self.start && now <= self.deadline() {
+            self.bytes_in_window += bytes;
+        }
+    }
+
+    /// Bytes delivered within the window.
+    pub fn bytes(&self) -> u64 {
+        self.bytes_in_window
+    }
+
+    /// Measured throughput over the window.
+    pub fn throughput(&self) -> Bandwidth {
+        rate_of(self.bytes_in_window, self.duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_only_inside_window() {
+        let mut ip = Iperf::new(Nanos::from_micros(100), Nanos::from_micros(1000), 8948);
+        ip.on_delivered(Nanos::from_micros(50), 5000); // before window
+        ip.on_delivered(Nanos::from_micros(500), 100_000);
+        ip.on_delivered(Nanos::from_micros(1200), 10_000); // after deadline
+        assert_eq!(ip.bytes(), 100_000);
+        // 100 KB in 1 ms = 800 Mb/s.
+        assert!((ip.throughput().gbps() - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn keep_writing_until_deadline() {
+        let ip = Iperf::new(Nanos::ZERO, Nanos::from_millis(1), 1448);
+        assert!(ip.keep_writing(Nanos::from_micros(999)));
+        assert!(!ip.keep_writing(Nanos::from_millis(1)));
+    }
+}

@@ -1,0 +1,33 @@
+//! `tengig-tools` — the measurement and workload tools of the paper, as
+//! sans-IO state machines the laboratory drives:
+//!
+//! * [`nttcp`] — timed fixed-size-write bulk transfer (the primary
+//!   throughput tool of §3.2/§3.3),
+//! * [`iperf`] — time-bounded raw-bandwidth streams,
+//! * [`netpipe`] — single-byte ping-pong latency (Figs. 6-7),
+//! * [`pktgen`] — the single-copy kernel packet generator (§3.5.2),
+//! * [`stream`] — the STREAM memory benchmark,
+//! * [`loadavg`] — `/proc/loadavg` sampling,
+//! * [`magnet`] — per-packet stack profiling (MAGNET),
+//! * [`capture`] — tcpdump-style wire capture and filters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod iperf;
+pub mod loadavg;
+pub mod magnet;
+pub mod netpipe;
+pub mod nttcp;
+pub mod pktgen;
+pub mod stream;
+
+pub use capture::{Capture, CapturedSegment, Direction};
+pub use iperf::Iperf;
+pub use loadavg::LoadAvg;
+pub use magnet::{classify_path, PathClass, StackProfile};
+pub use netpipe::{NetPipe, PingPongSide};
+pub use nttcp::{paper_payload_sweep, NttcpReceiver, NttcpResult, NttcpSender, PAPER_PACKET_COUNT};
+pub use pktgen::Pktgen;
+pub use stream::{run_stream, StreamResult};

@@ -1,0 +1,130 @@
+//! MAGNET analog — per-packet stack-path profiling.
+//!
+//! "MAGNET allowed us to trace and profile the paths taken by individual
+//! packets through the TCP stack with negligible effect on network
+//! performance. By observing a random sampling of packets, we were able to
+//! quantify how many packets take each possible path, the cost of each
+//! path, and the conditions necessary for a packet to take a faster path."
+//! (§3.2)
+//!
+//! The substrate lives in `tengig_sim::trace`; this module adds the
+//! analysis MAGNET users run on the data: path classification and the
+//! per-stage cost breakdown that identified the receive path's expense.
+
+use tengig_sim::trace::{Stage, Tracer};
+use tengig_sim::Nanos;
+
+/// A classified packet path through the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathClass {
+    /// Clean transmit: app → stack → DMA → wire.
+    FastTx,
+    /// Clean receive: DMA → interrupt → stack → app.
+    FastRx,
+    /// Packet was retransmitted at least once.
+    Retransmitted,
+    /// Packet was dropped somewhere.
+    Dropped,
+    /// Anything else (partial observation).
+    Other,
+}
+
+/// Classify one packet's observed path.
+pub fn classify_path(tracer: &Tracer, packet: u64) -> PathClass {
+    let stages: Vec<Stage> = tracer.packet_path(packet).iter().map(|e| e.stage).collect();
+    if stages.is_empty() {
+        return PathClass::Other;
+    }
+    if stages.contains(&Stage::Drop) {
+        return PathClass::Dropped;
+    }
+    if stages.contains(&Stage::Retransmit) {
+        return PathClass::Retransmitted;
+    }
+    let has_tx = stages.contains(&Stage::TxStack);
+    let has_rx = stages.contains(&Stage::RxStack);
+    match (has_tx, has_rx) {
+        (true, false) => PathClass::FastTx,
+        (false, true) => PathClass::FastRx,
+        _ => PathClass::Other,
+    }
+}
+
+/// The headline MAGNET report: per-stage mean costs plus the tx/rx split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackProfile {
+    /// Mean cost of the transmit-side stack work per packet.
+    pub tx_stack_mean: Nanos,
+    /// Mean cost of the receive-side stack work per packet.
+    pub rx_stack_mean: Nanos,
+    /// Packets observed on the transmit stack.
+    pub tx_packets: u64,
+    /// Packets observed on the receive stack.
+    pub rx_packets: u64,
+    /// Drops observed.
+    pub drops: u64,
+    /// Retransmissions observed.
+    pub retransmits: u64,
+}
+
+impl StackProfile {
+    /// Build the profile from a tracer.
+    pub fn from_tracer(tracer: &Tracer) -> Self {
+        let tx = tracer.stage(Stage::TxStack);
+        let rx = tracer.stage(Stage::RxStack);
+        StackProfile {
+            tx_stack_mean: tx.mean_cost(),
+            rx_stack_mean: rx.mean_cost(),
+            tx_packets: tx.count,
+            rx_packets: rx.count,
+            drops: tracer.stage(Stage::Drop).count,
+            retransmits: tracer.stage(Stage::Retransmit).count,
+        }
+    }
+
+    /// The paper's observation: the receive path is costlier than transmit.
+    pub fn rx_heavier_than_tx(&self) -> bool {
+        self.rx_stack_mean > self.tx_stack_mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        let mut t = Tracer::full(64);
+        // Packet 1: clean tx.
+        t.emit(Nanos(1), Stage::TxStack, 1, 1448, Nanos(2000));
+        t.emit(Nanos(2), Stage::TxDma, 1, 1448, Nanos(1000));
+        // Packet 2: clean rx.
+        t.emit(Nanos(3), Stage::RxDma, 2, 1448, Nanos(1000));
+        t.emit(Nanos(4), Stage::RxStack, 2, 1448, Nanos(4000));
+        // Packet 3: dropped.
+        t.emit(Nanos(5), Stage::TxStack, 3, 1448, Nanos(2000));
+        t.emit(Nanos(6), Stage::Drop, 3, 1448, Nanos::ZERO);
+        // Packet 4: retransmitted.
+        t.emit(Nanos(7), Stage::TxStack, 4, 1448, Nanos(2000));
+        t.emit(Nanos(8), Stage::Retransmit, 4, 1448, Nanos::ZERO);
+        assert_eq!(classify_path(&t, 1), PathClass::FastTx);
+        assert_eq!(classify_path(&t, 2), PathClass::FastRx);
+        assert_eq!(classify_path(&t, 3), PathClass::Dropped);
+        assert_eq!(classify_path(&t, 4), PathClass::Retransmitted);
+        assert_eq!(classify_path(&t, 99), PathClass::Other);
+    }
+
+    #[test]
+    fn profile_reports_rx_expense() {
+        let mut t = Tracer::full(16);
+        for p in 0..10 {
+            t.emit(Nanos(p), Stage::TxStack, p, 1448, Nanos(2000));
+            t.emit(Nanos(p + 100), Stage::RxStack, p, 1448, Nanos(4500));
+        }
+        let prof = StackProfile::from_tracer(&t);
+        assert_eq!(prof.tx_packets, 10);
+        assert_eq!(prof.rx_packets, 10);
+        assert!(prof.rx_heavier_than_tx());
+        assert_eq!(prof.rx_stack_mean, Nanos(4500));
+    }
+}

@@ -1,0 +1,210 @@
+//! NTTCP — the paper's primary throughput tool.
+//!
+//! "NTTCP, a ttcp variant, measures the time required to send a set number
+//! of fixed-size packets. … In our tests, NTTCP is better suited for
+//! optimizing the performance between the application and the network."
+//! (§3.2) "In each single-flow experiment, NTTCP transfers 32,768 packets
+//! ranging in size from 128 bytes to 16 KB" (§3.3).
+//!
+//! The sender issues fixed-size application writes as the socket accepts
+//! them; the receiver reads promptly. Throughput is payload bytes over the
+//! interval from the first write to the last delivered byte.
+
+use tengig_sim::{rate_of, Bandwidth, Nanos};
+
+/// The transmitting side of an NTTCP run.
+#[derive(Debug, Clone)]
+pub struct NttcpSender {
+    /// Bytes per application write ("packet" in NTTCP terms).
+    pub payload: u64,
+    /// Writes remaining to issue.
+    remaining: u64,
+    /// Time of the first write.
+    started: Option<Nanos>,
+    /// Writes issued so far.
+    pub writes: u64,
+    /// Whether a write is logically blocked on socket-buffer space.
+    blocked: bool,
+}
+
+impl NttcpSender {
+    /// A sender that will issue `count` writes of `payload` bytes.
+    pub fn new(payload: u64, count: u64) -> Self {
+        NttcpSender { payload, remaining: count, started: None, writes: 0, blocked: false }
+    }
+
+    /// Ask for the next write. `space` is the socket's free send-buffer
+    /// space; NTTCP blocks (returns `None`) until a whole write fits.
+    pub fn next_write(&mut self, now: Nanos, space: u64) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if space < self.payload {
+            self.blocked = true;
+            return None;
+        }
+        self.blocked = false;
+        self.remaining -= 1;
+        self.writes += 1;
+        if self.started.is_none() {
+            self.started = Some(now);
+        }
+        Some(self.payload)
+    }
+
+    /// Whether the sender still has writes to issue.
+    pub fn finished_writing(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Whether the last attempt blocked on buffer space.
+    pub fn is_blocked(&self) -> bool {
+        self.blocked
+    }
+
+    /// Time of the first write.
+    pub fn started_at(&self) -> Option<Nanos> {
+        self.started
+    }
+
+    /// Total payload bytes this run will transfer.
+    pub fn total_bytes(&self) -> u64 {
+        self.payload * (self.writes + self.remaining)
+    }
+}
+
+/// The receiving side of an NTTCP run.
+#[derive(Debug, Clone)]
+pub struct NttcpReceiver {
+    /// Total payload bytes expected.
+    pub expected: u64,
+    /// Bytes delivered so far.
+    pub received: u64,
+    /// Completion time.
+    done_at: Option<Nanos>,
+}
+
+impl NttcpReceiver {
+    /// A receiver expecting `expected` bytes.
+    pub fn new(expected: u64) -> Self {
+        NttcpReceiver { expected, received: 0, done_at: None }
+    }
+
+    /// `bytes` of in-order data were delivered at `now`.
+    pub fn on_delivered(&mut self, now: Nanos, bytes: u64) {
+        self.received += bytes;
+        if self.received >= self.expected && self.done_at.is_none() {
+            self.done_at = Some(now);
+        }
+    }
+
+    /// Whether the run is complete.
+    pub fn is_done(&self) -> bool {
+        self.done_at.is_some()
+    }
+
+    /// Completion time.
+    pub fn done_at(&self) -> Option<Nanos> {
+        self.done_at
+    }
+}
+
+/// The result of one NTTCP run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NttcpResult {
+    /// Application write size.
+    pub payload: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Wall time from first write to last delivery.
+    pub elapsed: Nanos,
+    /// Achieved application-level throughput.
+    pub throughput: Bandwidth,
+    /// Sender CPU load over the run (mean utilization).
+    pub tx_cpu_load: f64,
+    /// Receiver CPU load over the run.
+    pub rx_cpu_load: f64,
+}
+
+impl NttcpResult {
+    /// Assemble a result from the two halves.
+    pub fn from_run(
+        sender: &NttcpSender,
+        receiver: &NttcpReceiver,
+        tx_cpu_load: f64,
+        rx_cpu_load: f64,
+    ) -> Option<NttcpResult> {
+        let start = sender.started_at()?;
+        let end = receiver.done_at()?;
+        let elapsed = end.saturating_sub(start);
+        Some(NttcpResult {
+            payload: sender.payload,
+            bytes: receiver.received,
+            elapsed,
+            throughput: rate_of(receiver.received, elapsed),
+            tx_cpu_load,
+            rx_cpu_load,
+        })
+    }
+}
+
+/// The paper's §3.3 payload sweep: "32,768 packets ranging in size from
+/// 128 bytes to 16 KB at increments ranging in size from 32 to 128 bytes".
+/// We sweep 128 B → 16 KiB in 128-byte steps.
+pub fn paper_payload_sweep() -> Vec<u64> {
+    (128..=16_384).step_by(128).collect()
+}
+
+/// The canonical packet count (reduced runs may scale it down).
+pub const PAPER_PACKET_COUNT: u64 = 32_768;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sender_issues_exact_count() {
+        let mut s = NttcpSender::new(1000, 3);
+        assert_eq!(s.next_write(Nanos(1), 1 << 20), Some(1000));
+        assert_eq!(s.next_write(Nanos(2), 1 << 20), Some(1000));
+        assert_eq!(s.next_write(Nanos(3), 1 << 20), Some(1000));
+        assert_eq!(s.next_write(Nanos(4), 1 << 20), None);
+        assert!(s.finished_writing());
+        assert_eq!(s.started_at(), Some(Nanos(1)));
+        assert_eq!(s.writes, 3);
+    }
+
+    #[test]
+    fn sender_blocks_on_partial_space() {
+        let mut s = NttcpSender::new(1000, 2);
+        assert_eq!(s.next_write(Nanos(1), 999), None);
+        assert!(s.is_blocked());
+        assert!(!s.finished_writing());
+        assert_eq!(s.next_write(Nanos(2), 1000), Some(1000));
+        assert!(!s.is_blocked());
+    }
+
+    #[test]
+    fn receiver_completes_and_result_computes() {
+        let mut s = NttcpSender::new(1000, 10);
+        let mut r = NttcpReceiver::new(10_000);
+        while s.next_write(Nanos(100), 1 << 20).is_some() {}
+        r.on_delivered(Nanos(4_100), 4_000);
+        assert!(!r.is_done());
+        r.on_delivered(Nanos(8_100), 6_000);
+        assert!(r.is_done());
+        let res = NttcpResult::from_run(&s, &r, 0.5, 0.9).unwrap();
+        assert_eq!(res.bytes, 10_000);
+        assert_eq!(res.elapsed, Nanos(8_000));
+        // 10 KB in 8 µs = 10 Gb/s.
+        assert!((res.throughput.gbps() - 10.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn paper_sweep_bounds() {
+        let sweep = paper_payload_sweep();
+        assert_eq!(*sweep.first().unwrap(), 128);
+        assert_eq!(*sweep.last().unwrap(), 16_384);
+        assert_eq!(sweep.len(), 128);
+    }
+}

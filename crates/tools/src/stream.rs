@@ -1,0 +1,66 @@
+//! STREAM — the memory-bandwidth microbenchmark (§3.2: "To measure the
+//! memory bandwidth of our Dell PowerEdge systems, we use STREAM").
+//!
+//! The simulated STREAM run exercises the host's memory-subsystem model and
+//! reports the canonical four kernels. Copy is the figure the paper quotes;
+//! the others scale by their arithmetic intensity on 2003-era chipsets.
+
+use tengig_hw::MemorySpec;
+use tengig_sim::Bandwidth;
+
+/// Results of a STREAM run, in the benchmark's four kernels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamResult {
+    /// `c[i] = a[i]` — the figure the paper quotes.
+    pub copy: Bandwidth,
+    /// `b[i] = q*c[i]`.
+    pub scale: Bandwidth,
+    /// `c[i] = a[i] + b[i]`.
+    pub add: Bandwidth,
+    /// `a[i] = b[i] + q*c[i]`.
+    pub triad: Bandwidth,
+}
+
+/// Run STREAM against a host memory model.
+///
+/// Scale tracks copy; add/triad move three streams instead of two and on
+/// these chipsets achieve slightly higher total traffic (the classic
+/// STREAM signature), modeled at +5%.
+pub fn run_stream(mem: &MemorySpec) -> StreamResult {
+    let copy = mem.stream_copy;
+    StreamResult {
+        copy,
+        scale: copy.scale(0.99),
+        add: copy.scale(1.05),
+        triad: copy.scale(1.05),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe4600_copy_matches_paper() {
+        // §3.5.2: "the STREAM memory benchmark reports 12.8-Gb/s memory
+        // bandwidth on these systems".
+        let r = run_stream(&MemorySpec::gc_he());
+        assert!((r.copy.gbps() - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pe4600_beats_pe2650_by_half() {
+        let he = run_stream(&MemorySpec::gc_he());
+        let le = run_stream(&MemorySpec::gc_le());
+        let ratio = he.copy.gbps() / le.copy.gbps();
+        assert!((1.4..1.6).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn kernel_ordering() {
+        let r = run_stream(&MemorySpec::gc_le());
+        assert!(r.scale <= r.copy);
+        assert!(r.add >= r.copy);
+        assert_eq!(r.add, r.triad);
+    }
+}

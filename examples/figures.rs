@@ -1,0 +1,213 @@
+//! Regenerate any paper figure or table as text/gnuplot-style output.
+//!
+//! ```text
+//! cargo run --release --example figures -- fig3 [count]
+//! cargo run --release --example figures -- all
+//! ```
+//!
+//! Supported artifacts: `fig3 fig4 fig5 fig6 fig7 fig8 table1 comparison`.
+
+use tengig::analytic::{table1, WindowQuantization};
+use tengig::config::LadderRung;
+use tengig::experiments::latency::{latency_sweep, paper_latency_payloads, without_coalescing};
+use tengig::experiments::throughput::throughput_sweep;
+use tengig::report::{figure, humanize, Table};
+use tengig_ethernet::Mtu;
+use tengig_nic::Interconnect;
+use tengig_sim::stats::Series;
+
+/// Reduced sweep (every 512 B) — the full 128-byte-step sweep of the paper
+/// works too but takes proportionally longer.
+fn payload_sweep() -> Vec<u64> {
+    let mut v: Vec<u64> = (256..=16_384).step_by(512).collect();
+    // Make sure the MSS points (the peaks) are present.
+    for p in [1448, 8108, 8948, 15948] {
+        if !v.contains(&p) {
+            v.push(p);
+        }
+    }
+    v.sort_unstable();
+    v
+}
+
+fn fig3(count: u64) -> Vec<Series> {
+    let payloads = payload_sweep();
+    vec![
+        throughput_sweep(
+            LadderRung::Stock.pe2650_config(Mtu::STANDARD),
+            "1500MTU,SMP,512PCI",
+            &payloads,
+            count,
+        ),
+        throughput_sweep(
+            LadderRung::Stock.pe2650_config(Mtu::JUMBO_9000),
+            "9000MTU,SMP,512PCI",
+            &payloads,
+            count,
+        ),
+    ]
+}
+
+fn fig4(count: u64) -> Vec<Series> {
+    let payloads = payload_sweep();
+    vec![
+        throughput_sweep(
+            LadderRung::OversizedWindows.pe2650_config(Mtu::STANDARD),
+            "1500MTU,UP,4096PCI,256kbuf,medres",
+            &payloads,
+            count,
+        ),
+        throughput_sweep(
+            LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000),
+            "9000MTU,UP,4096PCI,256kbuf,medres",
+            &payloads,
+            count,
+        ),
+    ]
+}
+
+fn fig5(count: u64) -> Vec<Series> {
+    let payloads = payload_sweep();
+    let mut series = vec![
+        throughput_sweep(
+            LadderRung::Mtu16000.pe2650_config(Mtu::JUMBO_9000),
+            "16000MTU,UP,4096PCI,256kbuf",
+            &payloads,
+            count,
+        ),
+        throughput_sweep(
+            LadderRung::Mtu8160.pe2650_config(Mtu::JUMBO_9000),
+            "8160MTU,UP,4096PCI,256kbuf",
+            &payloads,
+            count,
+        ),
+    ];
+    // The paper's theoretical reference lines.
+    for (label, gbps) in [
+        ("Quadrics (theoretical)", 3.2),
+        ("Myrinet (theoretical)", 2.0),
+        ("GbE (theoretical)", 1.0),
+    ] {
+        let mut s = Series::new(label);
+        s.push(*payloads.first().unwrap() as f64, gbps * 1000.0);
+        s.push(*payloads.last().unwrap() as f64, gbps * 1000.0);
+        series.push(s);
+    }
+    series
+}
+
+fn fig6() -> Vec<Series> {
+    let cfg = LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000);
+    let payloads = paper_latency_payloads();
+    vec![
+        latency_sweep(cfg, "back-to-back (us)", &payloads, false),
+        latency_sweep(cfg, "through FastIron 1500 (us)", &payloads, true),
+    ]
+}
+
+fn fig7() -> Vec<Series> {
+    let cfg = without_coalescing(LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000));
+    let payloads = paper_latency_payloads();
+    vec![
+        latency_sweep(cfg, "back-to-back, no coalescing (us)", &payloads, false),
+        latency_sweep(cfg, "through switch, no coalescing (us)", &payloads, true),
+    ]
+}
+
+fn print_table1() {
+    let mut t = Table::new(
+        "Table 1: time to recover from a single packet loss",
+        &["path", "bandwidth", "RTT (ms)", "MSS (bytes)", "time to recover"],
+    );
+    for row in table1() {
+        t.row(vec![
+            row.path.to_string(),
+            row.bandwidth.to_string(),
+            format!("{:.1}", row.rtt.as_millis_f64()),
+            row.mss.to_string(),
+            humanize(row.time),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn print_fig8() {
+    // Fig. 8: ideal vs MSS-allowed window — the §3.5.1 quantization.
+    let mut t = Table::new(
+        "Fig. 8: ideal vs MSS-allowed window (window quantization)",
+        &["ideal window", "snd MSS", "rcv MSS", "advertised", "sender-usable", "attenuation"],
+    );
+    for (ideal, snd, rcv) in [
+        (26_000u64, 8_948u64, 8_948u64), // the figure's ~26 KB example
+        (48_000, 8_948, 8_948),          // the LAN ideal-window case
+        (33_000, 8_960, 8_948),          // the §3.5.1 MSS-mismatch example
+        (48_000, 1_448, 1_448),          // standard MTU barely loses
+    ] {
+        let wq = WindowQuantization { ideal_window: ideal, snd_mss: snd, rcv_mss: rcv };
+        t.row(vec![
+            ideal.to_string(),
+            snd.to_string(),
+            rcv.to_string(),
+            wq.advertised().to_string(),
+            wq.sender_usable().to_string(),
+            format!("{:.0}%", wq.attenuation_pct()),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn print_comparison() {
+    let mut t = Table::new(
+        "§3.5.4: interconnect comparison (published numbers)",
+        &["interconnect", "theoretical", "unidirectional", "latency", "sockets-compatible"],
+    );
+    let mut rows = Interconnect::all_baselines();
+    rows.push(Interconnect::tengbe_tcp_paper());
+    for ic in rows {
+        t.row(vec![
+            ic.name.to_string(),
+            ic.theoretical.to_string(),
+            ic.unidirectional.to_string(),
+            format!("{:.1} us", ic.latency.as_micros_f64()),
+            if ic.sockets_compatible { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let count: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_000);
+
+    let run = |name: &str| which == name || which == "all";
+    if run("fig3") {
+        println!("{}", figure("Fig. 3: throughput of stock TCP (Mb/s)", &fig3(count)));
+    }
+    if run("fig4") {
+        println!(
+            "{}",
+            figure("Fig. 4: oversized windows + MMRBC 4096 + UP (Mb/s)", &fig4(count))
+        );
+    }
+    if run("fig5") {
+        println!("{}", figure("Fig. 5: non-standard MTUs (Mb/s)", &fig5(count)));
+    }
+    if run("fig6") {
+        println!("{}", figure("Fig. 6: end-to-end latency (us)", &fig6()));
+    }
+    if run("fig7") {
+        println!("{}", figure("Fig. 7: latency without interrupt coalescing (us)", &fig7()));
+    }
+    if run("table1") {
+        print_table1();
+    }
+    if run("fig8") {
+        print_fig8();
+    }
+    if run("comparison") {
+        print_comparison();
+    }
+}

@@ -1,0 +1,42 @@
+//! Walk the §3.3 optimization ladder rung by rung, printing peak and mean
+//! throughput plus CPU loads for each cumulative tuning step — the
+//! narrative spine of the paper.
+//!
+//! ```text
+//! cargo run --release --example optimization_ladder [packet-count]
+//! ```
+
+use tengig::experiments::throughput::ladder;
+use tengig::report::Table;
+use tengig_ethernet::Mtu;
+
+fn main() {
+    let count: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000);
+
+    // Sweep points near the interesting payloads; the peaks live at the
+    // MSS of each configuration.
+    let payloads = [1448, 4096, 8108, 8948, 15948];
+    println!("running the §3.3 ladder at 9000-byte base MTU ({count} packets/point)…\n");
+    let results = ladder(Mtu::JUMBO_9000, &payloads, count);
+
+    let mut table = Table::new(
+        "§3.3 optimization ladder (base MTU 9000)",
+        &["configuration", "peak Mb/s", "mean Mb/s", "tx CPU", "rx CPU"],
+    );
+    for r in &results {
+        table.row(vec![
+            r.label.clone(),
+            format!("{:.0}", r.peak_mbps),
+            format!("{:.0}", r.mean_mbps),
+            format!("{:.2}", r.tx_cpu_load),
+            format!("{:.2}", r.rx_cpu_load),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("paper reference peaks: stock 2.7 Gb/s → +MMRBC 3.6 → +UP (~+10% avg)");
+    println!("→ +256KB windows 3.9 → 8160 MTU 4.11 → 16000 MTU 4.09");
+}

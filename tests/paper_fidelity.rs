@@ -1,0 +1,67 @@
+//! The machine-checked paper-vs-laboratory battery: every calibration
+//! target of `tengig::calib` must hold within its documented tolerance.
+//!
+//! This is the "shape contract" of the reproduction: who wins, by roughly
+//! what factor, and where the crossovers fall. It is the slowest test in
+//! the repository (it runs the full experiment set); run with `--release`
+//! when iterating.
+
+use tengig::calib::run_calibration;
+use tengig::report::comparison_table;
+
+#[test]
+fn all_calibration_targets_within_tolerance() {
+    let targets = run_calibration();
+    assert!(targets.len() >= 15, "battery must stay comprehensive");
+    let failures: Vec<String> = targets
+        .iter()
+        .filter(|t| !t.pass())
+        .map(|t| {
+            format!(
+                "{}: paper {:.3}, measured {:.3} ({:+.1}%, tol ±{:.0}%)",
+                t.cmp.name,
+                t.cmp.paper,
+                t.cmp.measured,
+                t.cmp.rel_error() * 100.0,
+                t.tol * 100.0
+            )
+        })
+        .collect();
+    if !failures.is_empty() {
+        let rows: Vec<_> = targets.iter().map(|t| t.cmp.clone()).collect();
+        panic!(
+            "{} calibration target(s) out of band:\n{}\n\nfull table:\n{}",
+            failures.len(),
+            failures.join("\n"),
+            comparison_table("paper vs laboratory", &rows)
+        );
+    }
+}
+
+#[test]
+fn table1_recovery_times_match_to_the_minute() {
+    use tengig::analytic::table1;
+    let rows = table1();
+    let minutes = |i: usize| rows[i].time.as_secs_f64() / 60.0;
+    // Paper Table 1 (reconstructed): 1 hr 42 min / 17 min / 3 hr 51 min /
+    // 38 min for the four WAN rows.
+    assert!((101.0..105.0).contains(&minutes(1)), "Geneva-Chicago 1460: {} min", minutes(1));
+    assert!((16.0..18.0).contains(&minutes(2)), "Geneva-Chicago 8960: {} min", minutes(2));
+    assert!((228.0..234.0).contains(&minutes(3)), "Geneva-Sunnyvale 1460: {} min", minutes(3));
+    assert!((36.5..38.5).contains(&minutes(4)), "Geneva-Sunnyvale 8960: {} min", minutes(4));
+}
+
+#[test]
+fn interconnect_comparison_claims_hold_with_simulated_numbers() {
+    use tengig::config::LadderRung;
+    use tengig::experiments::throughput::nttcp_point;
+    use tengig_ethernet::Mtu;
+    use tengig_nic::Interconnect;
+    let cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
+    let ours = nttcp_point(cfg, 8108, 2_000, 7).throughput.gbps();
+    // §3.5.4: >300% vs GbE, >120% vs Myrinet/IP, >80% vs QsNet/IP.
+    let adv = |other: f64| (ours / other - 1.0) * 100.0;
+    assert!(adv(Interconnect::gbe_tcp().unidirectional.gbps()) > 290.0);
+    assert!(adv(Interconnect::myrinet_ip().unidirectional.gbps()) > 100.0);
+    assert!(adv(Interconnect::qsnet_ip().unidirectional.gbps()) > 70.0);
+}
