@@ -1,0 +1,21 @@
+# Development targets. `make ci` is the gate every change must pass.
+
+CARGO ?= cargo
+
+.PHONY: ci build test clippy benches-check
+
+ci: build test clippy benches-check
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test -q
+
+clippy:
+	$(CARGO) clippy --all-targets -- -D warnings
+
+# Bench targets are test = false (they regenerate full paper figures and
+# would dominate `cargo test`); keep them compiling instead.
+benches-check:
+	$(CARGO) check --benches

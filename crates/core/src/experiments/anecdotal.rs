@@ -4,6 +4,8 @@
 use super::multiflow::{aggregate, Direction, MultiflowResult};
 use super::throughput::nttcp_point;
 use crate::config::{HostConfig, TuningStep};
+use crate::report::{Json, SweepReport};
+use crate::sweep::{scenarios, SweepRunner};
 use tengig_hw::HostSpec;
 use tengig_nic::NicSpec;
 use tengig_sim::Nanos;
@@ -48,6 +50,39 @@ pub fn itanium_aggregation(peers: usize, warmup: Nanos, window: Nanos) -> Multif
             .with_buffers(512 * 1024),
     };
     aggregate(tengbe, peers, Direction::IntoTenGbe, warmup, window)
+}
+
+/// Sweep the E7505 anecdote as a two-point grid (timestamps off → on) on
+/// the deterministic sweep runner, reporting the ~10% timestamp penalty
+/// the paper describes.
+pub fn e7505_sweep_report(
+    count: u64,
+    master_seed: u64,
+    runner: SweepRunner,
+) -> (Vec<tengig_tools::NttcpResult>, SweepReport) {
+    let grid = scenarios(master_seed, [false, true], |&ts| {
+        format!("timestamps={}", if ts { "on" } else { "off" })
+    });
+    let results = runner
+        .run(&grid, |sc| {
+            let cfg = e7505_config().tuned(TuningStep::Timestamps(sc.input));
+            nttcp_point(cfg, cfg.sysctls.mss(), count, sc.seed)
+        })
+        .expect("e7505 sweep scenario panicked");
+    let mut report = SweepReport::new("anecdotal/e7505_timestamps", master_seed);
+    for (sc, r) in grid.iter().zip(&results) {
+        report.push_row(
+            sc.index,
+            sc.label.clone(),
+            sc.seed,
+            vec![
+                ("timestamps".to_string(), Json::Bool(sc.input)),
+                ("gbps".to_string(), Json::F64(r.throughput.gbps())),
+                ("rx_cpu_load".to_string(), Json::F64(r.rx_cpu_load)),
+            ],
+        );
+    }
+    (results, report)
 }
 
 #[cfg(test)]

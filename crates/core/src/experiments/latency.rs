@@ -3,7 +3,8 @@
 use super::two_host_lab;
 use crate::config::{HostConfig, TuningStep};
 use crate::lab::{self, App};
-use parking_lot::Mutex;
+use crate::report::{Json, SweepReport};
+use crate::sweep::{scenarios, SweepRunner};
 use tengig_sim::stats::Series;
 use tengig_sim::Nanos;
 use tengig_tools::NetPipe;
@@ -12,15 +13,26 @@ use tengig_tools::NetPipe;
 /// single-byte, ping-pong tests").
 pub const ROUNDS: u64 = 50;
 
-/// One-way latency for one payload size.
-pub fn netpipe_point(cfg: HostConfig, payload: u64, through_switch: bool) -> Nanos {
+/// One-way latency for one payload size, with an explicit RNG seed (used
+/// by the sweep runner's per-scenario seeding).
+pub fn netpipe_point_seeded(
+    cfg: HostConfig,
+    payload: u64,
+    through_switch: bool,
+    seed: u64,
+) -> Nanos {
     let app = App::NetPipe(NetPipe::new(payload, ROUNDS));
-    let (mut lab, mut eng) = two_host_lab(cfg, cfg, app, 17 + payload, through_switch);
+    let (mut lab, mut eng) = two_host_lab(cfg, cfg, app, seed, through_switch);
     lab::kick(&mut lab, &mut eng);
     eng.run(&mut lab);
     assert!(lab.all_done(), "netpipe did not complete");
     let App::NetPipe(np) = &lab.flows[0].app else { unreachable!() };
     np.one_way_latency()
+}
+
+/// One-way latency for one payload size.
+pub fn netpipe_point(cfg: HostConfig, payload: u64, through_switch: bool) -> Nanos {
+    netpipe_point_seeded(cfg, payload, through_switch, 17 + payload)
 }
 
 /// The Fig. 6/7 payload range: 1 byte to 1 KiB.
@@ -30,6 +42,43 @@ pub fn paper_latency_payloads() -> Vec<u64> {
     v
 }
 
+/// Sweep one-way latency over payloads on the deterministic sweep runner.
+/// Returns the figure series (µs on the y axis) plus the machine-readable
+/// [`SweepReport`]. Thread count cannot change a byte of the result.
+pub fn latency_sweep_report(
+    cfg: HostConfig,
+    label: impl Into<String>,
+    payloads: &[u64],
+    through_switch: bool,
+    master_seed: u64,
+    runner: SweepRunner,
+) -> (Series, SweepReport) {
+    let label = label.into();
+    let grid = scenarios(master_seed, payloads.iter().copied(), |p| {
+        format!("{label}/payload={p}")
+    });
+    let results = runner
+        .run(&grid, |sc| netpipe_point_seeded(cfg, sc.input, through_switch, sc.seed))
+        .expect("latency sweep scenario panicked");
+    let mut series = Series::new(label.clone());
+    let mut report = SweepReport::new(label, master_seed);
+    for (sc, lat) in grid.iter().zip(&results) {
+        let us = lat.as_micros_f64();
+        series.push(sc.input as f64, us);
+        report.push_row(
+            sc.index,
+            sc.label.clone(),
+            sc.seed,
+            vec![
+                ("payload".to_string(), Json::U64(sc.input)),
+                ("one_way_us".to_string(), Json::F64(us)),
+                ("through_switch".to_string(), Json::Bool(through_switch)),
+            ],
+        );
+    }
+    (series, report)
+}
+
 /// Sweep one-way latency over payloads (µs on the y axis), in parallel.
 pub fn latency_sweep(
     cfg: HostConfig,
@@ -37,24 +86,17 @@ pub fn latency_sweep(
     payloads: &[u64],
     through_switch: bool,
 ) -> Series {
-    let results: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::with_capacity(payloads.len()));
-    crossbeam::scope(|s| {
-        for &p in payloads {
-            let results = &results;
-            s.spawn(move |_| {
-                let lat = netpipe_point(cfg, p, through_switch);
-                results.lock().push((p, lat.as_micros_f64()));
-            });
-        }
-    })
-    .expect("latency sweep thread panicked");
-    let mut pts = results.into_inner();
-    pts.sort_unstable_by_key(|&(p, _)| p);
-    let mut series = Series::new(label);
-    for (p, us) in pts {
-        series.push(p as f64, us);
-    }
-    series
+    let mut payloads: Vec<u64> = payloads.to_vec();
+    payloads.sort_unstable();
+    latency_sweep_report(
+        cfg,
+        label,
+        &payloads,
+        through_switch,
+        super::throughput::MASTER_SEED,
+        SweepRunner::default(),
+    )
+    .0
 }
 
 /// The Fig. 7 configuration: interrupt coalescing off.

@@ -1,9 +1,11 @@
 //! Experiment runners: one function per paper figure/table scenario.
 //!
 //! Each runner builds a topology, drives it to completion (or through a
-//! measurement window), and returns the measured quantities. Sweeps run
-//! points in parallel with scoped threads — each point is an independent,
-//! deterministic simulation.
+//! measurement window), and returns the measured quantities. Sweeps
+//! enumerate their parameter grids as [`crate::sweep::Scenario`] data and
+//! delegate execution to the [`crate::sweep::SweepRunner`], so every point
+//! is an independent, deterministically-seeded simulation and the sweep's
+//! result is identical at any thread count.
 
 pub mod anecdotal;
 pub mod latency;

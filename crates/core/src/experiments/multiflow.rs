@@ -4,6 +4,8 @@
 
 use crate::config::HostConfig;
 use crate::lab::{self, App, Lab};
+use crate::report::{Json, SweepReport};
+use crate::sweep::{scenarios, SweepRunner};
 use tengig_nic::NicSpec;
 use tengig_sim::{rate_of, Bandwidth, Engine, Nanos, SimRng};
 use tengig_net::{Hop, Path};
@@ -50,9 +52,22 @@ pub fn aggregate(
     warmup: Nanos,
     window: Nanos,
 ) -> MultiflowResult {
+    aggregate_seeded(tengbe, peers, dir, warmup, window, 99)
+}
+
+/// [`aggregate`] with an explicit RNG seed (used by the sweep runner's
+/// per-scenario seeding).
+pub fn aggregate_seeded(
+    tengbe: HostConfig,
+    peers: usize,
+    dir: Direction,
+    warmup: Nanos,
+    window: Nanos,
+    seed: u64,
+) -> MultiflowResult {
     let mut lab = Lab::new();
     let big = lab.add_host(tengbe);
-    let mut rng = SimRng::seeded(99);
+    let mut rng = SimRng::seeded(seed);
     let line10 = Bandwidth::from_gbps(10);
     let line1 = Bandwidth::from_gbps(1);
     let sw_latency = Nanos::from_nanos(5_850);
@@ -113,7 +128,9 @@ pub fn aggregate(
     let mut eng = Engine::new();
     eng.event_limit = 2_000_000_000;
     lab::kick(&mut lab, &mut eng);
-    eng.run_until(&mut lab, warmup);
+    // advance_to: the CPU-load and rate math below divide by the window, so
+    // the clock must sit exactly on its edges.
+    eng.advance_to(&mut lab, warmup);
     let received = |lab: &Lab| -> u64 {
         lab.flows
             .iter()
@@ -125,7 +142,7 @@ pub fn aggregate(
     };
     let b0 = received(&lab);
     let busy0 = lab.hosts[big].hottest_cpu_busy(warmup);
-    eng.run_until(&mut lab, warmup + window);
+    eng.advance_to(&mut lab, warmup + window);
     let b1 = received(&lab);
     let busy1 = lab.hosts[big].hottest_cpu_busy(warmup + window);
     MultiflowResult {
@@ -134,6 +151,42 @@ pub fn aggregate(
         tengbe_cpu_load: (busy1.saturating_sub(busy0)).as_nanos() as f64
             / window.as_nanos() as f64,
     }
+}
+
+/// Sweep aggregation over peer counts on the deterministic sweep runner.
+/// Returns the per-point results (in grid order) plus the machine-readable
+/// [`SweepReport`].
+pub fn peer_sweep_report(
+    tengbe: HostConfig,
+    peer_counts: &[usize],
+    dir: Direction,
+    warmup: Nanos,
+    window: Nanos,
+    master_seed: u64,
+    runner: SweepRunner,
+) -> (Vec<MultiflowResult>, SweepReport) {
+    let name = match dir {
+        Direction::IntoTenGbe => "multiflow/into_10gbe",
+        Direction::OutOfTenGbe => "multiflow/out_of_10gbe",
+    };
+    let grid = scenarios(master_seed, peer_counts.iter().copied(), |n| format!("peers={n}"));
+    let results = runner
+        .run(&grid, |sc| aggregate_seeded(tengbe, sc.input, dir, warmup, window, sc.seed))
+        .expect("multiflow sweep scenario panicked");
+    let mut report = SweepReport::new(name, master_seed);
+    for (sc, r) in grid.iter().zip(&results) {
+        report.push_row(
+            sc.index,
+            sc.label.clone(),
+            sc.seed,
+            vec![
+                ("peers".to_string(), Json::U64(r.peers as u64)),
+                ("aggregate_gbps".to_string(), Json::F64(r.aggregate_gbps)),
+                ("tengbe_cpu_load".to_string(), Json::F64(r.tengbe_cpu_load)),
+            ],
+        );
+    }
+    (results, report)
 }
 
 #[cfg(test)]

@@ -16,6 +16,8 @@
 use crate::config::HostConfig;
 use crate::experiments::b2b_lab;
 use crate::lab::{self, App};
+use crate::report::{Json, SweepReport};
+use crate::sweep::{scenarios, SweepRunner};
 use tengig_ethernet::Mtu;
 use tengig_sim::{rate_of, Bandwidth, Nanos};
 use tengig_tools::Pktgen;
@@ -56,9 +58,15 @@ fn rdma_host(mtu: Mtu) -> HostConfig {
 /// MTU-sized transfers (modeled on the pktgen path — single DMA, no
 /// copies — which is exactly what direct data placement leaves).
 pub fn throughput(mtu: Mtu, count: u64) -> OsBypassResult {
+    throughput_seeded(mtu, count, 5)
+}
+
+/// [`throughput`] with an explicit RNG seed (used by the sweep runner's
+/// per-scenario seeding).
+pub fn throughput_seeded(mtu: Mtu, count: u64, seed: u64) -> OsBypassResult {
     let cfg = rdma_host(mtu);
     let payload = tengig_tcp::Datagram::max_payload(mtu.get());
-    let (mut lab, mut eng) = b2b_lab(cfg, App::Pktgen(Pktgen::new(payload, count)), 5);
+    let (mut lab, mut eng) = b2b_lab(cfg, App::Pktgen(Pktgen::new(payload, count)), seed);
     crate::experiments::run_to_completion(&mut lab, &mut eng);
     let App::Pktgen(pg) = &lab.flows[0].app else { unreachable!() };
     OsBypassResult {
@@ -90,6 +98,36 @@ pub fn bus_ceiling(mtu: Mtu) -> Bandwidth {
         tengig_tcp::Datagram::max_payload(mtu.get()),
         cfg.hw.pci.packet_transfer_time(frame),
     )
+}
+
+/// Sweep the OS-bypass projection over MTUs on the deterministic sweep
+/// runner. Returns the per-point results plus the machine-readable
+/// [`SweepReport`].
+pub fn mtu_sweep_report(
+    mtus: &[Mtu],
+    count: u64,
+    master_seed: u64,
+    runner: SweepRunner,
+) -> (Vec<OsBypassResult>, SweepReport) {
+    let grid = scenarios(master_seed, mtus.iter().copied(), |m| format!("mtu={}", m.get()));
+    let results = runner
+        .run(&grid, |sc| throughput_seeded(sc.input, count, sc.seed))
+        .expect("osbypass sweep scenario panicked");
+    let mut report = SweepReport::new("osbypass/mtu_sweep", master_seed);
+    for (sc, r) in grid.iter().zip(&results) {
+        report.push_row(
+            sc.index,
+            sc.label.clone(),
+            sc.seed,
+            vec![
+                ("mtu".to_string(), Json::U64(sc.input.get())),
+                ("gbps".to_string(), Json::F64(r.gbps)),
+                ("latency_us".to_string(), Json::F64(r.latency.as_micros_f64())),
+                ("cpu_load".to_string(), Json::F64(r.cpu_load)),
+            ],
+        );
+    }
+    (results, report)
 }
 
 #[cfg(test)]

@@ -4,7 +4,8 @@
 use super::{b2b_lab, run_to_completion};
 use crate::config::{HostConfig, LadderRung};
 use crate::lab::{self, App};
-use parking_lot::Mutex;
+use crate::report::{Json, SweepReport};
+use crate::sweep::{scenarios, SweepRunner};
 use tengig_ethernet::Mtu;
 use tengig_sim::stats::Series;
 use tengig_sim::{rate_of, Nanos};
@@ -13,6 +14,10 @@ use tengig_tools::{NttcpReceiver, NttcpResult, NttcpSender, Pktgen};
 /// Default packet count per sweep point. The paper uses 32,768; sweeps
 /// converge well before that, so callers may reduce it for quick runs.
 pub const DEFAULT_COUNT: u64 = 32_768;
+
+/// Default master seed for the paper sweeps (the publication year).
+/// Every scenario's seed derives from this and its grid index.
+pub const MASTER_SEED: u64 = 2003;
 
 /// Run a single NTTCP point back-to-back.
 pub fn nttcp_point(cfg: HostConfig, payload: u64, count: u64, seed: u64) -> NttcpResult {
@@ -28,36 +33,61 @@ pub fn nttcp_point(cfg: HostConfig, payload: u64, count: u64, seed: u64) -> Nttc
         .expect("run completed")
 }
 
-/// Sweep NTTCP throughput over payload sizes, in parallel (one simulation
-/// per thread). Returns a figure series labeled like the paper's legends.
+/// Sweep NTTCP throughput over payload sizes on the deterministic sweep
+/// runner (one simulation per scenario, fanned across worker threads).
+/// Returns a figure series labeled like the paper's legends, plus the
+/// machine-readable [`SweepReport`].
+///
+/// The result is a pure function of `(cfg, payloads, count, master_seed)`
+/// — the runner's thread count cannot change a byte of it.
+pub fn throughput_sweep_report(
+    cfg: HostConfig,
+    label: impl Into<String>,
+    payloads: &[u64],
+    count: u64,
+    master_seed: u64,
+    runner: SweepRunner,
+) -> (Series, SweepReport) {
+    let label = label.into();
+    let grid = scenarios(master_seed, payloads.iter().copied(), |p| {
+        format!("{label}/payload={p}")
+    });
+    let results = runner
+        .run(&grid, |sc| nttcp_point(cfg, sc.input, count, sc.seed))
+        .expect("throughput sweep scenario panicked");
+    let mut series = Series::new(label.clone());
+    let mut report = SweepReport::new(label, master_seed);
+    for (sc, r) in grid.iter().zip(&results) {
+        let mbps = r.throughput.gbps() * 1000.0;
+        series.push(sc.input as f64, mbps);
+        report.push_row(
+            sc.index,
+            sc.label.clone(),
+            sc.seed,
+            vec![
+                ("payload".to_string(), Json::U64(sc.input)),
+                ("mbps".to_string(), Json::F64(mbps)),
+                ("rx_cpu_load".to_string(), Json::F64(r.rx_cpu_load)),
+                ("tx_cpu_load".to_string(), Json::F64(r.tx_cpu_load)),
+            ],
+        );
+    }
+    (series, report)
+}
+
+/// Sweep NTTCP throughput over payload sizes, in parallel. Returns a
+/// figure series labeled like the paper's legends. Sweep points are sorted
+/// by payload because the grid is enumerated that way, not because the
+/// results are sorted after the fact.
 pub fn throughput_sweep(
     cfg: HostConfig,
     label: impl Into<String>,
     payloads: &[u64],
     count: u64,
 ) -> Series {
-    let results: Mutex<Vec<(u64, f64)>> = Mutex::new(Vec::with_capacity(payloads.len()));
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let chunk = payloads.len().div_ceil(threads);
-    crossbeam::scope(|s| {
-        for ch in payloads.chunks(chunk.max(1)) {
-            let results = &results;
-            s.spawn(move |_| {
-                for &p in ch {
-                    let r = nttcp_point(cfg, p, count, 7 + p);
-                    results.lock().push((p, r.throughput.gbps() * 1000.0));
-                }
-            });
-        }
-    })
-    .expect("sweep thread panicked");
-    let mut pts = results.into_inner();
-    pts.sort_unstable_by_key(|&(p, _)| p);
-    let mut series = Series::new(label);
-    for (p, mbps) in pts {
-        series.push(p as f64, mbps);
-    }
-    series
+    let mut payloads: Vec<u64> = payloads.to_vec();
+    payloads.sort_unstable();
+    throughput_sweep_report(cfg, label, &payloads, count, MASTER_SEED, SweepRunner::default()).0
 }
 
 /// One rung of the §3.3 ladder, measured.
@@ -152,13 +182,15 @@ pub fn windowed_throughput(
     window: Nanos,
 ) -> f64 {
     crate::lab::kick(&mut lab, &mut eng);
-    eng.run_until(&mut lab, warmup);
+    // advance_to (not run_until) so the clock sits exactly on the window
+    // edges and `window` is exactly the virtual time measured over.
+    eng.advance_to(&mut lab, warmup);
     let bytes_at = |lab: &crate::lab::Lab| match &lab.flows[0].app {
         App::Nttcp { rx, .. } => rx.received,
         _ => 0,
     };
     let b0 = bytes_at(&lab);
-    eng.run_until(&mut lab, warmup + window);
+    eng.advance_to(&mut lab, warmup + window);
     let b1 = bytes_at(&lab);
     rate_of(b1 - b0, window).gbps()
 }

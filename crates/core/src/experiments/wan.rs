@@ -7,6 +7,8 @@
 
 use crate::config::HostConfig;
 use crate::lab::{self, App, Lab};
+use crate::report::{Json, SweepReport};
+use crate::sweep::{scenarios, SweepRunner};
 use tengig_net::WanSpec;
 use tengig_nic::NicSpec;
 use tengig_sim::{rate_of, Engine, Nanos, SimRng};
@@ -40,11 +42,17 @@ pub fn wan_host(wan: &WanSpec, buffer: Option<u64>) -> HostConfig {
 
 /// Build the WAN lab: two hosts across the OC-192/OC-48 circuit.
 pub fn wan_lab(wan: &WanSpec, buffer: Option<u64>) -> (Lab, Engine<Lab>) {
+    wan_lab_seeded(wan, buffer, 2003)
+}
+
+/// [`wan_lab`] with an explicit RNG seed (the WAN path has stochastic
+/// elements — random loss — so the seed matters here).
+pub fn wan_lab_seeded(wan: &WanSpec, buffer: Option<u64>, seed: u64) -> (Lab, Engine<Lab>) {
     let cfg = wan_host(wan, buffer);
     let mut lab = Lab::new();
     let svl = lab.add_host(cfg);
     let gva = lab.add_host(cfg);
-    let mut rng = SimRng::seeded(2003);
+    let mut rng = SimRng::seeded(seed);
     let fwd = lab.add_link(&wan.forward_path(), rng.fork("fwd"));
     let rev = lab.add_link(&wan.reverse_path(), rng.fork("rev"));
     // Effectively endless stream: the run is window-measured.
@@ -67,15 +75,29 @@ pub fn wan_lab(wan: &WanSpec, buffer: Option<u64>) -> (Lab, Engine<Lab>) {
 
 /// Run the record scenario: warm up past slow start, then measure.
 pub fn record_run(wan: &WanSpec, buffer: Option<u64>, warmup: Nanos, window: Nanos) -> WanResult {
-    let (mut lab, mut eng) = wan_lab(wan, buffer);
+    record_run_seeded(wan, buffer, warmup, window, 2003)
+}
+
+/// [`record_run`] with an explicit RNG seed (used by the sweep runner's
+/// per-scenario seeding).
+pub fn record_run_seeded(
+    wan: &WanSpec,
+    buffer: Option<u64>,
+    warmup: Nanos,
+    window: Nanos,
+    seed: u64,
+) -> WanResult {
+    let (mut lab, mut eng) = wan_lab_seeded(wan, buffer, seed);
     lab::kick(&mut lab, &mut eng);
-    eng.run_until(&mut lab, warmup);
+    // advance_to: the rate below divides by the window, so the clock must
+    // sit exactly on its edges.
+    eng.advance_to(&mut lab, warmup);
     let received = |lab: &Lab| match &lab.flows[0].app {
         App::Nttcp { rx, .. } => rx.received,
         _ => 0,
     };
     let b0 = received(&lab);
-    eng.run_until(&mut lab, warmup + window);
+    eng.advance_to(&mut lab, warmup + window);
     let b1 = received(&lab);
     let gbps = rate_of(b1 - b0, window).gbps();
     let bottleneck = wan.forward_path().bottleneck().gbps();
@@ -87,6 +109,45 @@ pub fn record_run(wan: &WanSpec, buffer: Option<u64>, warmup: Nanos, window: Nan
         payload_efficiency: gbps / bottleneck,
         terabyte_time: Nanos::from_secs_f64(1e12 * 8.0 / (gbps * 1e9)),
     }
+}
+
+/// Sweep the record scenario over socket-buffer sizes (`None` = BDP-tuned)
+/// on the deterministic sweep runner. Returns the per-point results plus
+/// the machine-readable [`SweepReport`].
+pub fn buffer_sweep_report(
+    wan: &WanSpec,
+    buffers: &[Option<u64>],
+    warmup: Nanos,
+    window: Nanos,
+    master_seed: u64,
+    runner: SweepRunner,
+) -> (Vec<WanResult>, SweepReport) {
+    let grid = scenarios(master_seed, buffers.iter().copied(), |b| match b {
+        Some(bytes) => format!("buffer={bytes}"),
+        None => "buffer=bdp".to_string(),
+    });
+    let results = runner
+        .run(&grid, |sc| record_run_seeded(wan, sc.input, warmup, window, sc.seed))
+        .expect("wan sweep scenario panicked");
+    let mut report = SweepReport::new("wan/record_buffer_sweep", master_seed);
+    for (sc, r) in grid.iter().zip(&results) {
+        report.push_row(
+            sc.index,
+            sc.label.clone(),
+            sc.seed,
+            vec![
+                (
+                    "buffer".to_string(),
+                    sc.input.map_or(Json::Null, Json::U64),
+                ),
+                ("gbps".to_string(), Json::F64(r.gbps)),
+                ("retransmits".to_string(), Json::U64(r.retransmits)),
+                ("drops".to_string(), Json::U64(r.drops)),
+                ("payload_efficiency".to_string(), Json::F64(r.payload_efficiency)),
+            ],
+        );
+    }
+    (results, report)
 }
 
 #[cfg(test)]

@@ -15,6 +15,9 @@ pub mod config;
 pub mod experiments;
 pub mod lab;
 pub mod report;
+pub mod sweep;
 
 pub use config::{HostConfig, LadderRung, TuningStep};
 pub use lab::{App, FlowRt, HostRt, Lab};
+pub use report::{Json, SweepReport, SweepRow};
+pub use sweep::{scenarios, Scenario, SweepError, SweepRunner};

@@ -42,12 +42,18 @@ impl Mtu {
     /// effectively carries 12 bytes of options per segment; we fold that in
     /// here, which is how the paper quotes "8948-byte MSS with options" for
     /// a 9000-byte MTU — 9000 − 40 − 12 = 8948).
+    ///
+    /// Degenerate MTUs smaller than the headers (which cannot carry any
+    /// payload) clamp to an MSS of 1 byte rather than wrapping: an MSS of 0
+    /// would divide-by-zero in segment-count math downstream, and a real
+    /// stack refuses such MTUs at configuration time anyway.
     pub const fn mss(self, timestamps: bool) -> u64 {
-        let base = self.0 - IP_HEADER - TCP_HEADER;
-        if timestamps {
-            base - TCP_TIMESTAMP_OPTION
+        let opts = if timestamps { TCP_TIMESTAMP_OPTION } else { 0 };
+        let headers = IP_HEADER + TCP_HEADER + opts;
+        if self.0 <= headers + 1 {
+            1
         } else {
-            base
+            self.0 - headers
         }
     }
 
@@ -110,6 +116,21 @@ mod tests {
         assert_eq!(Mtu::STANDARD.mss(false), 1460);
         assert_eq!(Mtu::TUNED_8160.mss(true), 8108);
         assert_eq!(Mtu::MAX_INTEL_16000.mss(true), 15948);
+    }
+
+    #[test]
+    fn degenerate_mtus_clamp_instead_of_wrapping() {
+        // MTU < 40 (or < 52 with timestamps) used to wrap around u64 (or
+        // panic in debug builds); it must clamp to a 1-byte MSS instead.
+        assert_eq!(Mtu(0).mss(false), 1);
+        assert_eq!(Mtu(0).mss(true), 1);
+        assert_eq!(Mtu(39).mss(false), 1);
+        assert_eq!(Mtu(40).mss(false), 1); // exactly headers: no payload room
+        assert_eq!(Mtu(41).mss(false), 1);
+        assert_eq!(Mtu(42).mss(false), 2);
+        assert_eq!(Mtu(51).mss(true), 1);
+        assert_eq!(Mtu(52).mss(true), 1);
+        assert_eq!(Mtu(54).mss(true), 2);
     }
 
     #[test]

@@ -168,6 +168,22 @@ impl<W> Engine<W> {
             );
         }
     }
+
+    /// Run until `deadline` like [`Engine::run_until`], then set the clock
+    /// to exactly `deadline`.
+    ///
+    /// `run_until` leaves `now` at the last executed event, which skews any
+    /// rate computed as `bytes / now()` and makes back-to-back measurement
+    /// windows (`advance_to(warmup)`, `advance_to(warmup + window)`) cover
+    /// slightly more or less than `window` of virtual time. This variant
+    /// pins the clock to the deadline; it is safe because every remaining
+    /// event is strictly later than `deadline`.
+    pub fn advance_to(&mut self, world: &mut W, deadline: Nanos) {
+        self.run_until(world, deadline);
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +240,25 @@ mod tests {
         // Continuing runs the rest.
         eng.run(&mut log);
         assert_eq!(log, vec![5, 10, 15, 20]);
+    }
+
+    #[test]
+    fn advance_to_lands_exactly_on_the_deadline() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        for t in [5u64, 10, 15, 20] {
+            eng.schedule_at(Nanos(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        eng.advance_to(&mut log, Nanos(12));
+        assert_eq!(log, vec![5, 10]);
+        assert_eq!(eng.now(), Nanos(12), "clock pinned to the deadline");
+        // Pending events are untouched and still run at their own times.
+        eng.advance_to(&mut log, Nanos(20));
+        assert_eq!(log, vec![5, 10, 15, 20]);
+        assert_eq!(eng.now(), Nanos(20));
+        // An empty calendar still advances the clock.
+        eng.advance_to(&mut log, Nanos(30));
+        assert_eq!(eng.now(), Nanos(30));
     }
 
     #[test]

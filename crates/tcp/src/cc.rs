@@ -96,6 +96,12 @@ impl Reno {
                 return CcAction::None;
             }
             // Partial ACK: retransmit the next hole (NewReno, RFC 6582).
+            // §3.2 step 5: deflate the window by the amount of new data
+            // acknowledged, then add back one segment for the retransmit.
+            // Without the deflation the window stays fully inflated through
+            // a multi-loss recovery, letting bursts of new data out while
+            // holes remain.
+            self.cwnd = self.cwnd.saturating_sub(acked_segs).saturating_add(1).max(2);
             return CcAction::FastRetransmit;
         }
         for _ in 0..acked_segs {
@@ -249,9 +255,46 @@ mod tests {
             cc.on_dup_ack(40, 500);
         }
         let during = cc.cwnd;
-        // A partial ACK below the recovery point must not grow the window.
+        // A partial ACK below the recovery point must not *grow* the
+        // window — it deflates it by the acked amount plus one segment
+        // for the retransmit (RFC 6582 §3.2 step 5).
         cc.on_new_ack(100, 5);
-        assert_eq!(cc.cwnd, during);
+        assert_eq!(cc.cwnd, during - 5 + 1);
         assert_eq!(cc.phase(), Phase::FastRecovery);
+    }
+
+    #[test]
+    fn partial_acks_deflate_through_a_three_loss_window() {
+        // A 3-loss window: fast retransmit, then two partial ACKs (one per
+        // recovered hole), then the full ACK ends recovery.
+        let mut cc = Reno::new(2, u64::MAX / 2);
+        cc.cwnd = 20;
+        cc.ssthresh = 20;
+        // Segments 0..20 in flight; 3 of them (say 0, 7, 14) are lost.
+        // Triple dupack on the first hole:
+        for _ in 0..3 {
+            cc.on_dup_ack(20, 20);
+        }
+        assert_eq!(cc.phase(), Phase::FastRecovery);
+        assert_eq!(cc.ssthresh, 10);
+        assert_eq!(cc.cwnd, 13); // ssthresh + 3 inflation
+
+        // Retransmitted segment 0 fills the first hole: the cumulative ACK
+        // advances to 7 — a partial ACK covering 7 segments. RFC 6582
+        // §3.2 step 5: deflate by the acked amount, add back 1.
+        assert_eq!(cc.on_new_ack(7, 7), CcAction::FastRetransmit);
+        assert_eq!(cc.phase(), Phase::FastRecovery);
+        assert_eq!(cc.cwnd, 13 - 7 + 1);
+
+        // Second hole filled: ACK advances to 14 (7 more segments).
+        assert_eq!(cc.on_new_ack(14, 7), CcAction::FastRetransmit);
+        assert_eq!(cc.phase(), Phase::FastRecovery);
+        assert_eq!(cc.cwnd, 2); // deflation floors at 2 segments
+
+        // Third hole filled: the ACK reaches the recovery point and
+        // recovery ends with cwnd = ssthresh.
+        assert_eq!(cc.on_new_ack(20, 6), CcAction::None);
+        assert_eq!(cc.phase(), Phase::CongestionAvoidance);
+        assert_eq!(cc.cwnd, 10);
     }
 }
