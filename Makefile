@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy benches-check
+.PHONY: ci build test clippy benches-check lint
 
-ci: build test clippy benches-check
+ci: build test clippy benches-check lint
 
 build:
 	$(CARGO) build --release
@@ -19,3 +19,9 @@ clippy:
 # would dominate `cargo test`); keep them compiling instead.
 benches-check:
 	$(CARGO) check --benches
+
+# Determinism lint: forbids wall-clock time, unseeded RNGs, hash-map
+# iteration, unwrap/panic in hot paths, floats in the event loop, and
+# sweeps that bypass SweepRunner. See crates/lint.
+lint:
+	$(CARGO) run --release -q -p tengig-lint

@@ -59,12 +59,18 @@ pub fn two_host_lab(
     lab.add_flow(a, b, vec![l_ab], vec![l_ba], app);
     let mut eng = Engine::new();
     eng.event_limit = 2_000_000_000;
+    crate::lab::install_default_sanitizer(&mut eng, seed);
     (lab, eng)
 }
 
 /// Run a lab to completion after kicking all flows.
+///
+/// With a sanitizer installed, the fully drained calendar lets the byte
+/// ledger demand zero in-flight bytes; any violation panics with the seed
+/// in the message (the sweep runner attaches the scenario index and label).
 pub fn run_to_completion(lab: &mut Lab, eng: &mut Engine<Lab>) {
     crate::lab::kick(lab, eng);
     eng.run(lab);
     debug_assert!(lab.all_done(), "a flow failed to complete");
+    crate::lab::check_sanitizer(eng, true);
 }

@@ -70,6 +70,7 @@ pub fn wan_lab_seeded(wan: &WanSpec, buffer: Option<u64>, seed: u64) -> (Lab, En
     );
     let mut eng = Engine::new();
     eng.event_limit = 2_000_000_000;
+    lab::install_default_sanitizer(&mut eng, seed);
     (lab, eng)
 }
 
@@ -98,6 +99,8 @@ pub fn record_run_seeded(
     };
     let b0 = received(&lab);
     eng.advance_to(&mut lab, warmup + window);
+    // Windowed run: frames are still in flight, so no drain check.
+    lab::check_sanitizer(&mut eng, false);
     let b1 = received(&lab);
     let gbps = rate_of(b1 - b0, window).gbps();
     let bottleneck = wan.forward_path().bottleneck().gbps();

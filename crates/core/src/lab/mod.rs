@@ -20,7 +20,7 @@ use crate::config::HostConfig;
 pub use host::{HostRt, RxFrame};
 use tengig_net::{Path, PathState};
 use tengig_nic::CoalesceAction;
-use tengig_sim::{Engine, Nanos, SimRng, Stage};
+use tengig_sim::{Engine, Nanos, Sanitizer, SimConfig, SimRng, Stage, ViolationKind};
 use tengig_tcp::{Action, Segment, Sysctls, TcpConn};
 use tengig_tools::{Iperf, NetPipe, NttcpReceiver, NttcpSender, PingPongSide, Pktgen};
 
@@ -146,6 +146,47 @@ impl Default for Lab {
 }
 
 // ---------------------------------------------------------------------
+// runtime sanitizer wiring
+// ---------------------------------------------------------------------
+
+/// Install a runtime invariant [`Sanitizer`] on `eng` when the process-wide
+/// default asks for one (always in debug builds; opt-in via
+/// [`tengig_sim::sanitizer::set_default_enabled`] in release builds).
+///
+/// The recorded `seed` makes every violation a one-command repro.
+pub fn install_default_sanitizer(eng: &mut Engine<Lab>, seed: u64) {
+    if SimConfig::default().sanitize {
+        eng.install_sanitizer(Sanitizer::new(seed));
+    }
+}
+
+/// Panic with the sanitizer's full report (seed, scenario, violations) if
+/// any invariant was breached during the run. With `drained`, first assert
+/// the byte-conservation ledger settled to zero in-flight — only valid for
+/// runs whose event calendar fully emptied (windowed measurements stop with
+/// frames legitimately still on the wire).
+pub fn check_sanitizer(eng: &mut Engine<Lab>, drained: bool) {
+    let now = eng.now();
+    if let Some(s) = eng.sanitizer_mut() {
+        if drained {
+            s.check_drained(now);
+        }
+        assert!(!s.has_violations(), "{}", s.report());
+    }
+}
+
+/// Record a TCP invariant breach on flow `f` endpoint `ep`, if the
+/// connection's state is inconsistent and a sanitizer is installed.
+fn check_tcp_invariants(lab: &Lab, eng: &mut Engine<Lab>, f: usize, ep: usize) {
+    let now = eng.now();
+    if let Some(s) = eng.sanitizer_mut() {
+        if let Err(e) = lab.flows[f].conns[ep].check_invariants() {
+            s.record(ViolationKind::TcpInvariant, now, format!("flow {f} ep {ep}: {e}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // engine wiring (free functions: events close over flow/endpoint indices)
 // ---------------------------------------------------------------------
 
@@ -224,6 +265,7 @@ pub fn process_actions(
             Action::SetTimer { kind, at, gen } => {
                 eng.schedule_at(at, move |lab, eng| {
                     let acts = lab.flows[f].conns[ep].on_timer(eng.now(), kind, gen);
+                    check_tcp_invariants(lab, eng, f, ep);
                     process_actions(lab, eng, f, ep, acts);
                 });
             }
@@ -288,6 +330,9 @@ fn tx_wire(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, src_ep: usize, seg: S
     let h = lab.flows[f].host[src_ep];
     let dst_ep = 1 - src_ep;
     let wire = tengig_ethernet::Mtu::wire_bytes_for(seg.ip_bytes());
+    if let Some(s) = eng.sanitizer_mut() {
+        s.inject(wire);
+    }
     let mut t = now;
     let mut dropped = false;
     for &lid in &lab.flows[f].route[src_ep] {
@@ -301,6 +346,9 @@ fn tx_wire(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, src_ep: usize, seg: S
     }
     let host = &mut lab.hosts[h];
     if dropped {
+        if let Some(s) = eng.sanitizer_mut() {
+            s.drop_bytes(t, wire);
+        }
         if host.tracer.is_enabled() {
             host.tracer.emit(t, Stage::Drop, seg.seq, seg.len, Nanos::ZERO);
         }
@@ -315,6 +363,9 @@ fn tx_wire(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, src_ep: usize, seg: S
 /// A frame fully arrived at the destination NIC: rx DMA, then coalescing.
 fn frame_arrival(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, dst_ep: usize, seg: Segment) {
     let now = eng.now();
+    if let Some(s) = eng.sanitizer_mut() {
+        s.deliver(now, tengig_ethernet::Mtu::wire_bytes_for(seg.ip_bytes()));
+    }
     let h = lab.flows[f].host[dst_ep];
     let host = &mut lab.hosts[h];
     let frame = HostRt::frame_bytes(&seg);
@@ -376,6 +427,9 @@ fn process_rx_batch(lab: &mut Lab, eng: &mut Engine<Lab>, h: usize, batch: u32) 
                 }
                 eng.schedule_at(done, move |lab, eng| {
                     let acts = lab.flows[flow].conns[ep].on_segment(eng.now(), &seg);
+                    // Every ACK/data arrival revalidates the connection's
+                    // sequence-space invariants under the sanitizer.
+                    check_tcp_invariants(lab, eng, flow, ep);
                     process_actions(lab, eng, flow, ep, acts);
                 });
             }
@@ -514,6 +568,9 @@ fn pktgen_tick(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize) {
     lab.flows[f].meas.t_start.get_or_insert(now);
     let frame = ip_bytes + tengig_ethernet::ETH_HEADER + tengig_ethernet::ETH_FCS;
     let wire = tengig_ethernet::Mtu::wire_bytes_for(ip_bytes);
+    if let Some(s) = eng.sanitizer_mut() {
+        s.inject(wire);
+    }
     let host = &mut lab.hosts[h];
     // Loop CPU cost (single copy: no user copy, pre-formed skb). The CPU
     // runs ahead of the DMA ring, so the loop cost does not gate the PCI
@@ -537,7 +594,16 @@ fn pktgen_tick(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize) {
             }
         }
     }
-    if !dropped {
+    if dropped {
+        if let Some(s) = eng.sanitizer_mut() {
+            s.drop_bytes(t, wire);
+        }
+    } else {
+        // pktgen's sink only counts, so the frame is "delivered" the
+        // moment it clears the wire.
+        if let Some(s) = eng.sanitizer_mut() {
+            s.deliver(t, wire);
+        }
         if let App::Pktgen(pg) = &mut lab.flows[f].app {
             pg.on_wire_done(t);
         }

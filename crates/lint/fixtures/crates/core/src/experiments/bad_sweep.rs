@@ -1,0 +1,5 @@
+//! Known-bad fixture: a sweep entry point that sidesteps the runner.
+
+pub fn buffer_sweep(buffers: &[u64]) -> Vec<u64> {
+    buffers.iter().map(|b| b * 2).collect()
+}

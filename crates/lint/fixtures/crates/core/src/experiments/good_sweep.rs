@@ -1,0 +1,16 @@
+//! Known-good fixture: sweeps routed through the deterministic runner.
+
+pub struct SweepRunner;
+
+pub fn routed_sweep_report(runner: SweepRunner, xs: &[u64]) -> Vec<u64> {
+    let _ = runner;
+    xs.to_vec()
+}
+
+pub fn routed_sweep(xs: &[u64]) -> Vec<u64> {
+    routed_sweep_report(SweepRunner, xs)
+}
+
+pub fn delegating_ladder(xs: &[u64]) -> Vec<u64> {
+    routed_sweep(xs)
+}

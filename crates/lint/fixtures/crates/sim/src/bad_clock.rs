@@ -1,0 +1,8 @@
+//! Known-bad fixture: wall-clock time sources in the simulation.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> bool {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    wall.elapsed().is_ok() && t0.elapsed().as_nanos() > 0
+}

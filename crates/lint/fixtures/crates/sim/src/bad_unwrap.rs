@@ -1,0 +1,13 @@
+//! Known-bad fixture: unwrap/panic in a hot path, plus one allowed use.
+
+pub fn first(v: &[u64]) -> u64 {
+    *v.first().unwrap()
+}
+
+pub fn boom() {
+    panic!("no context whatsoever");
+}
+
+pub fn allowed(v: &[u64]) -> u64 {
+    *v.last().unwrap() // lint:allow(unwrap)
+}

@@ -1,0 +1,22 @@
+//! Known-good fixture: every forbidden token appears, but only inside
+//! comments, strings, raw strings, and char literals. Instant, HashMap.
+/* block comment mentioning SystemTime and thread_rng
+   /* nested: OsRng */
+   still inside the outer comment: HashSet */
+
+pub fn describe() -> &'static str {
+    "Instant HashMap .unwrap() panic! rand::thread_rng f64"
+}
+
+pub fn quote_char() -> char {
+    '"'
+}
+
+pub fn raw() -> &'static str {
+    r#"SystemTime "quoted" HashSet from_entropy"#
+}
+
+pub fn multiline() -> &'static str {
+    "a string with an escaped quote \" and then
+     Instant on the continuation line"
+}

@@ -1,0 +1,11 @@
+//! Known-bad fixture: a float-keyed event calendar.
+
+pub struct Calendar {
+    now: f64,
+}
+
+impl Calendar {
+    pub fn advance(&mut self, dt: f32) {
+        self.now += dt as f64;
+    }
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: entropy-seeded randomness in the TCP model.
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,636 @@
+//! A dependency-free determinism linter for the tengig workspace.
+//!
+//! The simulation's headline guarantee is that every result is a pure
+//! function of `(config, seed)` — byte-identical across machines, runs,
+//! and sweep-runner thread counts. That guarantee is easy to break with
+//! one careless import, so this crate walks the simulation crates'
+//! sources and rejects the known footguns at CI time:
+//!
+//! * **wall-clock** — `std::time::Instant` / `SystemTime` read host time,
+//!   which differs every run. The engine's virtual clock (`Nanos`) is the
+//!   only time source.
+//! * **unseeded-rng** — `thread_rng()`, `OsRng`, `from_entropy()` and
+//!   friends draw from the OS entropy pool. All randomness must flow
+//!   from `SimRng` with an explicit seed.
+//! * **map-iteration** — `HashMap` / `HashSet` iterate in randomized
+//!   order (std's hasher is seeded per process). Use `BTreeMap` /
+//!   `BTreeSet` or index-keyed `Vec`s.
+//! * **unwrap** — `.unwrap()` / `panic!` in the simulation hot paths
+//!   (`crates/sim`, `crates/tcp`) abort without context. Use `expect()`
+//!   with a message that says what invariant broke, or return an error.
+//! * **float-event-loop** — `f32` / `f64` in the engine's calendar
+//!   (`crates/sim/src/engine.rs`) accumulate rounding error that differs
+//!   across platforms; the calendar stays integer-only (`Nanos`).
+//! * **sweep-routing** — every public sweep entry point in
+//!   `crates/core/src/experiments/` must route through `SweepRunner`, so
+//!   parallelism and per-scenario seeding stay centralized.
+//!
+//! A finding can be suppressed with `// lint:allow(rule-name)` on the
+//! same line or the line above. The linter is pure `std` (no syn, no
+//! regex): it strips comments, strings, and char literals with a small
+//! state machine, then matches identifiers on word boundaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` trees are subject to the determinism rules
+/// (wall-clock, unseeded-rng, map-iteration). The vendored `criterion`
+/// and `proptest` shims are excluded: a benchmark harness legitimately
+/// reads wall-clock time, and neither runs inside a simulation.
+pub const DETERMINISM_CRATES: &[&str] =
+    &["sim", "hw", "ethernet", "nic", "tcp", "net", "tools", "core"];
+
+/// Crates whose `src/` trees must not contain `.unwrap()` / `panic!`
+/// (the simulation hot paths).
+pub const NO_UNWRAP_CRATES: &[&str] = &["sim", "tcp"];
+
+/// One lint finding, rendered `file:line: [rule] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path of the offending file, relative to the linted root.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (the token accepted by `lint:allow(...)`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path.display(), self.line, self.rule, self.message)
+    }
+}
+
+/// The result of linting a tree.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, in (path, line) order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lint the workspace rooted at `root` (the directory containing
+/// `crates/`). Returns a report with deterministic file ordering.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for krate in DETERMINISM_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        for file in rust_files(&src)? {
+            let rel = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .to_path_buf();
+            let content = fs::read_to_string(&file)?;
+            report.files_scanned += 1;
+            report.diagnostics.extend(lint_file(&rel, krate, &content));
+        }
+    }
+    Ok(report)
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted (deterministic)
+/// order.
+pub fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> =
+            fs::read_dir(&d)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint a single file's contents. `krate` is the crate directory name
+/// (used for rule scoping); `rel` is the path reported in diagnostics.
+pub fn lint_file(rel: &Path, krate: &str, content: &str) -> Vec<Diagnostic> {
+    let allows = allow_markers(content);
+    let code = strip_non_code(content);
+    let mut diags = Vec::new();
+
+    let fname = rel.file_name().and_then(|f| f.to_str()).unwrap_or("");
+    let in_experiments = krate == "core"
+        && rel.components().any(|c| c.as_os_str() == "experiments")
+        && fname != "mod.rs";
+    let is_engine = krate == "sim" && fname == "engine.rs";
+    let no_unwrap = NO_UNWRAP_CRATES.contains(&krate);
+
+    for (idx, line) in code.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut push = |rule: &'static str, message: String| {
+            if !allows.iter().any(|(l, r)| r == rule && (*l == lineno || *l + 1 == lineno)) {
+                diags.push(Diagnostic { path: rel.to_path_buf(), line: lineno, rule, message });
+            }
+        };
+
+        if has_ident(line, "Instant") || has_ident(line, "SystemTime") {
+            push(
+                "wall-clock",
+                "wall-clock time source breaks determinism; use the engine's \
+                 virtual clock (Nanos)"
+                    .to_string(),
+            );
+        }
+        if has_ident(line, "thread_rng")
+            || has_ident(line, "ThreadRng")
+            || has_ident(line, "OsRng")
+            || has_ident(line, "from_entropy")
+            || has_rand_path(line)
+        {
+            push(
+                "unseeded-rng",
+                "unseeded or external randomness; draw from SimRng with an \
+                 explicit seed"
+                    .to_string(),
+            );
+        }
+        if has_ident(line, "HashMap") || has_ident(line, "HashSet") {
+            push(
+                "map-iteration",
+                "hash-map iteration order is randomized per process; use \
+                 BTreeMap/BTreeSet or an index-keyed Vec"
+                    .to_string(),
+            );
+        }
+        if no_unwrap && (line.contains(".unwrap()") || has_macro(line, "panic")) {
+            push(
+                "unwrap",
+                "unwrap()/panic! in a simulation hot path; use expect() with \
+                 context or return an error"
+                    .to_string(),
+            );
+        }
+        if is_engine && (has_ident(line, "f32") || has_ident(line, "f64")) {
+            push(
+                "float-event-loop",
+                "float arithmetic in the event loop drifts across platforms; \
+                 the calendar is integer nanoseconds only"
+                    .to_string(),
+            );
+        }
+    }
+
+    if in_experiments {
+        diags.extend(check_sweep_routing(rel, &code, &allows));
+    }
+
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// Every public sweep entry point (a `pub fn` whose name contains
+/// `sweep` or `ladder`) must route through the deterministic runner:
+/// its signature or body must mention `SweepRunner`, or it must call
+/// another `*sweep*` function that does.
+fn check_sweep_routing(rel: &Path, code: &str, allows: &[(usize, String)]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in public_fns(code) {
+        if !(f.name.contains("sweep") || f.name.contains("ladder")) {
+            continue;
+        }
+        let routed = has_ident(&f.text, "SweepRunner")
+            || calls_other_sweep(&f.text, &f.name);
+        let allowed = allows
+            .iter()
+            .any(|(l, r)| r == "sweep-routing" && (*l == f.line || *l + 1 == f.line));
+        if !routed && !allowed {
+            diags.push(Diagnostic {
+                path: rel.to_path_buf(),
+                line: f.line,
+                rule: "sweep-routing",
+                message: format!(
+                    "pub fn {} does not route through SweepRunner; all sweeps \
+                     go through the deterministic runner",
+                    f.name
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// A public function found by the lightweight parser.
+struct PubFn {
+    name: String,
+    /// 1-based line of the `pub fn`.
+    line: usize,
+    /// Signature + body text (comments/strings already stripped).
+    text: String,
+}
+
+/// Find `pub fn` items in stripped source text. Good enough for lint:
+/// no const-generic braces appear in this workspace's signatures.
+fn public_fns(code: &str) -> Vec<PubFn> {
+    let bytes = code.as_bytes();
+    let mut fns = Vec::new();
+    let mut search = 0;
+    while let Some(off) = code[search..].find("pub fn ") {
+        let start = search + off;
+        search = start + "pub fn ".len();
+        // Word boundary before `pub`.
+        if start > 0 && is_ident_byte(bytes[start - 1]) {
+            continue;
+        }
+        let name: String = code[search..]
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let Some(body_off) = code[start..].find('{') else { continue };
+        let open = start + body_off;
+        let mut depth = 0usize;
+        let mut end = open;
+        for (i, b) in code[open..].bytes().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let line = code[..start].bytes().filter(|&b| b == b'\n').count() + 1;
+        fns.push(PubFn { name, line, text: code[start..end].to_string() });
+    }
+    fns
+}
+
+/// Does `text` call some *other* function whose name contains `sweep`?
+fn calls_other_sweep(text: &str, own_name: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if !is_ident_byte(bytes[i]) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident_byte(bytes[i]) {
+            i += 1;
+        }
+        let ident = &text[start..i];
+        if ident.contains("sweep") && ident != own_name {
+            // Followed (modulo whitespace) by `(` → it's a call.
+            let rest = text[i..].trim_start();
+            if rest.starts_with('(') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Collect `lint:allow(rule)` markers: `(line, rule)` pairs, 1-based.
+/// Parsed from the raw source (the markers live inside comments, which
+/// the stripper removes).
+pub fn allow_markers(content: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in content.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("lint:allow(") {
+            let after = &rest[pos + "lint:allow(".len()..];
+            if let Some(close) = after.find(')') {
+                out.push((idx + 1, after[..close].trim().to_string()));
+                rest = &after[close + 1..];
+            } else {
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Word-boundary identifier match.
+fn has_ident(line: &str, word: &str) -> bool {
+    find_ident(line, word).is_some()
+}
+
+/// Byte offset of a word-boundary occurrence of `word` in `line`.
+fn find_ident(line: &str, word: &str) -> Option<usize> {
+    let bytes = line.as_bytes();
+    for (pos, _) in line.match_indices(word) {
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let after = pos + word.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+    }
+    None
+}
+
+/// `rand::` as a path root (`rand` followed by `::`), which would pull in
+/// the external crate rather than the vendored `SimRng`.
+fn has_rand_path(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    for (pos, _) in line.match_indices("rand") {
+        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
+        let after = pos + "rand".len();
+        if before_ok && line[after..].starts_with("::") {
+            return true;
+        }
+    }
+    false
+}
+
+/// `name!` macro invocation on a word boundary.
+fn has_macro(line: &str, name: &str) -> bool {
+    if let Some(pos) = find_ident(line, name) {
+        return line[pos + name.len()..].starts_with('!');
+    }
+    false
+}
+
+/// Strip comments, string literals, and char literals from Rust source,
+/// preserving line structure (stripped characters become spaces, so
+/// identifiers never merge across removed regions and line numbers are
+/// unchanged). Handles `//`, nested `/* */`, `"..."` with escapes across
+/// lines, raw strings `r#"..."#` with any hash count, byte strings, char
+/// literals (including `'"'` and escapes), and lifetimes.
+pub fn strip_non_code(content: &str) -> String {
+    let chars: Vec<char> = content.chars().collect();
+    let mut out = String::with_capacity(content.len());
+    let mut i = 0;
+    let n = chars.len();
+
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        Block(usize),
+        Str,
+        Raw(usize),
+    }
+    let mut mode = Mode::Code;
+    // Previous non-stripped char in Code mode, for raw-string detection
+    // (`r` must not be the tail of an identifier like `attr`).
+    let mut prev_code: Option<char> = None;
+
+    while i < n {
+        let c = chars[i];
+        match mode {
+            Mode::Code => {
+                if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+                    while i < n && chars[i] != '\n' {
+                        i += 1;
+                    }
+                } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    mode = Mode::Block(1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    mode = Mode::Str;
+                    out.push(' ');
+                    i += 1;
+                } else if (c == 'r' || c == 'b')
+                    && !prev_code.is_some_and(|p| p.is_alphanumeric() || p == '_')
+                {
+                    // Possible raw / byte / byte-raw string prefix.
+                    let mut j = i + 1;
+                    if c == 'b' && j < n && chars[j] == 'r' {
+                        j += 1;
+                    }
+                    if c == 'b' && j == i + 1 && j < n && chars[j] == '"' {
+                        // b"..." — ordinary escape rules.
+                        mode = Mode::Str;
+                        out.push(' ');
+                        out.push(' ');
+                        i = j + 1;
+                        continue;
+                    }
+                    let mut hashes = 0;
+                    while j < n && chars[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if (c == 'r' || j > i + 1) && j < n && chars[j] == '"' {
+                        mode = Mode::Raw(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        prev_code = Some(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime.
+                    if i + 1 < n && chars[i + 1] == '\\' {
+                        // Escaped char literal: skip to the closing quote.
+                        i += 2;
+                        while i < n && chars[i] != '\'' {
+                            i += 1;
+                        }
+                        i += 1; // closing quote
+                        out.push(' ');
+                    } else if i + 2 < n && chars[i + 2] == '\'' {
+                        // One-char literal, e.g. 'x' or '"'.
+                        out.push(' ');
+                        i += 3;
+                    } else {
+                        // Lifetime: keep the tick, code continues.
+                        out.push('\'');
+                        i += 1;
+                    }
+                    prev_code = Some('\'');
+                } else {
+                    out.push(c);
+                    if !c.is_whitespace() {
+                        prev_code = Some(c);
+                    }
+                    i += 1;
+                }
+            }
+            Mode::Block(depth) => {
+                if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    mode = Mode::Block(depth + 1);
+                    i += 2;
+                } else if c == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    mode = if depth == 1 { Mode::Code } else { Mode::Block(depth - 1) };
+                    i += 2;
+                } else {
+                    if c == '\n' {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    i += 2; // skip the escaped char
+                } else if c == '"' {
+                    mode = Mode::Code;
+                    out.push(' ');
+                    i += 1;
+                } else {
+                    if c == '\n' {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+            }
+            Mode::Raw(hashes) => {
+                if c == '"' {
+                    let close = (1..=hashes).all(|k| i + k < n && chars[i + k] == '#');
+                    if close {
+                        mode = Mode::Code;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    if c == '\n' {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_stripped() {
+        let s = strip_non_code("let x = 1; // Instant::now()\nlet y = 2;");
+        assert!(!s.contains("Instant"));
+        assert!(s.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_stripped() {
+        let s = strip_non_code("a /* outer /* SystemTime */ still comment */ b");
+        assert!(!s.contains("SystemTime"));
+        assert!(s.contains('a') && s.contains('b'));
+    }
+
+    #[test]
+    fn strings_are_stripped_but_lines_survive() {
+        let s = strip_non_code("let s = \"HashMap\\\" still string\";\nlet t = 3;");
+        assert!(!s.contains("HashMap"));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_stripped() {
+        let s = strip_non_code("let s = r#\"thread_rng \"quoted\" more\"#; f64");
+        assert!(!s.contains("thread_rng"));
+        assert!(s.contains("f64"), "code after the raw string must survive: {s}");
+    }
+
+    #[test]
+    fn char_literal_quote_does_not_open_a_string() {
+        let s = strip_non_code("let c = '\"'; let x = Instant;");
+        assert!(s.contains("Instant"), "code after '\"' must stay code: {s}");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = strip_non_code("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(s.contains("str"));
+    }
+
+    #[test]
+    fn ident_matching_respects_word_boundaries() {
+        assert!(!has_ident("/// Instantiate runtime state.", "Instant"));
+        assert!(has_ident("use std::time::Instant;", "Instant"));
+        assert!(!has_ident("my_rand::next()", "rand"));
+        assert!(has_rand_path("rand::thread_rng()"));
+        assert!(!has_rand_path("my_rand::thread_rng()"));
+        assert!(has_macro("panic!(\"boom\")", "panic"));
+        assert!(!has_macro("deterministic_panic_free()", "panic"));
+    }
+
+    #[test]
+    fn allow_markers_are_parsed() {
+        let m = allow_markers("x // lint:allow(unwrap)\ny // lint:allow(wall-clock)\n");
+        assert_eq!(m, vec![(1, "unwrap".to_string()), (2, "wall-clock".to_string())]);
+    }
+
+    #[test]
+    fn unwrap_rule_scopes_to_hot_path_crates() {
+        let code = "pub fn f(v: &[u8]) -> u8 { *v.first().unwrap() }\n";
+        let sim = lint_file(Path::new("crates/sim/src/x.rs"), "sim", code);
+        assert_eq!(sim.len(), 1);
+        assert_eq!(sim[0].rule, "unwrap");
+        let core = lint_file(Path::new("crates/core/src/x.rs"), "core", code);
+        assert!(core.is_empty(), "unwrap is allowed outside sim/tcp: {core:?}");
+    }
+
+    #[test]
+    fn allow_on_preceding_line_suppresses() {
+        let code = "// lint:allow(unwrap)\npub fn f(v: &[u8]) -> u8 { *v.first().unwrap() }\n";
+        let d = lint_file(Path::new("crates/sim/src/x.rs"), "sim", code);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn sweep_routing_flags_unrouted_pub_fns() {
+        let bad = "pub fn buffer_sweep(xs: &[u64]) -> Vec<u64> {\n    xs.to_vec()\n}\n";
+        let d = lint_file(Path::new("crates/core/src/experiments/x.rs"), "core", bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "sweep-routing");
+        assert_eq!(d[0].line, 1);
+
+        let routed = "pub fn buffer_sweep(r: SweepRunner) -> Vec<u64> { vec![] }\n";
+        let d = lint_file(Path::new("crates/core/src/experiments/x.rs"), "core", routed);
+        assert!(d.is_empty(), "{d:?}");
+
+        let delegating =
+            "pub fn ladder(xs: &[u64]) -> Vec<u64> {\n    buffer_sweep_report(xs)\n}\n";
+        let d = lint_file(Path::new("crates/core/src/experiments/x.rs"), "core", delegating);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn sweep_routing_ignores_mod_rs_and_other_crates() {
+        let bad = "pub fn buffer_sweep(xs: &[u64]) -> Vec<u64> { xs.to_vec() }\n";
+        let d = lint_file(Path::new("crates/core/src/experiments/mod.rs"), "core", bad);
+        assert!(d.is_empty());
+        let d = lint_file(Path::new("crates/core/src/lab/mod.rs"), "core", bad);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn float_rule_fires_only_in_the_engine() {
+        let code = "pub struct S { t: f64 }\n";
+        let d = lint_file(Path::new("crates/sim/src/engine.rs"), "sim", code);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "float-event-loop");
+        let d = lint_file(Path::new("crates/sim/src/stats.rs"), "sim", code);
+        assert!(d.is_empty(), "floats are fine outside the calendar: {d:?}");
+    }
+}

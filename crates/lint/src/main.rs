@@ -1,0 +1,33 @@
+//! `tengig-lint`: walk the workspace and enforce the determinism rules.
+//!
+//! Usage: `tengig-lint [ROOT]` (default `.`). Exits 1 if any rule fires.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let report = match tengig_lint::lint_workspace(Path::new(&root)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tengig-lint: cannot read {root}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+    if report.diagnostics.is_empty() {
+        eprintln!("tengig-lint: {} files clean", report.files_scanned);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "tengig-lint: {} violation(s) in {} files scanned",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

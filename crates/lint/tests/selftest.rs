@@ -1,0 +1,111 @@
+//! Self-test: the linter fires on a fixture tree of known-bad snippets
+//! and stays silent on the live workspace.
+
+use std::path::{Path, PathBuf};
+
+use tengig_lint::{lint_workspace, rust_files, Diagnostic};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn diags_for<'a>(diags: &'a [Diagnostic], file: &str) -> Vec<&'a Diagnostic> {
+    diags.iter().filter(|d| d.path.ends_with(file)).collect()
+}
+
+#[test]
+fn fixture_tree_trips_every_rule() {
+    let report = lint_workspace(&fixtures_root()).expect("fixture tree readable");
+    let d = &report.diagnostics;
+    assert!(!d.is_empty(), "the known-bad tree must fail the lint");
+
+    // wall-clock: both the import line and the two use sites.
+    let clock = diags_for(d, "bad_clock.rs");
+    assert!(clock.iter().all(|x| x.rule == "wall-clock"), "{clock:?}");
+    assert!(clock.iter().any(|x| x.line == 2), "import line flagged: {clock:?}");
+    assert!(clock.len() >= 3, "Instant::now and SystemTime::now flagged: {clock:?}");
+
+    // unwrap: the bare unwrap and the panic!, but NOT the allowed one.
+    let unwrap = diags_for(d, "bad_unwrap.rs");
+    assert_eq!(unwrap.len(), 2, "allowed unwrap must be suppressed: {unwrap:?}");
+    assert!(unwrap.iter().all(|x| x.rule == "unwrap"));
+    assert!(unwrap.iter().any(|x| x.line == 4), "{unwrap:?}");
+    assert!(unwrap.iter().any(|x| x.line == 8), "{unwrap:?}");
+
+    // float-event-loop: only inside the fixture engine.rs.
+    let float = diags_for(d, "engine.rs");
+    assert!(!float.is_empty());
+    assert!(float.iter().all(|x| x.rule == "float-event-loop"), "{float:?}");
+
+    // unseeded-rng: rand::thread_rng() — one diagnostic for the line.
+    let rng = diags_for(d, "bad_rng.rs");
+    assert_eq!(rng.len(), 1, "{rng:?}");
+    assert_eq!(rng[0].rule, "unseeded-rng");
+    assert_eq!(rng[0].line, 4);
+
+    // map-iteration: import plus declarations.
+    let map = diags_for(d, "bad_map.rs");
+    assert!(map.len() >= 3, "{map:?}");
+    assert!(map.iter().all(|x| x.rule == "map-iteration"));
+
+    // sweep-routing: the runnerless sweep, at its `pub fn` line.
+    let sweep = diags_for(d, "bad_sweep.rs");
+    assert_eq!(sweep.len(), 1, "{sweep:?}");
+    assert_eq!(sweep[0].rule, "sweep-routing");
+    assert_eq!(sweep[0].line, 3);
+    assert!(sweep[0].message.contains("buffer_sweep"));
+
+    // The tricky-but-clean file (tokens only in comments/strings/chars)
+    // and the properly routed sweeps must not fire at all.
+    assert!(diags_for(d, "clean_tricky.rs").is_empty(), "{d:?}");
+    assert!(diags_for(d, "good_sweep.rs").is_empty(), "{d:?}");
+}
+
+#[test]
+fn diagnostics_render_file_line_rule() {
+    let report = lint_workspace(&fixtures_root()).expect("fixture tree readable");
+    let rng = report
+        .diagnostics
+        .iter()
+        .find(|x| x.path.ends_with("bad_rng.rs"))
+        .expect("bad_rng diagnostic");
+    let s = rng.to_string();
+    assert!(s.contains("bad_rng.rs:4: [unseeded-rng]"), "{s}");
+}
+
+#[test]
+fn live_tree_is_clean() {
+    let report = lint_workspace(&workspace_root()).expect("workspace readable");
+    assert!(report.files_scanned > 30, "scanned only {} files", report.files_scanned);
+    assert!(
+        report.diagnostics.is_empty(),
+        "live tree must pass its own lint:\n{}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn no_allow_escapes_in_the_hot_paths() {
+    // Acceptance bar: zero `lint:allow` markers in crates/sim and
+    // crates/tcp — the hot paths meet the rules outright.
+    for krate in ["sim", "tcp"] {
+        let src = workspace_root().join("crates").join(krate).join("src");
+        for file in rust_files(&src).expect("src readable") {
+            let content = std::fs::read_to_string(&file).expect("file readable");
+            assert!(
+                !content.contains("lint:allow"),
+                "{} contains a lint:allow escape hatch",
+                file.display()
+            );
+        }
+    }
+}

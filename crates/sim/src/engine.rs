@@ -10,6 +10,7 @@
 //! composition layer (the `tengig` core crate) turns their actions into
 //! scheduled closures.
 
+use crate::sanitizer::{Sanitizer, ViolationKind};
 use crate::time::Nanos;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -48,6 +49,7 @@ pub struct Engine<W> {
     seq: u64,
     executed: u64,
     queue: BinaryHeap<Entry<W>>,
+    sanitizer: Option<Sanitizer>,
     /// Hard cap on executed events; guards against runaway feedback loops in
     /// model composition bugs. [`Engine::run`] panics when exceeded.
     pub event_limit: u64,
@@ -67,8 +69,33 @@ impl<W> Engine<W> {
             seq: 0,
             executed: 0,
             queue: BinaryHeap::new(),
+            sanitizer: None,
             event_limit: u64::MAX,
         }
+    }
+
+    /// Install a runtime invariant [`Sanitizer`] on this engine.
+    ///
+    /// Once installed, past-scheduling is recorded as a causality violation
+    /// (instead of the debug assertion) and model layers can reach the
+    /// ledger through [`Engine::sanitizer_mut`] from any event handler.
+    pub fn install_sanitizer(&mut self, sanitizer: Sanitizer) {
+        self.sanitizer = Some(sanitizer);
+    }
+
+    /// The installed sanitizer, if any.
+    pub fn sanitizer(&self) -> Option<&Sanitizer> {
+        self.sanitizer.as_ref()
+    }
+
+    /// Mutable access to the installed sanitizer, if any.
+    pub fn sanitizer_mut(&mut self) -> Option<&mut Sanitizer> {
+        self.sanitizer.as_mut()
+    }
+
+    /// Remove and return the installed sanitizer for end-of-run inspection.
+    pub fn take_sanitizer(&mut self) -> Option<Sanitizer> {
+        self.sanitizer.take()
     }
 
     /// Current virtual time. Monotonically non-decreasing across callbacks.
@@ -91,13 +118,29 @@ impl<W> Engine<W> {
 
     /// Schedule `f` to run at absolute time `at`.
     ///
-    /// Scheduling in the past is a model bug; the engine clamps to `now` in
-    /// release builds and panics in debug builds.
+    /// Scheduling in the past is a model bug and is rejected, never
+    /// silently reordered: with a [`Sanitizer`] installed the engine
+    /// records a causality violation (so tests can observe it); without
+    /// one it panics in debug builds. Either way the event is clamped to
+    /// `now` so release runs keep a monotonic clock.
     pub fn schedule_at<F>(&mut self, at: Nanos, f: F)
     where
         F: FnOnce(&mut W, &mut Engine<W>) + 'static,
     {
-        debug_assert!(at >= self.now, "event scheduled in the past: {} < {}", at, self.now);
+        if at < self.now {
+            if let Some(s) = self.sanitizer.as_mut() {
+                let detail =
+                    format!("handler scheduled an event at {} with the clock at {}", at, self.now);
+                s.record(ViolationKind::Causality, self.now, detail);
+            } else {
+                debug_assert!(
+                    at >= self.now,
+                    "event scheduled in the past: {} < {}",
+                    at,
+                    self.now
+                );
+            }
+        }
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
@@ -271,6 +314,37 @@ mod tests {
         eng.event_limit = 1000;
         eng.schedule_at(Nanos(0), respawn);
         eng.run(&mut ());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_scheduling_panics_without_a_sanitizer() {
+        let mut eng: Engine<()> = Engine::new();
+        eng.schedule_at(Nanos(100), |_, e: &mut Engine<()>| {
+            e.schedule_at(Nanos(50), |_, _| {});
+        });
+        eng.run(&mut ());
+    }
+
+    #[test]
+    fn past_scheduling_is_recorded_by_the_sanitizer() {
+        let mut eng: Engine<Vec<Nanos>> = Engine::new();
+        eng.install_sanitizer(Sanitizer::new(0xD06));
+        let mut log = Vec::new();
+        eng.schedule_at(Nanos(100), |_, e: &mut Engine<Vec<Nanos>>| {
+            e.schedule_at(Nanos(50), |w, e| w.push(e.now()));
+        });
+        eng.run(&mut log);
+        // The offending event still ran, clamped to the current time.
+        assert_eq!(log, vec![Nanos(100)]);
+        let s = eng.take_sanitizer().expect("sanitizer was installed");
+        assert_eq!(s.violations().len(), 1);
+        let v = &s.violations()[0];
+        assert_eq!(v.kind, ViolationKind::Causality);
+        assert_eq!(v.at, Nanos(100));
+        assert!(v.detail.contains("50ns"), "{}", v.detail);
+        assert!(s.report().contains("seed=0xd06"), "{}", s.report());
     }
 
     #[test]

@@ -11,7 +11,9 @@
 //! * [`DropTailQueue`] — bounded byte queues for switch/router buffers,
 //! * statistics instruments ([`stats`]) and a packet-path tracer ([`trace`],
 //!   the substrate of the MAGNET analog),
-//! * [`SimRng`] — deterministic, forkable randomness.
+//! * [`SimRng`] — deterministic, forkable randomness,
+//! * [`Sanitizer`] — a runtime invariant checker (causality, byte
+//!   conservation, TCP sequence invariants) installable on the engine.
 //!
 //! Everything above (hosts, NICs, TCP, switches, the WAN) is built from these
 //! pieces by the other `tengig-*` crates.
@@ -22,6 +24,7 @@
 pub mod engine;
 pub mod queue;
 pub mod rng;
+pub mod sanitizer;
 pub mod server;
 pub mod stats;
 pub mod time;
@@ -31,6 +34,7 @@ pub mod units;
 pub use engine::Engine;
 pub use queue::{DropTailQueue, Enqueue};
 pub use rng::SimRng;
+pub use sanitizer::{Sanitizer, SimConfig, Violation, ViolationKind};
 pub use server::{Admission, FifoServer, ServerBank};
 pub use time::Nanos;
 pub use trace::{Stage, TraceEvent, Tracer};

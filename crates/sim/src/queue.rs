@@ -127,10 +127,10 @@ mod tests {
         assert!(matches!(q.enqueue('b', 4000), Enqueue::Accepted { depth: 8000 }));
         assert_eq!(q.len(), 2);
         assert_eq!(q.headroom(), 2000);
-        let first = q.dequeue().unwrap();
+        let first = q.dequeue().expect("two items were enqueued");
         assert_eq!(first.item, 'a');
         assert_eq!(q.depth_bytes(), 4000);
-        assert_eq!(q.dequeue().unwrap().item, 'b');
+        assert_eq!(q.dequeue().expect("second item still queued").item, 'b');
         assert!(q.is_empty());
     }
 

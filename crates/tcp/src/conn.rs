@@ -709,6 +709,138 @@ impl TcpConn {
     pub fn peer_window(&self) -> u64 {
         self.peer_window_remaining()
     }
+
+    // ------------------------------------------------------------------
+    // invariants (runtime sanitizer hook)
+    // ------------------------------------------------------------------
+
+    /// Check the connection's sequence-space invariants.
+    ///
+    /// Called by the composition layer at every ACK when a runtime
+    /// sanitizer is installed, and by property tests after random traces.
+    /// Returns a description of the first violated invariant, or `Ok` when
+    /// the state is consistent. The checks:
+    ///
+    /// * `snd_una ≤ snd_nxt`, and the retransmission queue exactly tiles
+    ///   `(snd_una, snd_nxt]` — contiguous records whose tail ends at
+    ///   `snd_nxt` (empty only when everything sent is acknowledged);
+    /// * congestion state bounds: `cwnd ≥ 1`, `ssthresh ≥ 2`, and `cwnd`
+    ///   never exceeds the clamp beyond legal fast-recovery inflation
+    ///   (`ssthresh + 3`);
+    /// * send-buffer accounting: queued bytes match the write queue and
+    ///   in-flight + queued never exceeds `tcp_wmem`;
+    /// * SWS rounding: the advertised window is a multiple of the
+    ///   estimated peer MSS unless it is pinned to a previously promised
+    ///   right edge, and the promised edge never falls behind `rcv_nxt`;
+    /// * out-of-order ranges are non-empty, disjoint, and strictly beyond
+    ///   `rcv_nxt`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        // --- send sequence space ---
+        if self.snd_una > self.snd_nxt {
+            return Err(format!("snd_una {} > snd_nxt {}", self.snd_una, self.snd_nxt));
+        }
+        if let Some(last) = self.rtxq.back() {
+            if last.seq + last.len != self.snd_nxt {
+                return Err(format!(
+                    "rtxq tail ends at {} but snd_nxt is {}",
+                    last.seq + last.len,
+                    self.snd_nxt
+                ));
+            }
+            let front = self.rtxq.front().expect("non-empty queue has a front");
+            if front.seq + front.len <= self.snd_una {
+                return Err(format!(
+                    "rtxq front [{}, {}) is fully acknowledged at snd_una {}",
+                    front.seq,
+                    front.seq + front.len,
+                    self.snd_una
+                ));
+            }
+            let mut expected = front.seq;
+            for rec in &self.rtxq {
+                if rec.seq != expected || rec.len == 0 {
+                    return Err(format!(
+                        "rtxq gap: record [{}, {}) does not start at {}",
+                        rec.seq,
+                        rec.seq + rec.len,
+                        expected
+                    ));
+                }
+                expected = rec.seq + rec.len;
+            }
+        } else if self.snd_una != self.snd_nxt {
+            return Err(format!(
+                "empty rtxq with unacknowledged data: snd_una {} != snd_nxt {}",
+                self.snd_una, self.snd_nxt
+            ));
+        }
+        // --- congestion control bounds ---
+        if self.cc.cwnd < 1 {
+            return Err("cwnd fell to 0".to_string());
+        }
+        if self.cc.ssthresh < 2 {
+            return Err(format!("ssthresh {} below the floor of 2", self.cc.ssthresh));
+        }
+        let cwnd_bound = self.cc.cwnd_clamp.max(self.cc.ssthresh.saturating_add(3));
+        if self.cc.cwnd > cwnd_bound {
+            return Err(format!(
+                "cwnd {} exceeds clamp {} (+ recovery inflation)",
+                self.cc.cwnd, self.cc.cwnd_clamp
+            ));
+        }
+        // --- send-buffer accounting ---
+        let queued_sum: u64 = self.write_queue.iter().sum();
+        if queued_sum != self.queued_bytes {
+            return Err(format!(
+                "queued_bytes {} != write queue total {}",
+                self.queued_bytes, queued_sum
+            ));
+        }
+        if self.inflight_bytes() + self.queued_bytes > self.cfg.tcp_wmem.default {
+            return Err(format!(
+                "send buffer overcommitted: {} in flight + {} queued > tcp_wmem {}",
+                self.inflight_bytes(),
+                self.queued_bytes,
+                self.cfg.tcp_wmem.default
+            ));
+        }
+        // --- receive window (SWS rounding, §3.5.1) ---
+        if self.rcv_adv < self.rcv_nxt {
+            return Err(format!(
+                "promised window edge {} fell behind rcv_nxt {}",
+                self.rcv_adv, self.rcv_nxt
+            ));
+        }
+        let w = self.window_to_advertise();
+        let mss = self.rcv_mss_est.max(1);
+        let promised = self.rcv_adv - self.rcv_nxt;
+        if w % mss != 0 && w != promised {
+            return Err(format!(
+                "advertised window {w} is neither a multiple of the peer MSS {mss} \
+                 nor the promised remnant {promised}"
+            ));
+        }
+        // --- out-of-order reassembly ranges ---
+        let mut prev_end = 0u64;
+        for (&start, &end) in &self.ooo {
+            if start >= end {
+                return Err(format!("empty/inverted ooo range [{start}, {end})"));
+            }
+            if start <= self.rcv_nxt {
+                return Err(format!(
+                    "ooo range [{start}, {end}) starts at or before rcv_nxt {}",
+                    self.rcv_nxt
+                ));
+            }
+            if start <= prev_end && prev_end != 0 {
+                return Err(format!(
+                    "ooo ranges overlap or touch: previous end {prev_end}, next start {start}"
+                ));
+            }
+            prev_end = end;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -152,6 +152,70 @@ proptest! {
         }
     }
 
+    /// Random TCP traces — interleaved writes, reads, losses, reordered
+    /// deliveries, and timer fires — never trip the connection's
+    /// sequence-space invariants ([`TcpConn::check_invariants`]), the same
+    /// checks the runtime sanitizer applies at every ACK.
+    #[test]
+    fn random_traces_never_trip_invariants(
+        ops in proptest::collection::vec((0u8..6, 0u64..20_000), 20..150),
+    ) {
+        let cfg = Sysctls::default().with_buffers(256 * 1024);
+        let mss = cfg.mss();
+        let mut a = TcpConn::new(cfg, mss);
+        let mut b = TcpConn::new(cfg, mss);
+        let mut now = Nanos::from_micros(1);
+        let mut to_b: Vec<Segment> = Vec::new();
+        let mut to_a: Vec<Segment> = Vec::new();
+        for (op, arg) in ops {
+            now += Nanos::from_micros(1 + arg % 500);
+            match op {
+                // The sender's application writes.
+                0 => {
+                    let (_, acts) = a.on_app_write(now, 1 + arg);
+                    to_b.extend(sends(&acts));
+                }
+                // Deliver one a→b segment, possibly out of order.
+                1 if !to_b.is_empty() => {
+                    let i = arg as usize % to_b.len();
+                    let seg = to_b.remove(i);
+                    to_a.extend(sends(&b.on_segment(now, &seg)));
+                }
+                // Deliver one b→a segment (ACK path), possibly out of order.
+                2 if !to_a.is_empty() => {
+                    let i = arg as usize % to_a.len();
+                    let seg = to_a.remove(i);
+                    to_b.extend(sends(&a.on_segment(now, &seg)));
+                }
+                // Drop a segment in either direction (congestion loss).
+                3 if !to_b.is_empty() => {
+                    let i = arg as usize % to_b.len();
+                    to_b.remove(i);
+                }
+                4 if !to_a.is_empty() => {
+                    let i = arg as usize % to_a.len();
+                    to_a.remove(i);
+                }
+                // Fire timers: probe a spread of generations; stale ones
+                // are ignored, live ones retransmit or flush an ACK.
+                5 => {
+                    now += Nanos::from_secs(3); // past any backoff RTO
+                    for g in 0..40 {
+                        to_b.extend(sends(&a.on_timer(now, tengig_tcp::TimerKind::Rto, g)));
+                        to_a.extend(sends(&b.on_timer(now, tengig_tcp::TimerKind::DelAck, g)));
+                    }
+                    // The receiver's application drains its buffer.
+                    to_a.extend(sends(&b.on_app_read(now, u64::MAX)));
+                }
+                _ => {}
+            }
+            let ra = a.check_invariants();
+            prop_assert!(ra.is_ok(), "sender invariants: {:?}", ra);
+            let rb = b.check_invariants();
+            prop_assert!(rb.is_ok(), "receiver invariants: {:?}", rb);
+        }
+    }
+
     /// Segments never exceed the negotiated MSS, and a write of n bytes
     /// produces exactly ceil(n/mss) segments once the window permits.
     #[test]

@@ -141,6 +141,72 @@ fn iperf_and_nttcp_agree_within_a_few_percent() {
 }
 
 #[test]
+fn sanitized_sweeps_are_byte_identical_across_threads_and_sanitizer_state() {
+    // The runtime sanitizer's contract: it observes (byte-conservation
+    // ledger, TCP invariants, causality) but never perturbs — no events,
+    // no RNG draws. So every experiment's JSONL must be byte-identical
+    // (a) at any sweep-runner thread count and (b) with the sanitizer on
+    // or off. All six experiment families run here with reduced grids.
+    use tengig::experiments::{anecdotal, latency, multiflow, osbypass, throughput, wan};
+    use tengig::sweep::SweepRunner;
+    use tengig_net::WanSpec;
+    use tengig_sim::sanitizer;
+
+    let jumbo = LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000);
+    let wan_spec = WanSpec::record_run();
+    let all_six = |threads: usize| -> Vec<String> {
+        let runner = || SweepRunner::new(threads);
+        let sec = Nanos::from_secs(1);
+        let ms20 = Nanos::from_millis(20);
+        vec![
+            throughput::throughput_sweep_report(
+                jumbo, "e2e", &[512, 1448, 8948], 400, 2003, runner(),
+            )
+            .1
+            .to_jsonl(),
+            latency::latency_sweep_report(jumbo, "e2e", &[1, 256, 1024], false, 2003, runner())
+                .1
+                .to_jsonl(),
+            wan::buffer_sweep_report(
+                &wan_spec, &[None, Some(8 << 20)], sec, sec, 2003, runner(),
+            )
+            .1
+            .to_jsonl(),
+            multiflow::peer_sweep_report(
+                jumbo, &[1, 2], multiflow::Direction::IntoTenGbe, ms20, ms20, 2003, runner(),
+            )
+            .1
+            .to_jsonl(),
+            osbypass::mtu_sweep_report(&[Mtu::STANDARD, Mtu::JUMBO_9000], 400, 2003, runner())
+                .1
+                .to_jsonl(),
+            anecdotal::e7505_sweep_report(400, 2003, runner()).1.to_jsonl(),
+        ]
+    };
+
+    // Sanitize unconditionally (debug builds already default to on); a
+    // violation anywhere panics the scenario and fails the sweep.
+    let was_on = sanitizer::default_enabled();
+    sanitizer::set_default_enabled(true);
+    let serial = all_six(1);
+    let parallel = all_six(4);
+    sanitizer::set_default_enabled(false);
+    let unsanitized = all_six(4);
+    sanitizer::set_default_enabled(was_on);
+
+    for (i, name) in
+        ["throughput", "latency", "wan", "multiflow", "osbypass", "anecdotal"].iter().enumerate()
+    {
+        assert!(!serial[i].is_empty(), "{name} produced no rows");
+        assert_eq!(serial[i], parallel[i], "{name}: 1-thread vs 4-thread JSONL diverged");
+        assert_eq!(
+            parallel[i], unsanitized[i],
+            "{name}: the sanitizer perturbed the simulation"
+        );
+    }
+}
+
+#[test]
 fn bidirectional_flows_share_the_host_fairly() {
     // Beyond the paper's unidirectional tests: two opposing bulk flows
     // between the same pair of hosts contend for each host's CPU, memory
