@@ -23,7 +23,10 @@ fn mmrbc_sweep() {
             .pe2650_config(Mtu::JUMBO_9000)
             .tuned(TuningStep::Mmrbc(mmrbc));
         let r = nttcp_point(cfg, 8948, BENCH_COUNT, 1);
-        t.row(vec![mmrbc.to_string(), format!("{:.2}", r.throughput.gbps())]);
+        t.row(vec![
+            mmrbc.to_string(),
+            format!("{:.2}", r.throughput.gbps()),
+        ]);
     }
     println!("{}", t.render());
 }

@@ -52,7 +52,9 @@ fn regenerate() {
 
 fn bench(c: &mut Criterion) {
     regenerate();
-    c.bench_function("anecdotal/e7505_point", |b| b.iter(|| e7505_out_of_box(BENCH_COUNT)));
+    c.bench_function("anecdotal/e7505_point", |b| {
+        b.iter(|| e7505_out_of_box(BENCH_COUNT))
+    });
     c.bench_function("anecdotal/itanium_aggregation_8", |b| {
         b.iter(|| itanium_aggregation(8, Nanos::from_millis(10), Nanos::from_millis(10)))
     });

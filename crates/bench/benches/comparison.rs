@@ -17,12 +17,17 @@ fn regenerate() {
     let lat = netpipe_point(cfg, 1, false);
     let mut t = Table::new(
         "§3.5.4 interconnect comparison",
-        &["interconnect", "unidirectional", "latency", "10GbE thr advantage", "10GbE lat advantage"],
+        &[
+            "interconnect",
+            "unidirectional",
+            "latency",
+            "10GbE thr advantage",
+            "10GbE lat advantage",
+        ],
     );
     for ic in Interconnect::all_baselines() {
         let thr_adv = (thr.gbps() / ic.unidirectional.gbps() - 1.0) * 100.0;
-        let lat_adv =
-            (1.0 - lat.as_nanos() as f64 / ic.latency.as_nanos() as f64) * 100.0;
+        let lat_adv = (1.0 - lat.as_nanos() as f64 / ic.latency.as_nanos() as f64) * 100.0;
         t.row(vec![
             ic.name.to_string(),
             ic.unidirectional.to_string(),

@@ -26,7 +26,13 @@ fn regenerate() {
             BENCH_COUNT,
         ),
     ];
-    println!("{}", figure("Fig. 3: throughput of stock TCP (Mb/s vs payload bytes)", &series));
+    println!(
+        "{}",
+        figure(
+            "Fig. 3: throughput of stock TCP (Mb/s vs payload bytes)",
+            &series
+        )
+    );
     println!(
         "peaks: 1500 MTU {:.0} Mb/s (paper 1800), 9000 MTU {:.0} Mb/s (paper 2700)\n",
         series[0].peak(),

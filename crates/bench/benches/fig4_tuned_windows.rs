@@ -28,7 +28,13 @@ fn regenerate() {
             BENCH_COUNT,
         ),
     ];
-    println!("{}", figure("Fig. 4: oversized windows + MMRBC 4096 + UP (Mb/s)", &series));
+    println!(
+        "{}",
+        figure(
+            "Fig. 4: oversized windows + MMRBC 4096 + UP (Mb/s)",
+            &series
+        )
+    );
     let dip = series[1].min_in(7_436.0, 8_947.0).unwrap_or(0.0);
     println!(
         "peaks: 1500 {:.0} Mb/s (paper 2470), 9000 {:.0} Mb/s (paper 3900); \

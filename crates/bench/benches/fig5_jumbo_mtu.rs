@@ -29,15 +29,23 @@ fn regenerate() {
         BENCH_COUNT,
     );
     let mut series = vec![m16000, m8160];
-    for (label, gbps) in
-        [("Quadrics (theoretical)", 3.2), ("Myrinet (theoretical)", 2.0), ("GbE (theoretical)", 1.0)]
-    {
+    for (label, gbps) in [
+        ("Quadrics (theoretical)", 3.2),
+        ("Myrinet (theoretical)", 2.0),
+        ("GbE (theoretical)", 1.0),
+    ] {
         let mut s = Series::new(label);
         s.push(1_024.0, gbps * 1000.0);
         s.push(16_384.0, gbps * 1000.0);
         series.push(s);
     }
-    println!("{}", figure("Fig. 5: cumulative optimizations with non-standard MTUs (Mb/s)", &series));
+    println!(
+        "{}",
+        figure(
+            "Fig. 5: cumulative optimizations with non-standard MTUs (Mb/s)",
+            &series
+        )
+    );
     println!(
         "peaks: 16000 {:.0} Mb/s (paper 4090), 8160 {:.0} Mb/s (paper 4110); \
          means: 16000 {:.0} vs 8160 {:.0}\n",

@@ -16,7 +16,10 @@ fn regenerate() {
         latency_sweep(cfg, "back-to-back (us)", &payloads, false),
         latency_sweep(cfg, "through FastIron 1500 (us)", &payloads, true),
     ];
-    println!("{}", figure("Fig. 6: end-to-end latency (us vs payload bytes)", &series));
+    println!(
+        "{}",
+        figure("Fig. 6: end-to-end latency (us vs payload bytes)", &series)
+    );
     println!(
         "1-byte: b2b {:.1} us (paper 19), switch {:.1} us (paper 25); 1 KiB b2b {:.1} us (paper ~23)\n",
         series[0].at(1.0).unwrap(),
@@ -28,8 +31,12 @@ fn regenerate() {
 fn bench(c: &mut Criterion) {
     regenerate();
     let cfg = LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000);
-    c.bench_function("fig6/netpipe_1byte_b2b", |b| b.iter(|| netpipe_point(cfg, 1, false)));
-    c.bench_function("fig6/netpipe_1byte_switch", |b| b.iter(|| netpipe_point(cfg, 1, true)));
+    c.bench_function("fig6/netpipe_1byte_b2b", |b| {
+        b.iter(|| netpipe_point(cfg, 1, false))
+    });
+    c.bench_function("fig6/netpipe_1byte_switch", |b| {
+        b.iter(|| netpipe_point(cfg, 1, true))
+    });
 }
 
 criterion_group! {

@@ -20,7 +20,10 @@ fn regenerate() {
     ];
     println!(
         "{}",
-        figure("Fig. 7: latency without interrupt coalescing (us vs payload bytes)", &series)
+        figure(
+            "Fig. 7: latency without interrupt coalescing (us vs payload bytes)",
+            &series
+        )
     );
     let with = netpipe_point(base, 1, false).as_micros_f64();
     let without = series[0].at(1.0).unwrap();

@@ -12,7 +12,13 @@ fn regenerate() {
     let results = ladder(Mtu::JUMBO_9000, &payloads, BENCH_COUNT);
     let mut t = Table::new(
         "§3.3 optimization ladder (base MTU 9000)",
-        &["configuration", "peak Mb/s", "mean Mb/s", "tx CPU", "rx CPU"],
+        &[
+            "configuration",
+            "peak Mb/s",
+            "mean Mb/s",
+            "tx CPU",
+            "rx CPU",
+        ],
     );
     for r in &results {
         t.row(vec![

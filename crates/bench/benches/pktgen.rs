@@ -38,7 +38,9 @@ fn regenerate() {
 fn bench(c: &mut Criterion) {
     regenerate();
     let cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
-    c.bench_function("pktgen/8160_burst", |b| b.iter(|| pktgen_run(cfg, 8132, 4_000)));
+    c.bench_function("pktgen/8160_burst", |b| {
+        b.iter(|| pktgen_run(cfg, 8132, 4_000))
+    });
 }
 
 criterion_group! {

@@ -12,7 +12,14 @@ use tengig_sim::{Bandwidth, Nanos};
 fn regenerate() {
     let mut t = Table::new(
         "Table 1: time to recover from a single packet loss",
-        &["path", "bandwidth", "RTT (ms)", "MSS (bytes)", "time to recover", "paper"],
+        &[
+            "path",
+            "bandwidth",
+            "RTT (ms)",
+            "MSS (bytes)",
+            "time to recover",
+            "paper",
+        ],
     );
     let paper = ["ms-scale", "1 hr 42 min", "17 min", "3 hr 51 min", "38 min"];
     for (row, p) in table1().into_iter().zip(paper) {
@@ -35,7 +42,12 @@ fn regenerate() {
         bottleneck_buffer: 64 << 20,
         random_loss: 0.0,
     };
-    let clean = record_run(&mini, None, Nanos::from_millis(600), Nanos::from_millis(600));
+    let clean = record_run(
+        &mini,
+        None,
+        Nanos::from_millis(600),
+        Nanos::from_millis(600),
+    );
     let lossy = record_run(
         &mini.with_random_loss(2e-5),
         None,

@@ -13,7 +13,14 @@ fn regenerate() {
     let window = Nanos::from_secs(3);
     let mut t = Table::new(
         "§4: single-stream TCP over the OC-192/OC-48 circuit (180 ms RTT)",
-        &["buffers", "steady Gb/s", "payload eff.", "rtx", "drops", "1 TB takes"],
+        &[
+            "buffers",
+            "steady Gb/s",
+            "payload eff.",
+            "rtx",
+            "drops",
+            "1 TB takes",
+        ],
     );
     let rec = record_run(&wan, None, warmup, window);
     t.row(vec![

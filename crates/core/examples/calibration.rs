@@ -5,7 +5,10 @@ use tengig::report::comparison_table;
 fn main() {
     let targets = run_calibration();
     let rows: Vec<_> = targets.iter().map(|t| t.cmp.clone()).collect();
-    println!("{}", comparison_table("Calibration: paper vs laboratory", &rows));
+    println!(
+        "{}",
+        comparison_table("Calibration: paper vs laboratory", &rows)
+    );
     let mut fails = 0;
     for t in &targets {
         if !t.pass() {
@@ -18,5 +21,9 @@ fn main() {
             );
         }
     }
-    println!("\n{} targets, {} within tolerance", targets.len(), targets.len() - fails);
+    println!(
+        "\n{} targets, {} within tolerance",
+        targets.len(),
+        targets.len() - fails
+    );
 }

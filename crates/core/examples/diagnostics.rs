@@ -14,12 +14,15 @@ use tengig_tools::{NttcpReceiver, NttcpSender};
 
 fn detail(rung: LadderRung, mtu: Mtu, payload: u64, count: u64) {
     let cfg = rung.pe2650_config(mtu);
-    let app = App::Nttcp { tx: NttcpSender::new(payload, count), rx: NttcpReceiver::new(payload*count) };
+    let app = App::Nttcp {
+        tx: NttcpSender::new(payload, count),
+        rx: NttcpReceiver::new(payload * count),
+    };
     let (mut lab, mut eng) = b2b_lab(cfg, app, 7);
     run_to_completion(&mut lab, &mut eng);
     let m = lab.flows[0].meas;
     let el = m.t_done.unwrap() - m.t_start.unwrap();
-    let gbps = tengig_sim::rate_of(payload*count, el).gbps();
+    let gbps = tengig_sim::rate_of(payload * count, el).gbps();
     let c = &lab.flows[0].conns[0];
     let end = m.t_done.unwrap();
     println!("{:32} p={:5} {:6.3} Gb/s | cwnd={:3} srtt={} rwnd_lim={} cwnd_lim={} rtx={} | txcpu={:.2} rxcpu={:.2} | txpci u={:.2} rxpci u={:.2} txmem u={:.2} rxmem u={:.2}",
@@ -51,8 +54,15 @@ fn main() {
     println!("lat b2b 1B    : {}", netpipe_point(base, 1, false));
     println!("lat sw  1B    : {}", netpipe_point(base, 1, true));
     println!("lat b2b 1024B : {}", netpipe_point(base, 1024, false));
-    println!("lat b2b nocoal: {}", netpipe_point(without_coalescing(base), 1, false));
+    println!(
+        "lat b2b nocoal: {}",
+        netpipe_point(without_coalescing(base), 1, false)
+    );
     // pktgen
-    let pg = tengig::experiments::throughput::pktgen_run(LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160), 8132, 5000);
+    let pg = tengig::experiments::throughput::pktgen_run(
+        LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160),
+        8132,
+        5000,
+    );
     println!("pktgen: {:.3} Gb/s {:.0} pps", pg.gbps, pg.pps);
 }

@@ -57,7 +57,13 @@ pub fn table1() -> Vec<RecoveryRow> {
         .map(|&(path, gbps, rtt_us, mss)| {
             let bandwidth = Bandwidth::from_gbps(gbps);
             let rtt = Nanos::from_micros(rtt_us);
-            RecoveryRow { path, bandwidth, rtt, mss, time: recovery_time(bandwidth, rtt, mss) }
+            RecoveryRow {
+                path,
+                bandwidth,
+                rtt,
+                mss,
+                time: recovery_time(bandwidth, rtt, mss),
+            }
         })
         .collect()
 }
@@ -201,7 +207,11 @@ mod tests {
         // §3.5.1: receiver MSS 8948, sender MSS 8960, 33,000 bytes of
         // available socket memory → advertised 26,844; sender usable
         // 17,920 — "nearly 50% smaller than the actual available memory".
-        let wq = WindowQuantization { ideal_window: 33_000, snd_mss: 8960, rcv_mss: 8948 };
+        let wq = WindowQuantization {
+            ideal_window: 33_000,
+            snd_mss: 8960,
+            rcv_mss: 8948,
+        };
         assert_eq!(wq.advertised(), 26_844);
         assert_eq!(wq.sender_usable(), 17_920);
         assert!(wq.efficiency() < 0.55, "{}", wq.efficiency());
@@ -211,19 +221,31 @@ mod tests {
     fn window_quantization_lan_example() {
         // §3.5.1: 48 KB ideal window, 8948-byte MSS → 5 of 5.5 packets,
         // "attenuates the ideal data rate by nearly 17%".
-        let wq = WindowQuantization { ideal_window: 48_000, snd_mss: 8948, rcv_mss: 8948 };
+        let wq = WindowQuantization {
+            ideal_window: 48_000,
+            snd_mss: 8948,
+            rcv_mss: 8948,
+        };
         assert_eq!(wq.advertised() / 8948, 5);
         let att = wq.attenuation_pct();
         assert!((6.0..8.0).contains(&att), "{att}%"); // 5×8948=44740 of 48000
-        // The paper's 17% figure compares 5 packets to the ideal 5.5+:
+                                                      // The paper's 17% figure compares 5 packets to the ideal 5.5+:
         let vs_six: f64 = 1.0 - (5.0 * 8948.0) / (6.0 * 8948.0);
         assert!((vs_six * 100.0 - 16.7).abs() < 0.1);
     }
 
     #[test]
     fn small_mss_quantizes_gently() {
-        let jumbo = WindowQuantization { ideal_window: 48_000, snd_mss: 8948, rcv_mss: 8948 };
-        let std = WindowQuantization { ideal_window: 48_000, snd_mss: 1448, rcv_mss: 1448 };
+        let jumbo = WindowQuantization {
+            ideal_window: 48_000,
+            snd_mss: 8948,
+            rcv_mss: 8948,
+        };
+        let std = WindowQuantization {
+            ideal_window: 48_000,
+            snd_mss: 1448,
+            rcv_mss: 1448,
+        };
         assert!(std.efficiency() > jumbo.efficiency());
         assert!(std.efficiency() > 0.97);
     }

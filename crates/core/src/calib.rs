@@ -41,7 +41,9 @@ impl Target {
 pub const CALIB_COUNT: u64 = 6_000;
 
 fn peak(rung: LadderRung, mtu: Mtu, payload: u64) -> f64 {
-    nttcp_point(rung.pe2650_config(mtu), payload, CALIB_COUNT, 7).throughput.gbps()
+    nttcp_point(rung.pe2650_config(mtu), payload, CALIB_COUNT, 7)
+        .throughput
+        .gbps()
 }
 
 /// Run the full calibration battery. Expensive (several seconds of CPU);
@@ -50,7 +52,12 @@ pub fn run_calibration() -> Vec<Target> {
     let mut out = Vec::new();
     let mut push = |name: &str, paper: f64, measured: f64, unit: &'static str, tol: f64| {
         out.push(Target {
-            cmp: Comparison { name: name.into(), paper, measured, unit },
+            cmp: Comparison {
+                name: name.into(),
+                paper,
+                measured,
+                unit,
+            },
             tol,
         });
     };
@@ -149,14 +156,29 @@ pub fn run_calibration() -> Vec<Target> {
     );
 
     // --- §3.5.2: packet generator ---
-    let pg = pktgen_run(LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160), 8132, 8_000);
+    let pg = pktgen_run(
+        LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160),
+        8132,
+        8_000,
+    );
     push("pktgen single-copy max", 5.5, pg.gbps, "Gb/s", 0.12);
     push("pktgen packet rate", 88_400.0, pg.pps, "pkt/s", 0.12);
 
     // --- §4: the WAN record ---
-    let wan = record_run(&WanSpec::record_run(), None, Nanos::from_secs(3), Nanos::from_secs(2));
+    let wan = record_run(
+        &WanSpec::record_run(),
+        None,
+        Nanos::from_secs(3),
+        Nanos::from_secs(2),
+    );
     push("WAN single-stream record", 2.38, wan.gbps, "Gb/s", 0.05);
-    push("WAN payload efficiency", 0.99, wan.payload_efficiency, "", 0.05);
+    push(
+        "WAN payload efficiency",
+        0.99,
+        wan.payload_efficiency,
+        "",
+        0.05,
+    );
     push(
         "WAN terabyte transfer time",
         3361.0, // 1 TB at 2.38 Gb/s
@@ -175,7 +197,12 @@ mod tests {
     #[test]
     fn target_pass_logic() {
         let t = Target {
-            cmp: Comparison { name: "x".into(), paper: 2.0, measured: 2.1, unit: "Gb/s" },
+            cmp: Comparison {
+                name: "x".into(),
+                paper: 2.0,
+                measured: 2.1,
+                unit: "Gb/s",
+            },
             tol: 0.06,
         };
         assert!(t.pass());

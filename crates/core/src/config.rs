@@ -143,12 +143,18 @@ mod tests {
         assert_eq!(win.sysctls.tcp_rmem.default, 262_144);
         let m8 = LadderRung::Mtu8160.pe2650_config(Mtu::JUMBO_9000);
         assert_eq!(m8.sysctls.mtu, Mtu::TUNED_8160);
-        assert_eq!(m8.sysctls.tcp_rmem.default, 262_144, "MTU rung keeps buffers");
+        assert_eq!(
+            m8.sysctls.tcp_rmem.default, 262_144,
+            "MTU rung keeps buffers"
+        );
     }
 
     #[test]
     fn labels_match_paper_style() {
-        assert_eq!(LadderRung::Stock.label(Mtu::JUMBO_9000), "9000MTU,SMP,512PCI");
+        assert_eq!(
+            LadderRung::Stock.label(Mtu::JUMBO_9000),
+            "9000MTU,SMP,512PCI"
+        );
         assert_eq!(
             LadderRung::OversizedWindows.label(Mtu::STANDARD),
             "1500MTU,UP,4096PCI,256kbuf"

@@ -27,7 +27,9 @@ pub fn netpipe_point_seeded(
     eng.run(&mut lab);
     assert!(lab.all_done(), "netpipe did not complete");
     lab::check_sanitizer(&mut eng, true);
-    let App::NetPipe(np) = &lab.flows[0].app else { unreachable!() };
+    let App::NetPipe(np) = &lab.flows[0].app else {
+        unreachable!()
+    };
     np.one_way_latency()
 }
 
@@ -59,7 +61,9 @@ pub fn latency_sweep_report(
         format!("{label}/payload={p}")
     });
     let results = runner
-        .run(&grid, |sc| netpipe_point_seeded(cfg, sc.input, through_switch, sc.seed))
+        .run(&grid, |sc| {
+            netpipe_point_seeded(cfg, sc.input, through_switch, sc.seed)
+        })
         .expect("latency sweep scenario panicked");
     let mut series = Series::new(label.clone());
     let mut report = SweepReport::new(label, master_seed);
@@ -138,7 +142,10 @@ mod tests {
         let l1 = netpipe_point(base(), 1, false).as_micros_f64();
         let l1024 = netpipe_point(base(), 1024, false).as_micros_f64();
         let growth = l1024 / l1;
-        assert!((1.05..1.5).contains(&growth), "growth {growth} ({l1} → {l1024})");
+        assert!(
+            (1.05..1.5).contains(&growth),
+            "growth {growth} ({l1} → {l1024})"
+        );
     }
 
     #[test]

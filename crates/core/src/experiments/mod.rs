@@ -52,7 +52,9 @@ pub fn two_host_lab(
             ],
         }
     } else {
-        Path { hops: vec![Hop::wire("xover", line, XOVER_PROP)] }
+        Path {
+            hops: vec![Hop::wire("xover", line, XOVER_PROP)],
+        }
     };
     let l_ab = lab.add_link(&path, rng.fork("ab"));
     let l_ba = lab.add_link(&path, rng.fork("ba"));

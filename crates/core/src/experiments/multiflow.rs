@@ -6,9 +6,9 @@ use crate::config::HostConfig;
 use crate::lab::{self, App, Lab};
 use crate::report::{Json, SweepReport};
 use crate::sweep::{scenarios, SweepRunner};
+use tengig_net::{Hop, Path};
 use tengig_nic::NicSpec;
 use tengig_sim::{rate_of, Bandwidth, Engine, Nanos, SimRng};
-use tengig_net::{Hop, Path};
 use tengig_tcp::Sysctls;
 use tengig_tools::{NttcpReceiver, NttcpSender};
 
@@ -90,7 +90,7 @@ pub fn aggregate_seeded(
     );
 
     let payload = 8948u64; // jumbo frames end-to-end (both MTUs support it)
-    // A long-enough run to span the window at full rate.
+                           // A long-enough run to span the window at full rate.
     let budget = Bandwidth::from_gbps(11).bytes_in(warmup + window + window);
     let count = budget / payload / peers as u64;
 
@@ -98,7 +98,9 @@ pub fn aggregate_seeded(
         let peer = lab.add_host(gbe_peer());
         // Per-peer GbE access link into / out of the switch.
         let access_in = lab.add_link(
-            &Path { hops: vec![Hop::wire("gbe-access", line1, Nanos::from_nanos(100))] },
+            &Path {
+                hops: vec![Hop::wire("gbe-access", line1, Nanos::from_nanos(100))],
+            },
             rng.fork(&format!("acc-in-{p}")),
         );
         let access_out = lab.add_link(
@@ -116,11 +118,23 @@ pub fn aggregate_seeded(
         match dir {
             Direction::IntoTenGbe => {
                 // peer → switch (access) → shared 10GbE egress → big host.
-                lab.add_flow(peer, big, vec![access_in, to_big], vec![from_big, access_out], app);
+                lab.add_flow(
+                    peer,
+                    big,
+                    vec![access_in, to_big],
+                    vec![from_big, access_out],
+                    app,
+                );
             }
             Direction::OutOfTenGbe => {
                 // big host → switch → per-peer GbE egress.
-                lab.add_flow(big, peer, vec![from_big, access_out], vec![access_in, to_big], app);
+                lab.add_flow(
+                    big,
+                    peer,
+                    vec![from_big, access_out],
+                    vec![access_in, to_big],
+                    app,
+                );
             }
         }
     }
@@ -151,8 +165,7 @@ pub fn aggregate_seeded(
     MultiflowResult {
         peers,
         aggregate_gbps: rate_of(b1 - b0, window).gbps(),
-        tengbe_cpu_load: (busy1.saturating_sub(busy0)).as_nanos() as f64
-            / window.as_nanos() as f64,
+        tengbe_cpu_load: (busy1.saturating_sub(busy0)).as_nanos() as f64 / window.as_nanos() as f64,
     }
 }
 
@@ -172,9 +185,13 @@ pub fn peer_sweep_report(
         Direction::IntoTenGbe => "multiflow/into_10gbe",
         Direction::OutOfTenGbe => "multiflow/out_of_10gbe",
     };
-    let grid = scenarios(master_seed, peer_counts.iter().copied(), |n| format!("peers={n}"));
+    let grid = scenarios(master_seed, peer_counts.iter().copied(), |n| {
+        format!("peers={n}")
+    });
     let results = runner
-        .run(&grid, |sc| aggregate_seeded(tengbe, sc.input, dir, warmup, window, sc.seed))
+        .run(&grid, |sc| {
+            aggregate_seeded(tengbe, sc.input, dir, warmup, window, sc.seed)
+        })
         .expect("multiflow sweep scenario panicked");
     let mut report = SweepReport::new(name, master_seed);
     for (sc, r) in grid.iter().zip(&results) {
@@ -207,7 +224,11 @@ mod tests {
         let w = Nanos::from_millis(30);
         let one = aggregate(tengbe(), 1, Direction::IntoTenGbe, w, w);
         let four = aggregate(tengbe(), 4, Direction::IntoTenGbe, w, w);
-        assert!(one.aggregate_gbps < 1.0, "one GbE sender caps at ~0.95: {}", one.aggregate_gbps);
+        assert!(
+            one.aggregate_gbps < 1.0,
+            "one GbE sender caps at ~0.95: {}",
+            one.aggregate_gbps
+        );
         assert!(
             four.aggregate_gbps > one.aggregate_gbps * 2.5,
             "4 senders {} vs 1 sender {}",

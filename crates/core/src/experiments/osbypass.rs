@@ -68,7 +68,9 @@ pub fn throughput_seeded(mtu: Mtu, count: u64, seed: u64) -> OsBypassResult {
     let payload = tengig_tcp::Datagram::max_payload(mtu.get());
     let (mut lab, mut eng) = b2b_lab(cfg, App::Pktgen(Pktgen::new(payload, count)), seed);
     crate::experiments::run_to_completion(&mut lab, &mut eng);
-    let App::Pktgen(pg) = &lab.flows[0].app else { unreachable!() };
+    let App::Pktgen(pg) = &lab.flows[0].app else {
+        unreachable!()
+    };
     OsBypassResult {
         gbps: pg.throughput().gbps(),
         latency: latency(mtu),
@@ -109,7 +111,9 @@ pub fn mtu_sweep_report(
     master_seed: u64,
     runner: SweepRunner,
 ) -> (Vec<OsBypassResult>, SweepReport) {
-    let grid = scenarios(master_seed, mtus.iter().copied(), |m| format!("mtu={}", m.get()));
+    let grid = scenarios(master_seed, mtus.iter().copied(), |m| {
+        format!("mtu={}", m.get())
+    });
     let results = runner
         .run(&grid, |sc| throughput_seeded(sc.input, count, sc.seed))
         .expect("osbypass sweep scenario panicked");
@@ -122,7 +126,10 @@ pub fn mtu_sweep_report(
             vec![
                 ("mtu".to_string(), Json::U64(sc.input.get())),
                 ("gbps".to_string(), Json::F64(r.gbps)),
-                ("latency_us".to_string(), Json::F64(r.latency.as_micros_f64())),
+                (
+                    "latency_us".to_string(),
+                    Json::F64(r.latency.as_micros_f64()),
+                ),
                 ("cpu_load".to_string(), Json::F64(r.cpu_load)),
             ],
         );
@@ -138,7 +145,11 @@ mod tests {
     fn projection_approaches_8_gbps() {
         // §5's claim, at the adapter's largest MTU.
         let r = throughput(Mtu::MAX_INTEL_16000, 3_000);
-        assert!(r.gbps > 6.5, "OS-bypass throughput {} should approach 8 Gb/s", r.gbps);
+        assert!(
+            r.gbps > 6.5,
+            "OS-bypass throughput {} should approach 8 Gb/s",
+            r.gbps
+        );
         assert!(r.gbps < 10.0);
         // And it comfortably beats the best TCP number (4.11).
         assert!(r.gbps > 4.5);

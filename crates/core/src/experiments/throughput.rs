@@ -28,7 +28,9 @@ pub fn nttcp_point(cfg: HostConfig, payload: u64, count: u64, seed: u64) -> Nttc
     let (mut lab, mut eng) = b2b_lab(cfg, app, seed);
     run_to_completion(&mut lab, &mut eng);
     let flow = &lab.flows[0];
-    let App::Nttcp { tx, rx } = &flow.app else { unreachable!() };
+    let App::Nttcp { tx, rx } = &flow.app else {
+        unreachable!()
+    };
     NttcpResult::from_run(tx, rx, lab::cpu_load(&lab, 0, 0), lab::cpu_load(&lab, 0, 1))
         .expect("run completed")
 }
@@ -87,7 +89,15 @@ pub fn throughput_sweep(
 ) -> Series {
     let mut payloads: Vec<u64> = payloads.to_vec();
     payloads.sort_unstable();
-    throughput_sweep_report(cfg, label, &payloads, count, MASTER_SEED, SweepRunner::default()).0
+    throughput_sweep_report(
+        cfg,
+        label,
+        &payloads,
+        count,
+        MASTER_SEED,
+        SweepRunner::default(),
+    )
+    .0
 }
 
 /// One rung of the §3.3 ladder, measured.
@@ -136,13 +146,7 @@ pub fn ladder(mtu: Mtu, payloads: &[u64], count: u64) -> Vec<LadderResult> {
 /// §3.2: "Iperf measures the amount of data sent over a consistent stream
 /// in a set time … well suited for measuring raw bandwidth"; the paper
 /// notes it agrees with NTTCP within 2-3%.
-pub fn iperf_point(
-    cfg: HostConfig,
-    payload: u64,
-    start: Nanos,
-    duration: Nanos,
-    seed: u64,
-) -> f64 {
+pub fn iperf_point(cfg: HostConfig, payload: u64, start: Nanos, duration: Nanos, seed: u64) -> f64 {
     let app = App::Iperf(tengig_tools::Iperf::new(start, duration, payload));
     let (mut lab, mut eng) = b2b_lab(cfg, app, seed);
     crate::lab::kick(&mut lab, &mut eng);
@@ -151,7 +155,9 @@ pub fn iperf_point(
     eng.run_until(&mut lab, start + duration + Nanos::from_millis(20));
     // The deadline cuts the run short of a full drain; skip the drain check.
     crate::lab::check_sanitizer(&mut eng, false);
-    let App::Iperf(ip) = &lab.flows[0].app else { unreachable!() };
+    let App::Iperf(ip) = &lab.flows[0].app else {
+        unreachable!()
+    };
     ip.throughput().gbps()
 }
 
@@ -170,8 +176,14 @@ pub struct PktgenResult {
 pub fn pktgen_run(cfg: HostConfig, payload: u64, count: u64) -> PktgenResult {
     let (mut lab, mut eng) = b2b_lab(cfg, App::Pktgen(Pktgen::new(payload, count)), 3);
     run_to_completion(&mut lab, &mut eng);
-    let App::Pktgen(pg) = &lab.flows[0].app else { unreachable!() };
-    PktgenResult { payload, pps: pg.packets_per_sec(), gbps: pg.throughput().gbps() }
+    let App::Pktgen(pg) = &lab.flows[0].app else {
+        unreachable!()
+    };
+    PktgenResult {
+        payload,
+        pps: pg.packets_per_sec(),
+        gbps: pg.throughput().gbps(),
+    }
 }
 
 /// Steady-state throughput of a long NTTCP run measured over a window
@@ -208,8 +220,18 @@ mod tests {
     #[test]
     fn jumbo_beats_standard_mtu_stock() {
         // Fig. 3 shape: 9000 MTU ≈ 1.5x the 1500 MTU peak, stock config.
-        let std = nttcp_point(LadderRung::Stock.pe2650_config(Mtu::STANDARD), 1448, QUICK, 1);
-        let jumbo = nttcp_point(LadderRung::Stock.pe2650_config(Mtu::JUMBO_9000), 8948, QUICK, 1);
+        let std = nttcp_point(
+            LadderRung::Stock.pe2650_config(Mtu::STANDARD),
+            1448,
+            QUICK,
+            1,
+        );
+        let jumbo = nttcp_point(
+            LadderRung::Stock.pe2650_config(Mtu::JUMBO_9000),
+            8948,
+            QUICK,
+            1,
+        );
         let r = jumbo.throughput.gbps() / std.throughput.gbps();
         assert!((1.25..2.2).contains(&r), "jumbo/std ratio {r}");
     }

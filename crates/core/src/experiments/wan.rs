@@ -130,7 +130,9 @@ pub fn buffer_sweep_report(
         None => "buffer=bdp".to_string(),
     });
     let results = runner
-        .run(&grid, |sc| record_run_seeded(wan, sc.input, warmup, window, sc.seed))
+        .run(&grid, |sc| {
+            record_run_seeded(wan, sc.input, warmup, window, sc.seed)
+        })
         .expect("wan sweep scenario panicked");
     let mut report = SweepReport::new("wan/record_buffer_sweep", master_seed);
     for (sc, r) in grid.iter().zip(&results) {
@@ -139,14 +141,14 @@ pub fn buffer_sweep_report(
             sc.label.clone(),
             sc.seed,
             vec![
-                (
-                    "buffer".to_string(),
-                    sc.input.map_or(Json::Null, Json::U64),
-                ),
+                ("buffer".to_string(), sc.input.map_or(Json::Null, Json::U64)),
                 ("gbps".to_string(), Json::F64(r.gbps)),
                 ("retransmits".to_string(), Json::U64(r.retransmits)),
                 ("drops".to_string(), Json::U64(r.drops)),
-                ("payload_efficiency".to_string(), Json::F64(r.payload_efficiency)),
+                (
+                    "payload_efficiency".to_string(),
+                    Json::F64(r.payload_efficiency),
+                ),
             ],
         );
     }
@@ -166,7 +168,11 @@ mod tests {
         assert_eq!(r.retransmits, 0, "BDP-capped flow must not lose packets");
         assert_eq!(r.drops, 0);
         assert!(r.gbps > 2.0, "steady state {} Gb/s (paper: 2.38)", r.gbps);
-        assert!(r.payload_efficiency > 0.85, "efficiency {}", r.payload_efficiency);
+        assert!(
+            r.payload_efficiency > 0.85,
+            "efficiency {}",
+            r.payload_efficiency
+        );
         // A terabyte in less than an hour (paper's headline).
         assert!(
             r.terabyte_time < Nanos::from_secs(3600),
@@ -185,6 +191,10 @@ mod tests {
             Nanos::from_secs(2),
         );
         // W/RTT with W=6 MB usable (3/4 of 8 MB) and RTT 180 ms ≈ 0.27 Gb/s.
-        assert!(small.gbps < 0.6, "undersized buffer still got {} Gb/s", small.gbps);
+        assert!(
+            small.gbps < 0.6,
+            "undersized buffer still got {} Gb/s",
+            small.gbps
+        );
     }
 }

@@ -206,8 +206,15 @@ mod tests {
             len,
             ack: 0,
             wnd: 65535,
-            flags: Flags { ack: true, psh: true, fin: false },
-            ts: Some(Timestamps { tsval: Nanos(1), tsecr: Nanos(0) }),
+            flags: Flags {
+                ack: true,
+                psh: true,
+                fin: false,
+            },
+            ts: Some(Timestamps {
+                tsval: Nanos(1),
+                tsecr: Nanos(0),
+            }),
             retransmit: false,
         }
     }
@@ -241,7 +248,15 @@ mod tests {
     #[test]
     fn ack_costs_are_small() {
         let h = HostRt::new(LadderRung::Stock.pe2650_config(Mtu::STANDARD));
-        let ack = Segment { len: 0, flags: Flags { ack: true, psh: false, fin: false }, ..data_seg(0) };
+        let ack = Segment {
+            len: 0,
+            flags: Flags {
+                ack: true,
+                psh: false,
+                fin: false,
+            },
+            ..data_seg(0)
+        };
         assert!(h.rx_cpu_cost(&ack) < h.rx_cpu_cost(&data_seg(1448)));
         assert!(h.tx_cpu_cost(&ack) < h.tx_cpu_cost(&data_seg(1448)));
     }

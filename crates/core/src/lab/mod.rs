@@ -91,7 +91,11 @@ pub struct Lab {
 impl Lab {
     /// An empty laboratory.
     pub fn new() -> Self {
-        Lab { hosts: Vec::new(), links: Vec::new(), flows: Vec::new() }
+        Lab {
+            hosts: Vec::new(),
+            links: Vec::new(),
+            flows: Vec::new(),
+        }
     }
 
     /// Add a host; returns its index.
@@ -181,7 +185,11 @@ fn check_tcp_invariants(lab: &Lab, eng: &mut Engine<Lab>, f: usize, ep: usize) {
     let now = eng.now();
     if let Some(s) = eng.sanitizer_mut() {
         if let Err(e) = lab.flows[f].conns[ep].check_invariants() {
-            s.record(ViolationKind::TcpInvariant, now, format!("flow {f} ep {ep}: {e}"));
+            s.record(
+                ViolationKind::TcpInvariant,
+                now,
+                format!("flow {f} ep {ep}: {e}"),
+            );
         }
     }
 }
@@ -225,9 +233,7 @@ fn app_write_pump(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize) {
         let space = lab.flows[f].conns[0].snd_buf_space();
         let next = match &mut lab.flows[f].app {
             App::Nttcp { tx, .. } => tx.next_write(now, space),
-            App::Iperf(ip) => {
-                (ip.keep_writing(now) && space >= ip.payload).then_some(ip.payload)
-            }
+            App::Iperf(ip) => (ip.keep_writing(now) && space >= ip.payload).then_some(ip.payload),
             _ => None,
         };
         let Some(w) = next else { break };
@@ -294,16 +300,24 @@ fn send_segment(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, src_ep: usize, s
     // that ran the triggering event; charge the app CPU for data, the IRQ
     // CPU for pure ACKs (they are emitted from receive processing).
     let host = &mut lab.hosts[h];
-    let cpu_idx = if seg.is_pure_ack() { host.irq_cpu() } else { host.app_cpu(f) };
+    let cpu_idx = if seg.is_pure_ack() {
+        host.irq_cpu()
+    } else {
+        host.app_cpu(f)
+    };
     let cpu_cost = host.tx_cpu_cost(&seg);
     let cpu_adm = host.cpu.admit_pinned(cpu_idx, now, cpu_cost);
     if host.tracer.is_enabled() {
-        host.tracer.emit(now, Stage::TxStack, seg.seq, seg.len, cpu_cost);
+        host.tracer
+            .emit(now, Stage::TxStack, seg.seq, seg.len, cpu_cost);
         if seg.retransmit {
-            host.tracer.emit(now, Stage::Retransmit, seg.seq, seg.len, Nanos::ZERO);
+            host.tracer
+                .emit(now, Stage::Retransmit, seg.seq, seg.len, Nanos::ZERO);
         }
     }
-    eng.schedule_at(cpu_adm.done, move |lab, eng| tx_dma(lab, eng, f, src_ep, seg));
+    eng.schedule_at(cpu_adm.done, move |lab, eng| {
+        tx_dma(lab, eng, f, src_ep, seg)
+    });
 }
 
 /// Stage 2 of transmit: the NIC DMA-reads the frame over PCI-X, its
@@ -350,12 +364,14 @@ fn tx_wire(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, src_ep: usize, seg: S
             s.drop_bytes(t, wire);
         }
         if host.tracer.is_enabled() {
-            host.tracer.emit(t, Stage::Drop, seg.seq, seg.len, Nanos::ZERO);
+            host.tracer
+                .emit(t, Stage::Drop, seg.seq, seg.len, Nanos::ZERO);
         }
         return;
     }
     if host.tracer.is_enabled() {
-        host.tracer.emit(now, Stage::Wire, seg.seq, wire, Nanos::ZERO);
+        host.tracer
+            .emit(now, Stage::Wire, seg.seq, wire, Nanos::ZERO);
     }
     eng.schedule_at(t, move |lab, eng| frame_arrival(lab, eng, f, dst_ep, seg));
 }
@@ -375,11 +391,16 @@ fn frame_arrival(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, dst_ep: usize, 
     let bus_adm = host.membus.admit(now, host.rx_dma_bus_time(frame));
     let t_dma = pci_adm.done.max(bus_adm.done);
     if host.tracer.is_enabled() {
-        host.tracer.emit(now, Stage::RxDma, seg.seq, frame, t_dma.saturating_sub(now));
+        host.tracer
+            .emit(now, Stage::RxDma, seg.seq, frame, t_dma.saturating_sub(now));
     }
     eng.schedule_at(t_dma, move |lab, eng| {
         let h = lab.flows[f].host[dst_ep];
-        lab.hosts[h].rx_pending.push_back(RxFrame::Tcp { flow: f, ep: dst_ep, seg });
+        lab.hosts[h].rx_pending.push_back(RxFrame::Tcp {
+            flow: f,
+            ep: dst_ep,
+            seg,
+        });
         coalesce_frame(lab, eng, h);
     });
 }
@@ -413,16 +434,24 @@ fn process_rx_batch(lab: &mut Lab, eng: &mut Engine<Lab>, h: usize, batch: u32) 
     let irq = lab.hosts[h].irq_cost();
     lab.hosts[h].cpu.admit_pinned(irq_cpu, now, irq);
     if lab.hosts[h].tracer.is_enabled() {
-        lab.hosts[h].tracer.emit(now, Stage::Interrupt, 0, batch as u64, irq);
+        lab.hosts[h]
+            .tracer
+            .emit(now, Stage::Interrupt, 0, batch as u64, irq);
     }
     for _ in 0..batch {
-        let Some(frame) = lab.hosts[h].rx_pending.pop_front() else { break };
+        let Some(frame) = lab.hosts[h].rx_pending.pop_front() else {
+            break;
+        };
         match frame {
             RxFrame::Tcp { flow, ep, seg } => {
                 let cost = lab.hosts[h].rx_cpu_cost(&seg);
                 let done = lab.hosts[h].cpu.admit_pinned(irq_cpu, now, cost).done;
                 if lab.hosts[h].tracer.is_enabled() {
-                    let stage = if seg.is_pure_ack() { Stage::Ack } else { Stage::RxStack };
+                    let stage = if seg.is_pure_ack() {
+                        Stage::Ack
+                    } else {
+                        Stage::RxStack
+                    };
                     lab.hosts[h].tracer.emit(now, stage, seg.seq, seg.len, cost);
                 }
                 eng.schedule_at(done, move |lab, eng| {
@@ -524,7 +553,11 @@ fn app_on_delivered(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, ep: usize, b
             }
         }
         App::NetPipe(np) => {
-            let side = if ep == 1 { PingPongSide::Echoer } else { PingPongSide::Initiator };
+            let side = if ep == 1 {
+                PingPongSide::Echoer
+            } else {
+                PingPongSide::Initiator
+            };
             if let Some(w) = np.on_delivered(now, side, bytes) {
                 write_back = Some((ep, w));
             }
@@ -630,7 +663,9 @@ fn pktgen_tick(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize) {
 /// from the busy snapshots taken at start and completion.
 pub fn cpu_load(lab: &Lab, f: usize, ep: usize) -> f64 {
     let m = &lab.flows[f].meas;
-    let (Some(start), Some(end)) = (m.t_start, m.t_done) else { return 0.0 };
+    let (Some(start), Some(end)) = (m.t_start, m.t_done) else {
+        return 0.0;
+    };
     if end <= start {
         return 0.0;
     }
@@ -652,7 +687,11 @@ mod tests {
         let a = lab.add_host(cfg);
         let b = lab.add_host(cfg);
         let path = Path {
-            hops: vec![Hop::wire("xover", Bandwidth::from_gbps(10), Nanos::from_nanos(50))],
+            hops: vec![Hop::wire(
+                "xover",
+                Bandwidth::from_gbps(10),
+                Nanos::from_nanos(50),
+            )],
         };
         let l_ab = lab.add_link(&path, SimRng::seeded(1));
         let l_ba = lab.add_link(&path, SimRng::seeded(2));
@@ -662,7 +701,10 @@ mod tests {
             b,
             vec![l_ab],
             vec![l_ba],
-            App::Nttcp { tx: NttcpSender::new(payload, count), rx: NttcpReceiver::new(total) },
+            App::Nttcp {
+                tx: NttcpSender::new(payload, count),
+                rx: NttcpReceiver::new(total),
+            },
         );
         let mut eng = Engine::new();
         eng.event_limit = 50_000_000;
@@ -707,7 +749,11 @@ mod tests {
         let a = lab.add_host(cfg);
         let b = lab.add_host(cfg);
         let path = Path {
-            hops: vec![Hop::wire("xover", Bandwidth::from_gbps(10), Nanos::from_nanos(50))],
+            hops: vec![Hop::wire(
+                "xover",
+                Bandwidth::from_gbps(10),
+                Nanos::from_nanos(50),
+            )],
         };
         let l1 = lab.add_link(&path, SimRng::seeded(1));
         let l2 = lab.add_link(&path, SimRng::seeded(2));
@@ -716,7 +762,9 @@ mod tests {
         kick(&mut lab, &mut eng);
         eng.run(&mut lab);
         assert!(lab.all_done());
-        let App::NetPipe(np) = &lab.flows[0].app else { panic!() };
+        let App::NetPipe(np) = &lab.flows[0].app else {
+            panic!()
+        };
         let lat = np.one_way_latency().as_micros_f64();
         // Calibration target is 19 µs; insist on the right ballpark here.
         assert!((10.0..40.0).contains(&lat), "one-way latency {lat} µs");
@@ -729,18 +777,33 @@ mod tests {
         let a = lab.add_host(cfg);
         let b = lab.add_host(cfg);
         let path = Path {
-            hops: vec![Hop::wire("xover", Bandwidth::from_gbps(10), Nanos::from_nanos(50))],
+            hops: vec![Hop::wire(
+                "xover",
+                Bandwidth::from_gbps(10),
+                Nanos::from_nanos(50),
+            )],
         };
         let l1 = lab.add_link(&path, SimRng::seeded(1));
         let l2 = lab.add_link(&path, SimRng::seeded(2));
-        lab.add_flow(a, b, vec![l1], vec![l2], App::Pktgen(Pktgen::new(8132, 3000)));
+        lab.add_flow(
+            a,
+            b,
+            vec![l1],
+            vec![l2],
+            App::Pktgen(Pktgen::new(8132, 3000)),
+        );
         let mut eng = Engine::new();
         kick(&mut lab, &mut eng);
         eng.run(&mut lab);
         assert!(lab.all_done());
-        let App::Pktgen(pg) = &lab.flows[0].app else { panic!() };
+        let App::Pktgen(pg) = &lab.flows[0].app else {
+            panic!()
+        };
         let gbps = pg.throughput().gbps();
-        assert!((4.0..7.0).contains(&gbps), "pktgen {gbps} Gb/s (paper: 5.5)");
+        assert!(
+            (4.0..7.0).contains(&gbps),
+            "pktgen {gbps} Gb/s (paper: 5.5)"
+        );
     }
 
     #[test]

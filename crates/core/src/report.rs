@@ -276,7 +276,11 @@ pub struct SweepReport {
 impl SweepReport {
     /// New empty report.
     pub fn new(name: impl Into<String>, master_seed: u64) -> Self {
-        SweepReport { name: name.into(), master_seed, rows: Vec::new() }
+        SweepReport {
+            name: name.into(),
+            master_seed,
+            rows: Vec::new(),
+        }
     }
 
     /// Append one scenario's measurements.
@@ -287,7 +291,12 @@ impl SweepReport {
         seed: u64,
         values: Vec<(String, Json)>,
     ) {
-        self.rows.push(SweepRow { index, label: label.into(), seed, values });
+        self.rows.push(SweepRow {
+            index,
+            label: label.into(),
+            seed,
+            values,
+        });
     }
 
     /// Serialize as JSON lines: a header object, then one object per row.
@@ -337,7 +346,12 @@ mod tests {
 
     #[test]
     fn comparison_math() {
-        let c = Comparison { name: "peak".into(), paper: 4.11, measured: 4.06, unit: "Gb/s" };
+        let c = Comparison {
+            name: "peak".into(),
+            paper: 4.11,
+            measured: 4.06,
+            unit: "Gb/s",
+        };
         assert!(c.within(0.05));
         assert!(!c.within(0.001));
         assert!(c.rel_error() < 0.0);
@@ -364,7 +378,10 @@ mod tests {
             ("nan".to_string(), Json::F64(f64::NAN)),
             ("flag".to_string(), Json::Bool(true)),
             ("none".to_string(), Json::Null),
-            ("arr".to_string(), Json::Array(vec![Json::U64(1), Json::U64(2)])),
+            (
+                "arr".to_string(),
+                Json::Array(vec![Json::U64(1), Json::U64(2)]),
+            ),
         ]);
         assert_eq!(
             v.to_string(),
@@ -381,8 +398,14 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], r#"{"sweep":"demo","master_seed":7,"rows":2}"#);
-        assert_eq!(lines[1], r#"{"index":0,"label":"p1","seed":11,"mbps":1234.5}"#);
-        assert_eq!(lines[2], r#"{"index":1,"label":"p2","seed":12,"mbps":2345}"#);
+        assert_eq!(
+            lines[1],
+            r#"{"index":0,"label":"p1","seed":11,"mbps":1234.5}"#
+        );
+        assert_eq!(
+            lines[2],
+            r#"{"index":1,"label":"p2","seed":12,"mbps":2345}"#
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ pub struct SweepError {
 
 impl fmt::Display for SweepError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "scenario {} ({}) panicked: {}", self.index, self.label, self.message)
+        write!(
+            f,
+            "scenario {} ({}) panicked: {}",
+            self.index, self.label, self.message
+        )
     }
 }
 
@@ -93,7 +97,9 @@ pub struct SweepRunner {
 impl Default for SweepRunner {
     /// One worker per available CPU.
     fn default() -> Self {
-        let threads = thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let threads = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         SweepRunner { threads }
     }
 }
@@ -101,7 +107,9 @@ impl Default for SweepRunner {
 impl SweepRunner {
     /// A runner with exactly `threads` workers (clamped to at least 1).
     pub fn new(threads: usize) -> Self {
-        SweepRunner { threads: threads.max(1) }
+        SweepRunner {
+            threads: threads.max(1),
+        }
     }
 
     /// Number of worker threads this runner uses.
@@ -239,7 +247,11 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.index, 3);
         assert_eq!(err.label, "point-30");
-        assert!(err.message.contains("boom at 3"), "message: {}", err.message);
+        assert!(
+            err.message.contains("boom at 3"),
+            "message: {}",
+            err.message
+        );
     }
 
     #[test]

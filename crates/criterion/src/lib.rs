@@ -61,7 +61,10 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
 
         // Warm-up: run the routine until the warm-up budget is spent, and
         // estimate the cost of a single iteration as we go.

@@ -71,7 +71,11 @@ impl Mtu {
     /// Byte-times consumed on the wire by a frame with `ip_bytes` of IP
     /// packet: framing + preamble + IFG, with runt padding.
     pub const fn wire_bytes_for(ip_bytes: u64) -> u64 {
-        let payload = if ip_bytes < ETH_MIN_PAYLOAD { ETH_MIN_PAYLOAD } else { ip_bytes };
+        let payload = if ip_bytes < ETH_MIN_PAYLOAD {
+            ETH_MIN_PAYLOAD
+        } else {
+            ip_bytes
+        };
         payload + ETH_HEADER + ETH_FCS + ETH_PREAMBLE_IFG
     }
 }
@@ -93,7 +97,11 @@ impl WireOverheads {
     pub const fn for_segment(payload: u64, timestamps: bool) -> WireOverheads {
         let opts = if timestamps { TCP_TIMESTAMP_OPTION } else { 0 };
         let ip_bytes = payload + TCP_HEADER + opts + IP_HEADER;
-        WireOverheads { payload, ip_bytes, wire_bytes: Mtu::wire_bytes_for(ip_bytes) }
+        WireOverheads {
+            payload,
+            ip_bytes,
+            wire_bytes: Mtu::wire_bytes_for(ip_bytes),
+        }
     }
 
     /// Payload efficiency on the wire: `payload / wire_bytes`.

@@ -112,12 +112,21 @@ mod tests {
     fn paper_block_sizes() {
         // 8160 MTU: whole frame (8178 bytes with Ethernet header + FCS)
         // fits one 8 KiB block... frame = 8160 + 18 = 8178 ≤ 8192. ✓
-        assert_eq!(BlockAllocator::block_size(Mtu::TUNED_8160.frame_bytes()), 8192);
+        assert_eq!(
+            BlockAllocator::block_size(Mtu::TUNED_8160.frame_bytes()),
+            8192
+        );
         // 9000 MTU needs a 16 KiB block and wastes ~7 KB.
-        assert_eq!(BlockAllocator::block_size(Mtu::JUMBO_9000.frame_bytes()), 16384);
+        assert_eq!(
+            BlockAllocator::block_size(Mtu::JUMBO_9000.frame_bytes()),
+            16384
+        );
         assert!(BlockAllocator::waste(Mtu::JUMBO_9000.frame_bytes()) > 7000);
         // 16000 MTU also lands in 16 KiB but wastes little.
-        assert_eq!(BlockAllocator::block_size(Mtu::MAX_INTEL_16000.frame_bytes()), 16384);
+        assert_eq!(
+            BlockAllocator::block_size(Mtu::MAX_INTEL_16000.frame_bytes()),
+            16384
+        );
         assert!(BlockAllocator::waste(Mtu::MAX_INTEL_16000.frame_bytes()) < 400);
     }
 
@@ -146,9 +155,7 @@ mod tests {
 
     #[test]
     fn buffer_efficiency_ranking_matches_paper() {
-        let eff = |mtu: Mtu| {
-            BlockAllocator::buffer_efficiency(mtu.frame_bytes(), mtu.mss(true))
-        };
+        let eff = |mtu: Mtu| BlockAllocator::buffer_efficiency(mtu.frame_bytes(), mtu.mss(true));
         let e1500 = eff(Mtu::STANDARD);
         let e9000 = eff(Mtu::JUMBO_9000);
         let e8160 = eff(Mtu::TUNED_8160);

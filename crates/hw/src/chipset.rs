@@ -137,7 +137,8 @@ mod tests {
     use tengig_ethernet::Mtu;
 
     fn ceiling(spec: &HostSpec, mtu: Mtu) -> f64 {
-        spec.rx_ceiling(mtu.frame_bytes(), mtu.mss(true), true).gbps()
+        spec.rx_ceiling(mtu.frame_bytes(), mtu.mss(true), true)
+            .gbps()
     }
 
     #[test]
@@ -151,8 +152,8 @@ mod tests {
         let tuned = stock.with_mmrbc(4096);
         let c2 = ceiling(&tuned, Mtu::JUMBO_9000);
         assert!(c2 > c, "mmrbc gain {c} -> {c2}");
-        let pci_gain = tuned.pci.effective_bandwidth(9018).gbps()
-            / stock.pci.effective_bandwidth(9018).gbps();
+        let pci_gain =
+            tuned.pci.effective_bandwidth(9018).gbps() / stock.pci.effective_bandwidth(9018).gbps();
         assert!(pci_gain > 1.6, "pci station gain {pci_gain}");
     }
 
@@ -168,7 +169,9 @@ mod tests {
 
     #[test]
     fn tuned_8160_ceiling_near_paper_peak() {
-        let tuned = HostSpec::pe2650().with_mmrbc(4096).with_kernel(KernelMode::Uniprocessor);
+        let tuned = HostSpec::pe2650()
+            .with_mmrbc(4096)
+            .with_kernel(KernelMode::Uniprocessor);
         let c = ceiling(&tuned, Mtu::TUNED_8160);
         assert!((3.8..4.8).contains(&c), "8160 ceiling {c}");
     }
@@ -177,7 +180,9 @@ mod tests {
     fn uniprocessor_beats_smp() {
         let smp = ceiling(&HostSpec::pe2650().with_mmrbc(4096), Mtu::STANDARD);
         let up = ceiling(
-            &HostSpec::pe2650().with_mmrbc(4096).with_kernel(KernelMode::Uniprocessor),
+            &HostSpec::pe2650()
+                .with_mmrbc(4096)
+                .with_kernel(KernelMode::Uniprocessor),
             Mtu::STANDARD,
         );
         assert!(up > smp * 1.1, "up {up} vs smp {smp}");
@@ -187,11 +192,17 @@ mod tests {
     fn e7505_beats_tuned_pe2650_out_of_box() {
         // §3.4: the loaners did 4.64 Gb/s essentially out of the box
         // (timestamps disabled), beating the tuned PE2650's 4.11.
-        let e7 = HostSpec::e7505().rx_ceiling(9018, Mtu::JUMBO_9000.mss(false), false).gbps();
+        let e7 = HostSpec::e7505()
+            .rx_ceiling(9018, Mtu::JUMBO_9000.mss(false), false)
+            .gbps();
         let pe = HostSpec::pe2650()
             .with_mmrbc(4096)
             .with_kernel(KernelMode::Uniprocessor)
-            .rx_ceiling(Mtu::TUNED_8160.frame_bytes(), Mtu::TUNED_8160.mss(true), true)
+            .rx_ceiling(
+                Mtu::TUNED_8160.frame_bytes(),
+                Mtu::TUNED_8160.mss(true),
+                true,
+            )
             .gbps();
         assert!(e7 > pe, "e7505 {e7} vs pe2650 {pe}");
         assert!((4.1..5.3).contains(&e7), "e7505 ceiling {e7}");
@@ -212,6 +223,9 @@ mod tests {
     #[test]
     fn wan_endpoint_comfortably_exceeds_oc48() {
         let c = ceiling(&HostSpec::wan_endpoint(), Mtu::JUMBO_9000);
-        assert!(c > 2.5, "WAN host ceiling {c} must exceed the OC-48 bottleneck");
+        assert!(
+            c > 2.5,
+            "WAN host ceiling {c} must exceed the OC-48 bottleneck"
+        );
     }
 }

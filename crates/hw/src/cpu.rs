@@ -93,29 +93,54 @@ pub struct CpuSpec {
 impl CpuSpec {
     /// Dell PE2650: dual 2.2 GHz Xeon, stock SMP kernel.
     pub fn pe2650() -> Self {
-        CpuSpec { cores: 2, ghz: 2.2, kernel: KernelMode::Smp, costs: StackCosts::default() }
+        CpuSpec {
+            cores: 2,
+            ghz: 2.2,
+            kernel: KernelMode::Smp,
+            costs: StackCosts::default(),
+        }
     }
 
     /// Dell PE4600: dual 2.4 GHz Xeon.
     pub fn pe4600() -> Self {
-        CpuSpec { cores: 2, ghz: 2.4, kernel: KernelMode::Smp, costs: StackCosts::default() }
+        CpuSpec {
+            cores: 2,
+            ghz: 2.4,
+            kernel: KernelMode::Smp,
+            costs: StackCosts::default(),
+        }
     }
 
     /// Intel E7505 loaners: dual 2.66 GHz Xeon.
     pub fn e7505() -> Self {
-        CpuSpec { cores: 2, ghz: 2.66, kernel: KernelMode::Smp, costs: StackCosts::default() }
+        CpuSpec {
+            cores: 2,
+            ghz: 2.66,
+            kernel: KernelMode::Smp,
+            costs: StackCosts::default(),
+        }
     }
 
     /// Quad 1.0 GHz Itanium-II. Wide cores: the clock alone under-states
     /// them, so the reference costs are reached at 1 GHz via a per-clock
     /// efficiency of 2.2 (EPIC vs P4 Xeon per-cycle work on kernel paths).
     pub fn itanium2_quad() -> Self {
-        CpuSpec { cores: 4, ghz: 2.2, kernel: KernelMode::Smp, costs: StackCosts::default() }
+        CpuSpec {
+            cores: 4,
+            ghz: 2.2,
+            kernel: KernelMode::Smp,
+            costs: StackCosts::default(),
+        }
     }
 
     /// A 2.0 GHz GbE workstation.
     pub fn workstation() -> Self {
-        CpuSpec { cores: 1, ghz: 2.0, kernel: KernelMode::Uniprocessor, costs: StackCosts::default() }
+        CpuSpec {
+            cores: 1,
+            ghz: 2.0,
+            kernel: KernelMode::Uniprocessor,
+            costs: StackCosts::default(),
+        }
     }
 
     /// Switch kernel flavour.
@@ -218,7 +243,10 @@ mod tests {
         assert!(e7.stack_time(Nanos::from_nanos(3500)) < pe.stack_time(Nanos::from_nanos(3500)));
         // Reference CPU at reference clock passes costs through (modulo SMP).
         let up = pe.with_kernel(KernelMode::Uniprocessor);
-        assert_eq!(up.stack_time(Nanos::from_nanos(3500)), Nanos::from_nanos(3500));
+        assert_eq!(
+            up.stack_time(Nanos::from_nanos(3500)),
+            Nanos::from_nanos(3500)
+        );
     }
 
     #[test]

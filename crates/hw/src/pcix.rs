@@ -51,7 +51,10 @@ impl PcixSpec {
 
     /// A 100 MHz / 64-bit PCI-X segment (Dell PE4600, Intel E7505 loaners).
     pub fn dell_100() -> Self {
-        PcixSpec { clock_mhz: 100, ..Self::dell_133() }
+        PcixSpec {
+            clock_mhz: 100,
+            ..Self::dell_133()
+        }
     }
 
     /// Set the MMRBC register (must be one of [`MMRBC_VALUES`]).
@@ -113,10 +116,10 @@ mod tests {
     fn mmrbc_4096_dramatically_helps_jumbo_little_helps_1500() {
         let stock = PcixSpec::dell_133();
         let tuned = stock.with_mmrbc(4096);
-        let jumbo_gain = tuned.effective_bandwidth(9018).gbps()
-            / stock.effective_bandwidth(9018).gbps();
-        let std_gain = tuned.effective_bandwidth(1518).gbps()
-            / stock.effective_bandwidth(1518).gbps();
+        let jumbo_gain =
+            tuned.effective_bandwidth(9018).gbps() / stock.effective_bandwidth(9018).gbps();
+        let std_gain =
+            tuned.effective_bandwidth(1518).gbps() / stock.effective_bandwidth(1518).gbps();
         assert!(jumbo_gain > 1.5, "jumbo gain {jumbo_gain}");
         assert!(std_gain < 1.45, "1500 gain {std_gain}");
         assert!(jumbo_gain > std_gain);
@@ -131,7 +134,10 @@ mod tests {
         let eff = PcixSpec::dell_133().effective_bandwidth(9018).gbps();
         assert!((3.0..4.0).contains(&eff), "eff={eff}");
         // Tuned, the bus ceiling lifts well above the host's other limits.
-        let eff4096 = PcixSpec::dell_133().with_mmrbc(4096).effective_bandwidth(9018).gbps();
+        let eff4096 = PcixSpec::dell_133()
+            .with_mmrbc(4096)
+            .effective_bandwidth(9018)
+            .gbps();
         assert!(eff4096 > 5.0, "eff4096={eff4096}");
     }
 

@@ -42,8 +42,9 @@ use std::path::{Path, PathBuf};
 /// (wall-clock, unseeded-rng, map-iteration). The vendored `criterion`
 /// and `proptest` shims are excluded: a benchmark harness legitimately
 /// reads wall-clock time, and neither runs inside a simulation.
-pub const DETERMINISM_CRATES: &[&str] =
-    &["sim", "hw", "ethernet", "nic", "tcp", "net", "tools", "core"];
+pub const DETERMINISM_CRATES: &[&str] = &[
+    "sim", "hw", "ethernet", "nic", "tcp", "net", "tools", "core",
+];
 
 /// Crates whose `src/` trees must not contain `.unwrap()` / `panic!`
 /// (the simulation hot paths).
@@ -64,7 +65,14 @@ pub struct Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.path.display(), self.line, self.rule, self.message)
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
     }
 }
 
@@ -87,10 +95,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
             continue;
         }
         for file in rust_files(&src)? {
-            let rel = file
-                .strip_prefix(root)
-                .unwrap_or(&file)
-                .to_path_buf();
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
             let content = fs::read_to_string(&file)?;
             report.files_scanned += 1;
             report.diagnostics.extend(lint_file(&rel, krate, &content));
@@ -105,8 +110,9 @@ pub fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let mut stack = vec![dir.to_path_buf()];
     while let Some(d) = stack.pop() {
-        let mut entries: Vec<PathBuf> =
-            fs::read_dir(&d)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+        let mut entries: Vec<PathBuf> = fs::read_dir(&d)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
         entries.sort();
         for p in entries {
             if p.is_dir() {
@@ -137,8 +143,16 @@ pub fn lint_file(rel: &Path, krate: &str, content: &str) -> Vec<Diagnostic> {
     for (idx, line) in code.lines().enumerate() {
         let lineno = idx + 1;
         let mut push = |rule: &'static str, message: String| {
-            if !allows.iter().any(|(l, r)| r == rule && (*l == lineno || *l + 1 == lineno)) {
-                diags.push(Diagnostic { path: rel.to_path_buf(), line: lineno, rule, message });
+            if !allows
+                .iter()
+                .any(|(l, r)| r == rule && (*l == lineno || *l + 1 == lineno))
+            {
+                diags.push(Diagnostic {
+                    path: rel.to_path_buf(),
+                    line: lineno,
+                    rule,
+                    message,
+                });
             }
         };
 
@@ -207,8 +221,7 @@ fn check_sweep_routing(rel: &Path, code: &str, allows: &[(usize, String)]) -> Ve
         if !(f.name.contains("sweep") || f.name.contains("ladder")) {
             continue;
         }
-        let routed = has_ident(&f.text, "SweepRunner")
-            || calls_other_sweep(&f.text, &f.name);
+        let routed = has_ident(&f.text, "SweepRunner") || calls_other_sweep(&f.text, &f.name);
         let allowed = allows
             .iter()
             .any(|(l, r)| r == "sweep-routing" && (*l == f.line || *l + 1 == f.line));
@@ -257,7 +270,9 @@ fn public_fns(code: &str) -> Vec<PubFn> {
         if name.is_empty() {
             continue;
         }
-        let Some(body_off) = code[start..].find('{') else { continue };
+        let Some(body_off) = code[start..].find('{') else {
+            continue;
+        };
         let open = start + body_off;
         let mut depth = 0usize;
         let mut end = open;
@@ -275,7 +290,11 @@ fn public_fns(code: &str) -> Vec<PubFn> {
             }
         }
         let line = code[..start].bytes().filter(|&b| b == b'\n').count() + 1;
-        fns.push(PubFn { name, line, text: code[start..end].to_string() });
+        fns.push(PubFn {
+            name,
+            line,
+            text: code[start..end].to_string(),
+        });
     }
     fns
 }
@@ -475,7 +494,11 @@ pub fn strip_non_code(content: &str) -> String {
                     mode = Mode::Block(depth + 1);
                     i += 2;
                 } else if c == '*' && i + 1 < n && chars[i + 1] == '/' {
-                    mode = if depth == 1 { Mode::Code } else { Mode::Block(depth - 1) };
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::Block(depth - 1)
+                    };
                     i += 2;
                 } else {
                     if c == '\n' {
@@ -548,7 +571,10 @@ mod tests {
     fn raw_strings_with_hashes_are_stripped() {
         let s = strip_non_code("let s = r#\"thread_rng \"quoted\" more\"#; f64");
         assert!(!s.contains("thread_rng"));
-        assert!(s.contains("f64"), "code after the raw string must survive: {s}");
+        assert!(
+            s.contains("f64"),
+            "code after the raw string must survive: {s}"
+        );
     }
 
     #[test]
@@ -577,7 +603,10 @@ mod tests {
     #[test]
     fn allow_markers_are_parsed() {
         let m = allow_markers("x // lint:allow(unwrap)\ny // lint:allow(wall-clock)\n");
-        assert_eq!(m, vec![(1, "unwrap".to_string()), (2, "wall-clock".to_string())]);
+        assert_eq!(
+            m,
+            vec![(1, "unwrap".to_string()), (2, "wall-clock".to_string())]
+        );
     }
 
     #[test]
@@ -587,7 +616,10 @@ mod tests {
         assert_eq!(sim.len(), 1);
         assert_eq!(sim[0].rule, "unwrap");
         let core = lint_file(Path::new("crates/core/src/x.rs"), "core", code);
-        assert!(core.is_empty(), "unwrap is allowed outside sim/tcp: {core:?}");
+        assert!(
+            core.is_empty(),
+            "unwrap is allowed outside sim/tcp: {core:?}"
+        );
     }
 
     #[test]
@@ -606,12 +638,20 @@ mod tests {
         assert_eq!(d[0].line, 1);
 
         let routed = "pub fn buffer_sweep(r: SweepRunner) -> Vec<u64> { vec![] }\n";
-        let d = lint_file(Path::new("crates/core/src/experiments/x.rs"), "core", routed);
+        let d = lint_file(
+            Path::new("crates/core/src/experiments/x.rs"),
+            "core",
+            routed,
+        );
         assert!(d.is_empty(), "{d:?}");
 
         let delegating =
             "pub fn ladder(xs: &[u64]) -> Vec<u64> {\n    buffer_sweep_report(xs)\n}\n";
-        let d = lint_file(Path::new("crates/core/src/experiments/x.rs"), "core", delegating);
+        let d = lint_file(
+            Path::new("crates/core/src/experiments/x.rs"),
+            "core",
+            delegating,
+        );
         assert!(d.is_empty(), "{d:?}");
     }
 

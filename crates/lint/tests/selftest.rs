@@ -26,12 +26,22 @@ fn fixture_tree_trips_every_rule() {
     // wall-clock: both the import line and the two use sites.
     let clock = diags_for(d, "bad_clock.rs");
     assert!(clock.iter().all(|x| x.rule == "wall-clock"), "{clock:?}");
-    assert!(clock.iter().any(|x| x.line == 2), "import line flagged: {clock:?}");
-    assert!(clock.len() >= 3, "Instant::now and SystemTime::now flagged: {clock:?}");
+    assert!(
+        clock.iter().any(|x| x.line == 2),
+        "import line flagged: {clock:?}"
+    );
+    assert!(
+        clock.len() >= 3,
+        "Instant::now and SystemTime::now flagged: {clock:?}"
+    );
 
     // unwrap: the bare unwrap and the panic!, but NOT the allowed one.
     let unwrap = diags_for(d, "bad_unwrap.rs");
-    assert_eq!(unwrap.len(), 2, "allowed unwrap must be suppressed: {unwrap:?}");
+    assert_eq!(
+        unwrap.len(),
+        2,
+        "allowed unwrap must be suppressed: {unwrap:?}"
+    );
     assert!(unwrap.iter().all(|x| x.rule == "unwrap"));
     assert!(unwrap.iter().any(|x| x.line == 4), "{unwrap:?}");
     assert!(unwrap.iter().any(|x| x.line == 8), "{unwrap:?}");
@@ -39,7 +49,10 @@ fn fixture_tree_trips_every_rule() {
     // float-event-loop: only inside the fixture engine.rs.
     let float = diags_for(d, "engine.rs");
     assert!(!float.is_empty());
-    assert!(float.iter().all(|x| x.rule == "float-event-loop"), "{float:?}");
+    assert!(
+        float.iter().all(|x| x.rule == "float-event-loop"),
+        "{float:?}"
+    );
 
     // unseeded-rng: rand::thread_rng() — one diagnostic for the line.
     let rng = diags_for(d, "bad_rng.rs");
@@ -80,7 +93,11 @@ fn diagnostics_render_file_line_rule() {
 #[test]
 fn live_tree_is_clean() {
     let report = lint_workspace(&workspace_root()).expect("workspace readable");
-    assert!(report.files_scanned > 30, "scanned only {} files", report.files_scanned);
+    assert!(
+        report.files_scanned > 30,
+        "scanned only {} files",
+        report.files_scanned
+    );
     assert!(
         report.diagnostics.is_empty(),
         "live tree must pass its own lint:\n{}",

@@ -159,7 +159,10 @@ impl Path {
 
     /// Serialization time for a frame across all hops (store-and-forward).
     pub fn serialization(&self, wire_bytes: u64) -> Nanos {
-        self.hops.iter().map(|h| h.rate.time_to_send(wire_bytes + h.framing)).sum()
+        self.hops
+            .iter()
+            .map(|h| h.rate.time_to_send(wire_bytes + h.framing))
+            .sum()
     }
 
     /// Unloaded one-way delay for a frame of `wire_bytes`.
@@ -179,7 +182,10 @@ pub struct PathState {
 impl PathState {
     /// Instantiate runtime state for `path`.
     pub fn new(path: &Path, rng: SimRng) -> Self {
-        PathState { hops: path.hops.iter().map(|&h| HopState::new(h)).collect(), rng }
+        PathState {
+            hops: path.hops.iter().map(|&h| HopState::new(h)).collect(),
+            rng,
+        }
     }
 
     /// Walk a frame of `wire_bytes` down the path starting at `now`.
@@ -194,7 +200,10 @@ impl PathState {
 
     /// Total frames dropped across all hops.
     pub fn total_drops(&self) -> u64 {
-        self.hops.iter().map(|h| h.drops.get() + h.random_drops.get()).sum()
+        self.hops
+            .iter()
+            .map(|h| h.drops.get() + h.random_drops.get())
+            .sum()
     }
 }
 
@@ -208,7 +217,9 @@ mod tests {
 
     #[test]
     fn single_wire_delivery_time() {
-        let path = Path { hops: vec![Hop::wire("xover", gbps10(), Nanos::from_nanos(50))] };
+        let path = Path {
+            hops: vec![Hop::wire("xover", gbps10(), Nanos::from_nanos(50))],
+        };
         let mut st = PathState::new(&path, SimRng::seeded(1));
         // 1538 wire bytes at 10 Gb/s = 1230.4 → 1231 ns, + 50 ns prop.
         let t = st.send(Nanos::ZERO, 1538).unwrap();
@@ -217,12 +228,18 @@ mod tests {
 
     #[test]
     fn frames_queue_behind_each_other() {
-        let path = Path { hops: vec![Hop::wire("xover", gbps10(), Nanos::ZERO)] };
+        let path = Path {
+            hops: vec![Hop::wire("xover", gbps10(), Nanos::ZERO)],
+        };
         let mut st = PathState::new(&path, SimRng::seeded(1));
         let t1 = st.send(Nanos::ZERO, 12_500).unwrap(); // 10 µs serialization
         let t2 = st.send(Nanos::ZERO, 12_500).unwrap();
         assert_eq!(t1, Nanos::from_micros(10));
-        assert_eq!(t2, Nanos::from_micros(20), "second frame waits for the first");
+        assert_eq!(
+            t2,
+            Nanos::from_micros(20),
+            "second frame waits for the first"
+        );
     }
 
     #[test]
@@ -233,7 +250,9 @@ mod tests {
                 Hop::wire("b", gbps10(), Nanos::ZERO),
             ],
         };
-        let one = Path { hops: vec![Hop::wire("a", gbps10(), Nanos::ZERO)] };
+        let one = Path {
+            hops: vec![Hop::wire("a", gbps10(), Nanos::ZERO)],
+        };
         assert_eq!(two.one_way(12_500), one.one_way(12_500) * 2);
     }
 
@@ -250,7 +269,10 @@ mod tests {
                 delivered += 1;
             }
         }
-        assert_eq!(delivered, 2, "only two 9 KB frames fit a 20 KB buffer at t=0");
+        assert_eq!(
+            delivered, 2,
+            "only two 9 KB frames fit a 20 KB buffer at t=0"
+        );
         assert_eq!(st.total_drops(), 8);
         // After the queue drains, frames flow again.
         let later = Nanos::from_millis(10);
@@ -261,8 +283,16 @@ mod tests {
     fn bottleneck_and_base_latency() {
         let path = Path {
             hops: vec![
-                Hop::wire("oc192", Bandwidth::from_gbps_f64(9.6), Nanos::from_millis(30)),
-                Hop::wire("oc48", Bandwidth::from_gbps_f64(2.4), Nanos::from_millis(60)),
+                Hop::wire(
+                    "oc192",
+                    Bandwidth::from_gbps_f64(9.6),
+                    Nanos::from_millis(30),
+                ),
+                Hop::wire(
+                    "oc48",
+                    Bandwidth::from_gbps_f64(2.4),
+                    Nanos::from_millis(60),
+                ),
             ],
         };
         assert_eq!(path.bottleneck(), Bandwidth::from_gbps_f64(2.4));
@@ -280,7 +310,10 @@ mod tests {
                 dropped += 1;
             }
         }
-        assert!((800..1200).contains(&dropped), "dropped {dropped}/10000 at p=0.1");
+        assert!(
+            (800..1200).contains(&dropped),
+            "dropped {dropped}/10000 at p=0.1"
+        );
     }
 
     #[test]

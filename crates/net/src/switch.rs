@@ -44,10 +44,16 @@ impl SwitchSpec {
     pub fn fastiron_1500(n10: usize, n1: usize) -> Self {
         let mut ports = Vec::with_capacity(n10 + n1);
         for _ in 0..n10 {
-            ports.push(PortSpec { rate: Bandwidth::from_gbps(10), buffer_bytes: 2 << 20 });
+            ports.push(PortSpec {
+                rate: Bandwidth::from_gbps(10),
+                buffer_bytes: 2 << 20,
+            });
         }
         for _ in 0..n1 {
-            ports.push(PortSpec { rate: Bandwidth::from_gbps(1), buffer_bytes: 1 << 20 });
+            ports.push(PortSpec {
+                rate: Bandwidth::from_gbps(1),
+                buffer_bytes: 1 << 20,
+            });
         }
         SwitchSpec {
             name: "FastIron-1500",
@@ -74,10 +80,20 @@ pub struct Switch {
 impl Switch {
     /// Instantiate runtime state.
     pub fn new(spec: SwitchSpec) -> Self {
-        let egress = spec.ports.iter().map(|_| FifoServer::new("egress")).collect();
+        let egress = spec
+            .ports
+            .iter()
+            .map(|_| FifoServer::new("egress"))
+            .collect();
         let drops = spec.ports.iter().map(|_| Counter::default()).collect();
         let forwarded = spec.ports.iter().map(|_| Counter::default()).collect();
-        Switch { spec, backplane: FifoServer::new("backplane"), egress, drops, forwarded }
+        Switch {
+            spec,
+            backplane: FifoServer::new("backplane"),
+            egress,
+            drops,
+            forwarded,
+        }
     }
 
     /// A frame of `wire_bytes` fully received on an ingress port at `now`
@@ -94,7 +110,9 @@ impl Switch {
         }
         // Cross the backplane (never binding in the paper's tests, but the
         // model keeps it honest).
-        let bp = self.backplane.admit(now, self.spec.backplane.time_to_send(wire_bytes));
+        let bp = self
+            .backplane
+            .admit(now, self.spec.backplane.time_to_send(wire_bytes));
         let ready = bp.done + self.spec.forward_latency;
         // Serialize out the egress port.
         let adm = self.egress[out_port].admit(ready, port.rate.time_to_send(wire_bytes));

@@ -77,8 +77,12 @@ impl WanSpec {
         Path {
             hops: vec![
                 // Host uplink into the Sunnyvale GSR.
-                Hop::wire("svl-uplink", Bandwidth::from_gbps(10), Nanos::from_micros(5))
-                    .with_fixed(Nanos::from_micros(10)),
+                Hop::wire(
+                    "svl-uplink",
+                    Bandwidth::from_gbps(10),
+                    Nanos::from_micros(5),
+                )
+                .with_fixed(Nanos::from_micros(10)),
                 // Level3 OC-192 POS to Chicago.
                 Hop::wire("oc192-svl-chi", pos_payload(OC192_LINE), self.prop_svl_chi)
                     .with_framing(POS_FRAMING)
@@ -92,8 +96,12 @@ impl WanSpec {
                     .with_buffer(self.bottleneck_buffer)
                     .with_random_loss(self.random_loss),
                 // Geneva access hop.
-                Hop::wire("gva-access", Bandwidth::from_gbps(10), Nanos::from_micros(5))
-                    .with_fixed(Nanos::from_micros(10)),
+                Hop::wire(
+                    "gva-access",
+                    Bandwidth::from_gbps(10),
+                    Nanos::from_micros(5),
+                )
+                .with_fixed(Nanos::from_micros(10)),
             ],
         }
     }

@@ -163,8 +163,7 @@ mod tests {
         // TCP/IP layers always cost something.
         assert!(Interconnect::myrinet_ip().unidirectional < gm.unidirectional);
         assert!(
-            Interconnect::qsnet_ip().unidirectional
-                < Interconnect::qsnet_elan3().unidirectional
+            Interconnect::qsnet_ip().unidirectional < Interconnect::qsnet_elan3().unidirectional
         );
     }
 
@@ -194,7 +193,11 @@ mod tests {
         let elan = Interconnect::qsnet_elan3().latency.as_nanos() as f64;
         let m_ip = Interconnect::myrinet_ip().latency.as_nanos() as f64;
         assert!((1.5..2.1).contains(&(best_case / gm)), "{}", best_case / gm);
-        assert!((2.1..2.7).contains(&(best_case / elan)), "{}", best_case / elan);
+        assert!(
+            (2.1..2.7).contains(&(best_case / elan)),
+            "{}",
+            best_case / elan
+        );
         assert!(m_ip / best_case > 2.0);
     }
 

@@ -151,7 +151,10 @@ mod tests {
     fn frames_batch_under_one_timer() {
         let mut c = Coalescer::new(Nanos::from_micros(5), 32);
         let (a, g) = c.on_frame(Nanos(1000));
-        assert_eq!(a, CoalesceAction::ArmTimer(Nanos(1000) + Nanos::from_micros(5)));
+        assert_eq!(
+            a,
+            CoalesceAction::ArmTimer(Nanos(1000) + Nanos::from_micros(5))
+        );
         // Two more frames arrive before the timer: no new timer.
         assert_eq!(c.on_frame(Nanos(2000)).0, CoalesceAction::None);
         assert_eq!(c.on_frame(Nanos(3000)).0, CoalesceAction::None);

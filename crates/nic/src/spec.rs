@@ -122,7 +122,9 @@ mod tests {
 
     #[test]
     fn builders() {
-        let nic = NicSpec::intel_pro_10gbe().with_coalescing(Nanos::ZERO).with_tso(true);
+        let nic = NicSpec::intel_pro_10gbe()
+            .with_coalescing(Nanos::ZERO)
+            .with_tso(true);
         assert_eq!(nic.rx_coalesce_delay, Nanos::ZERO);
         assert!(nic.tso);
     }

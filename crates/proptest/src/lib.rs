@@ -258,7 +258,9 @@ impl Default for ProptestConfig {
 
 /// The usual glob import: `use proptest::prelude::*;`
 pub mod prelude {
-    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+    };
 }
 
 /// Assert inside a property; accepts the same forms as [`assert!`].

@@ -129,8 +129,10 @@ impl<W> Engine<W> {
     {
         if at < self.now {
             if let Some(s) = self.sanitizer.as_mut() {
-                let detail =
-                    format!("handler scheduled an event at {} with the clock at {}", at, self.now);
+                let detail = format!(
+                    "handler scheduled an event at {} with the clock at {}",
+                    at, self.now
+                );
                 s.record(ViolationKind::Causality, self.now, detail);
             } else {
                 debug_assert!(
@@ -144,7 +146,11 @@ impl<W> Engine<W> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Entry { at, seq, f: Box::new(f) });
+        self.queue.push(Entry {
+            at,
+            seq,
+            f: Box::new(f),
+        });
     }
 
     /// Schedule `f` to run `delay` after the current time.
@@ -261,11 +267,14 @@ mod tests {
     fn events_can_schedule_events() {
         let mut eng: Engine<Vec<Nanos>> = Engine::new();
         let mut log = Vec::new();
-        eng.schedule_at(Nanos(10), |w: &mut Vec<Nanos>, e: &mut Engine<Vec<Nanos>>| {
-            w.push(e.now());
-            e.schedule_in(Nanos(5), |w, e| w.push(e.now()));
-            e.schedule_now(|w, e| w.push(e.now()));
-        });
+        eng.schedule_at(
+            Nanos(10),
+            |w: &mut Vec<Nanos>, e: &mut Engine<Vec<Nanos>>| {
+                w.push(e.now());
+                e.schedule_in(Nanos(5), |w, e| w.push(e.now()));
+                e.schedule_now(|w, e| w.push(e.now()));
+            },
+        );
         eng.run(&mut log);
         assert_eq!(log, vec![Nanos(10), Nanos(10), Nanos(15)]);
     }

@@ -70,7 +70,9 @@ impl<T> DropTailQueue<T> {
         self.peak_depth = self.peak_depth.max(self.depth_bytes);
         self.items.push_back(Queued { item, bytes });
         self.accepted.bump();
-        Enqueue::Accepted { depth: self.depth_bytes }
+        Enqueue::Accepted {
+            depth: self.depth_bytes,
+        }
     }
 
     /// Remove and return the oldest item.
@@ -123,8 +125,14 @@ mod tests {
     #[test]
     fn fifo_order_and_depth_accounting() {
         let mut q = DropTailQueue::new(10_000);
-        assert!(matches!(q.enqueue('a', 4000), Enqueue::Accepted { depth: 4000 }));
-        assert!(matches!(q.enqueue('b', 4000), Enqueue::Accepted { depth: 8000 }));
+        assert!(matches!(
+            q.enqueue('a', 4000),
+            Enqueue::Accepted { depth: 4000 }
+        ));
+        assert!(matches!(
+            q.enqueue('b', 4000),
+            Enqueue::Accepted { depth: 8000 }
+        ));
         assert_eq!(q.len(), 2);
         assert_eq!(q.headroom(), 2000);
         let first = q.dequeue().expect("two items were enqueued");

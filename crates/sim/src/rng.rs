@@ -219,8 +219,9 @@ mod tests {
         // The sweep contract: pure function of (master, index)...
         assert_eq!(SimRng::scenario_seed(1, 0), SimRng::scenario_seed(1, 0));
         // ...and well-separated across both arguments.
-        let mut seeds: Vec<u64> =
-            (0..64).flat_map(|m| (0..64).map(move |i| SimRng::scenario_seed(m, i))).collect();
+        let mut seeds: Vec<u64> = (0..64)
+            .flat_map(|m| (0..64).map(move |i| SimRng::scenario_seed(m, i)))
+            .collect();
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 64 * 64, "no collisions in a 64x64 grid");

@@ -59,7 +59,9 @@ impl Default for SimConfig {
     /// Follows the process-wide default: on under `debug_assertions`,
     /// off in release unless [`set_default_enabled`] was called.
     fn default() -> Self {
-        SimConfig { sanitize: default_enabled() }
+        SimConfig {
+            sanitize: default_enabled(),
+        }
     }
 }
 
@@ -246,7 +248,11 @@ impl Sanitizer {
     pub fn report(&self) -> String {
         use fmt::Write;
         let mut out = String::new();
-        let _ = write!(out, "sanitizer: {} violation(s) [seed=0x{:x}", self.total, self.seed);
+        let _ = write!(
+            out,
+            "sanitizer: {} violation(s) [seed=0x{:x}",
+            self.total, self.seed
+        );
         if let Some((index, label)) = self.scenario() {
             let _ = write!(out, " scenario={index} \"{label}\"");
         }
@@ -255,7 +261,11 @@ impl Sanitizer {
             let _ = write!(out, "\n  {v}");
         }
         if self.total as usize > self.violations.len() {
-            let _ = write!(out, "\n  ... and {} more", self.total as usize - self.violations.len());
+            let _ = write!(
+                out,
+                "\n  ... and {} more",
+                self.total as usize - self.violations.len()
+            );
         }
         out
     }

@@ -64,7 +64,11 @@ impl FifoServer {
         self.busy_total = self.busy_total.saturating_add(service);
         self.jobs += 1;
         self.queued_total = self.queued_total.saturating_add(queued_for);
-        Admission { start, done, queued_for }
+        Admission {
+            start,
+            done,
+            queued_for,
+        }
     }
 
     /// Time at which the server next becomes idle (absent new arrivals).
@@ -144,7 +148,9 @@ impl ServerBank {
     /// Create `n` idle servers (n ≥ 1).
     pub fn new(name: &'static str, n: usize) -> Self {
         assert!(n >= 1, "a host needs at least one CPU");
-        ServerBank { servers: (0..n).map(|_| FifoServer::new(name)).collect() }
+        ServerBank {
+            servers: (0..n).map(|_| FifoServer::new(name)).collect(),
+        }
     }
 
     /// Number of servers in the bank.
@@ -181,7 +187,10 @@ impl ServerBank {
 
     /// Highest per-server utilization — what `top` would show as the hot CPU.
     pub fn peak_utilization(&self, now: Nanos) -> f64 {
-        self.servers.iter().map(|s| s.utilization(now)).fold(0.0, f64::max)
+        self.servers
+            .iter()
+            .map(|s| s.utilization(now))
+            .fold(0.0, f64::max)
     }
 
     /// Mean utilization across the bank — the `/proc/loadavg`-style figure.

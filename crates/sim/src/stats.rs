@@ -43,7 +43,13 @@ pub struct Summary {
 impl Summary {
     /// An empty summary.
     pub fn new() -> Self {
-        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Record one sample.
@@ -111,7 +117,13 @@ pub struct TimeWeighted {
 impl TimeWeighted {
     /// Begin observation at `start` with initial value `v0`.
     pub fn new(start: Nanos, v0: f64) -> Self {
-        TimeWeighted { last_t: start, last_v: v0, integral: 0.0, start, max: v0 }
+        TimeWeighted {
+            last_t: start,
+            last_v: v0,
+            integral: 0.0,
+            start,
+            max: v0,
+        }
     }
 
     /// Record that the observed value became `v` at time `t` (t must be
@@ -165,12 +177,20 @@ impl Default for LogHistogram {
 impl LogHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
-        LogHistogram { buckets: [0; 64], count: 0, sum: 0 }
+        LogHistogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+        }
     }
 
     /// Record one sample.
     pub fn record(&mut self, x: u64) {
-        let idx = if x == 0 { 0 } else { 63 - x.leading_zeros() as usize };
+        let idx = if x == 0 {
+            0
+        } else {
+            63 - x.leading_zeros() as usize
+        };
         self.buckets[idx] += 1;
         self.count += 1;
         self.sum += x as u128;
@@ -201,7 +221,11 @@ impl LogHistogram {
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= target {
-                return if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
             }
         }
         u64::MAX
@@ -230,7 +254,10 @@ pub struct Series {
 impl Series {
     /// An empty series with the given legend label.
     pub fn new(label: impl Into<String>) -> Self {
-        Series { label: label.into(), points: Vec::new() }
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append a point.
@@ -254,7 +281,11 @@ impl Series {
     /// The y value at the largest x ≤ `x` (stairstep lookup); `None` if `x`
     /// precedes the first point.
     pub fn at(&self, x: f64) -> Option<f64> {
-        self.points.iter().take_while(|p| p.x <= x).last().map(|p| p.y)
+        self.points
+            .iter()
+            .take_while(|p| p.x <= x)
+            .last()
+            .map(|p| p.y)
     }
 
     /// Minimum y value over points with x in `[lo, hi]`.
@@ -315,7 +346,7 @@ mod tests {
         let mut tw = TimeWeighted::new(Nanos(0), 0.0);
         tw.update(Nanos(100), 10.0); // 0 for [0,100)
         tw.update(Nanos(200), 0.0); // 10 for [100,200)
-        // over [0,200]: (0*100 + 10*100)/200 = 5
+                                    // over [0,200]: (0*100 + 10*100)/200 = 5
         assert!((tw.mean_at(Nanos(200)) - 5.0).abs() < 1e-12);
         // extend to 400 with value 0 → (1000)/400 = 2.5
         assert!((tw.mean_at(Nanos(400)) - 2.5).abs() < 1e-12);

@@ -194,7 +194,13 @@ impl Tracer {
             if self.ring.len() == self.ring_capacity {
                 self.ring.pop_front();
             }
-            self.ring.push_back(TraceEvent { at, stage, packet, bytes, cost });
+            self.ring.push_back(TraceEvent {
+                at,
+                stage,
+                packet,
+                bytes,
+                cost,
+            });
         }
     }
 
@@ -265,9 +271,12 @@ mod tests {
     #[test]
     fn packet_path_reconstruction() {
         let mut t = Tracer::full(16);
-        for (at, stage) in
-            [(1u64, Stage::TxStack), (2, Stage::TxDma), (3, Stage::Wire), (5, Stage::RxStack)]
-        {
+        for (at, stage) in [
+            (1u64, Stage::TxStack),
+            (2, Stage::TxDma),
+            (3, Stage::Wire),
+            (5, Stage::RxStack),
+        ] {
             t.emit(Nanos(at), stage, 7, 100, Nanos(1));
         }
         t.emit(Nanos(4), Stage::Wire, 8, 100, Nanos(1));

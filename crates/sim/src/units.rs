@@ -30,26 +30,34 @@ impl Bandwidth {
     /// Construct from megabits per second (decimal, as used in networking).
     #[inline]
     pub const fn from_mbps(mbps: u64) -> Self {
-        Bandwidth { bits_per_sec: mbps * 1_000_000 }
+        Bandwidth {
+            bits_per_sec: mbps * 1_000_000,
+        }
     }
 
     /// Construct from gigabits per second (decimal).
     #[inline]
     pub const fn from_gbps(gbps: u64) -> Self {
-        Bandwidth { bits_per_sec: gbps * 1_000_000_000 }
+        Bandwidth {
+            bits_per_sec: gbps * 1_000_000_000,
+        }
     }
 
     /// Construct from fractional gigabits per second.
     #[inline]
     pub fn from_gbps_f64(gbps: f64) -> Self {
         debug_assert!(gbps >= 0.0);
-        Bandwidth { bits_per_sec: (gbps * 1e9).round() as u64 }
+        Bandwidth {
+            bits_per_sec: (gbps * 1e9).round() as u64,
+        }
     }
 
     /// Construct from megabytes per second (decimal; e.g. STREAM results).
     #[inline]
     pub const fn from_mbytes_per_sec(mbs: u64) -> Self {
-        Bandwidth { bits_per_sec: mbs * 8_000_000 }
+        Bandwidth {
+            bits_per_sec: mbs * 8_000_000,
+        }
     }
 
     /// Rate in bits per second.
@@ -100,7 +108,9 @@ impl Bandwidth {
     #[inline]
     pub fn scale(self, factor: f64) -> Bandwidth {
         debug_assert!(factor >= 0.0);
-        Bandwidth { bits_per_sec: (self.bits_per_sec as f64 * factor).round() as u64 }
+        Bandwidth {
+            bits_per_sec: (self.bits_per_sec as f64 * factor).round() as u64,
+        }
     }
 }
 

@@ -101,7 +101,11 @@ impl Reno {
             // Without the deflation the window stays fully inflated through
             // a multi-loss recovery, letting bursts of new data out while
             // holes remain.
-            self.cwnd = self.cwnd.saturating_sub(acked_segs).saturating_add(1).max(2);
+            self.cwnd = self
+                .cwnd
+                .saturating_sub(acked_segs)
+                .saturating_add(1)
+                .max(2);
             return CcAction::FastRetransmit;
         }
         for _ in 0..acked_segs {
@@ -204,7 +208,7 @@ mod tests {
         assert_eq!(cc.phase(), Phase::FastRecovery);
         assert_eq!(cc.ssthresh, 50);
         assert_eq!(cc.cwnd, 53); // ssthresh + 3 inflation
-        // Partial dupacks inflate...
+                                 // Partial dupacks inflate...
         cc.on_dup_ack(100, 1000);
         assert_eq!(cc.cwnd, 54);
         // ...and the full ACK deflates to ssthresh.

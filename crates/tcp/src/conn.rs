@@ -356,17 +356,28 @@ impl TcpConn {
         w
     }
 
-    fn make_data_segment(&mut self, now: Nanos, seq: u64, len: u64, psh: bool, rtx: bool) -> Segment {
+    fn make_data_segment(
+        &mut self,
+        now: Nanos,
+        seq: u64,
+        len: u64,
+        psh: bool,
+        rtx: bool,
+    ) -> Segment {
         Segment {
             seq,
             len,
             ack: self.rcv_nxt,
             wnd: self.advertise(),
-            flags: Flags { ack: true, psh, fin: false },
-            ts: self
-                .cfg
-                .timestamps
-                .then_some(Timestamps { tsval: now, tsecr: self.ts_recent }),
+            flags: Flags {
+                ack: true,
+                psh,
+                fin: false,
+            },
+            ts: self.cfg.timestamps.then_some(Timestamps {
+                tsval: now,
+                tsecr: self.ts_recent,
+            }),
             retransmit: rtx,
         }
     }
@@ -377,11 +388,15 @@ impl TcpConn {
             len: 0,
             ack: self.rcv_nxt,
             wnd: self.advertise(),
-            flags: Flags { ack: true, psh: false, fin: false },
-            ts: self
-                .cfg
-                .timestamps
-                .then_some(Timestamps { tsval: self.ts_recent, tsecr: self.ts_recent }),
+            flags: Flags {
+                ack: true,
+                psh: false,
+                fin: false,
+            },
+            ts: self.cfg.timestamps.then_some(Timestamps {
+                tsval: self.ts_recent,
+                tsecr: self.ts_recent,
+            }),
             retransmit: dup,
         }
     }
@@ -390,7 +405,9 @@ impl TcpConn {
     #[allow(clippy::while_let_loop)] // multiple distinct break conditions
     fn try_send(&mut self, now: Nanos, out: &mut Vec<Action>) {
         loop {
-            let Some(&chunk) = self.write_queue.front() else { break };
+            let Some(&chunk) = self.write_queue.front() else {
+                break;
+            };
             let len = chunk.min(self.mss);
             // Nagle (RFC 896): without nodelay, hold a trailing sub-MSS
             // segment while data is outstanding — more may coalesce.
@@ -414,9 +431,17 @@ impl TcpConn {
             } else {
                 *self.write_queue.front_mut().expect("checked above") -= len;
             }
-            self.rtxq.push_back(TxRecord { seq, len, sent_at: now, retransmitted: false, psh });
+            self.rtxq.push_back(TxRecord {
+                seq,
+                len,
+                sent_at: now,
+                retransmitted: false,
+                psh,
+            });
             self.stats.segs_out += 1;
-            out.push(Action::Send(self.make_data_segment(now, seq, len, psh, false)));
+            out.push(Action::Send(
+                self.make_data_segment(now, seq, len, psh, false),
+            ));
             // Data carries the latest ACK; any pending delayed ACK is moot.
             self.segs_since_ack = 0;
         }
@@ -429,7 +454,11 @@ impl TcpConn {
         self.rto_gen += 1;
         self.rto_armed = true;
         let at = now + self.rto.scale((1u64 << self.backoff.min(16)) as f64);
-        out.push(Action::SetTimer { kind: TimerKind::Rto, at, gen: self.rto_gen });
+        out.push(Action::SetTimer {
+            kind: TimerKind::Rto,
+            at,
+            gen: self.rto_gen,
+        });
     }
 
     // ------------------------------------------------------------------
@@ -524,7 +553,9 @@ impl TcpConn {
     }
 
     fn retransmit_first(&mut self, now: Nanos, out: &mut Vec<Action>) {
-        let Some(front) = self.rtxq.front_mut() else { return };
+        let Some(front) = self.rtxq.front_mut() else {
+            return;
+        };
         front.retransmitted = true;
         front.sent_at = now;
         let (seq, len, psh) = (front.seq, front.len, front.psh);
@@ -553,8 +584,7 @@ impl TcpConn {
         // CPU instead of a retransmission storm. Out-of-order data beyond
         // the budget is dropped.
         let budget = (self.cfg.tcp_rmem.default as f64 * self.cfg.window_fraction()) as u64;
-        let over_budget =
-            self.rcv_truesize + truesize > budget + self.cfg.tcp_rmem.default / 4;
+        let over_budget = self.rcv_truesize + truesize > budget + self.cfg.tcp_rmem.default / 4;
         if over_budget {
             if seg.seq > self.rcv_nxt {
                 self.stats.ooo_dropped += 1;
@@ -737,7 +767,10 @@ impl TcpConn {
     pub fn check_invariants(&self) -> Result<(), String> {
         // --- send sequence space ---
         if self.snd_una > self.snd_nxt {
-            return Err(format!("snd_una {} > snd_nxt {}", self.snd_una, self.snd_nxt));
+            return Err(format!(
+                "snd_una {} > snd_nxt {}",
+                self.snd_una, self.snd_nxt
+            ));
         }
         if let Some(last) = self.rtxq.back() {
             if last.seq + last.len != self.snd_nxt {
@@ -779,7 +812,10 @@ impl TcpConn {
             return Err("cwnd fell to 0".to_string());
         }
         if self.cc.ssthresh < 2 {
-            return Err(format!("ssthresh {} below the floor of 2", self.cc.ssthresh));
+            return Err(format!(
+                "ssthresh {} below the floor of 2",
+                self.cc.ssthresh
+            ));
         }
         let cwnd_bound = self.cc.cwnd_clamp.max(self.cc.ssthresh.saturating_add(3));
         if self.cc.cwnd > cwnd_bound {
@@ -868,7 +904,13 @@ mod tests {
     fn drain_delivered(actions: &[Action]) -> u64 {
         actions
             .iter()
-            .map(|a| if let Action::DeliverData { bytes } = a { *bytes } else { 0 })
+            .map(|a| {
+                if let Action::DeliverData { bytes } = a {
+                    *bytes
+                } else {
+                    0
+                }
+            })
             .sum()
     }
 
@@ -879,8 +921,10 @@ mod tests {
         let now = Nanos::from_micros(10);
         let (accepted, acts) = a.on_app_write(now, 1000);
         assert_eq!(accepted, 1000);
-        let sends: Vec<&Action> =
-            acts.iter().filter(|x| matches!(x, Action::Send(_))).collect();
+        let sends: Vec<&Action> = acts
+            .iter()
+            .filter(|x| matches!(x, Action::Send(_)))
+            .collect();
         assert_eq!(sends.len(), 1);
         let back = ferry(now, acts, &mut b);
         assert_eq!(drain_delivered(&back), 1000);
@@ -895,7 +939,13 @@ mod tests {
         let (_, acts) = a.on_app_write(Nanos(0), 4000);
         let lens: Vec<u64> = acts
             .iter()
-            .filter_map(|x| if let Action::Send(s) = x { Some(s.len) } else { None })
+            .filter_map(|x| {
+                if let Action::Send(s) = x {
+                    Some(s.len)
+                } else {
+                    None
+                }
+            })
             .collect();
         // initial cwnd = 2 → only 2 segments go out now.
         assert_eq!(lens, vec![1448, 1448]);
@@ -914,7 +964,13 @@ mod tests {
         for acts in [acts1, acts2] {
             let lens: Vec<u64> = acts
                 .iter()
-                .filter_map(|x| if let Action::Send(s) = x { Some(s.len) } else { None })
+                .filter_map(|x| {
+                    if let Action::Send(s) = x {
+                        Some(s.len)
+                    } else {
+                        None
+                    }
+                })
                 .collect();
             assert_eq!(lens, vec![1000]);
         }
@@ -930,14 +986,19 @@ mod tests {
         let t1 = t0 + Nanos::from_micros(20);
         let replies = ferry(t1, acts, &mut b);
         // B produced one cumulative ACK for two segments.
-        let acks: Vec<&Action> =
-            replies.iter().filter(|x| matches!(x, Action::Send(_))).collect();
+        let acks: Vec<&Action> = replies
+            .iter()
+            .filter(|x| matches!(x, Action::Send(_)))
+            .collect();
         assert_eq!(acks.len(), 1);
         // Feed the ACK back: cwnd grew (slow start), more segments flow.
         let t2 = t1 + Nanos::from_micros(20);
         let more = ferry(t2, replies, &mut a);
         let sent: usize = more.iter().filter(|x| matches!(x, Action::Send(_))).count();
-        assert!(sent >= 3, "slow start should release ≥3 segments, got {sent}");
+        assert!(
+            sent >= 3,
+            "slow start should release ≥3 segments, got {sent}"
+        );
         assert!(a.srtt().is_some(), "RTT sampled from the ACK");
     }
 
@@ -947,7 +1008,13 @@ mod tests {
     fn pump(now: &mut Nanos, a: &mut TcpConn, b: &mut TcpConn, from_a: Vec<Action>) -> u64 {
         fn sends(acts: &[Action]) -> Vec<Segment> {
             acts.iter()
-                .filter_map(|x| if let Action::Send(s) = x { Some(*s) } else { None })
+                .filter_map(|x| {
+                    if let Action::Send(s) = x {
+                        Some(*s)
+                    } else {
+                        None
+                    }
+                })
                 .collect()
         }
         let mut to_b = sends(&from_a);
@@ -1091,16 +1158,30 @@ mod tests {
         let (_, acts) = a.on_app_write(now, 5 * 1448);
         let segs: Vec<Segment> = acts
             .iter()
-            .filter_map(|x| if let Action::Send(s) = x { Some(*s) } else { None })
+            .filter_map(|x| {
+                if let Action::Send(s) = x {
+                    Some(*s)
+                } else {
+                    None
+                }
+            })
             .collect();
-        assert!(segs.len() >= 4, "need ≥4 segments in flight, got {}", segs.len());
+        assert!(
+            segs.len() >= 4,
+            "need ≥4 segments in flight, got {}",
+            segs.len()
+        );
         now += Nanos::from_micros(30);
         let mut dupacks = Vec::new();
         for seg in &segs[1..] {
             dupacks.extend(b.on_segment(now, seg));
         }
         // B sent immediate duplicate ACKs for the hole.
-        assert!(b.stats.dup_acks_out >= 3, "dupacks {}", b.stats.dup_acks_out);
+        assert!(
+            b.stats.dup_acks_out >= 3,
+            "dupacks {}",
+            b.stats.dup_acks_out
+        );
         // Feed them to A: fast retransmit of the first segment.
         now += Nanos::from_micros(30);
         let mut rtx = Vec::new();
@@ -1135,7 +1216,12 @@ mod tests {
         let timer = acts
             .iter()
             .find_map(|x| {
-                if let Action::SetTimer { kind: TimerKind::Rto, at, gen } = x {
+                if let Action::SetTimer {
+                    kind: TimerKind::Rto,
+                    at,
+                    gen,
+                } = x
+                {
                     Some((*at, *gen))
                 } else {
                     None
@@ -1143,7 +1229,10 @@ mod tests {
             })
             .expect("RTO armed with data in flight");
         let (at, gen) = timer;
-        assert!(at >= now + Nanos::from_millis(200), "RTO respects the 200 ms floor");
+        assert!(
+            at >= now + Nanos::from_millis(200),
+            "RTO respects the 200 ms floor"
+        );
         let out = a.on_timer(at, TimerKind::Rto, gen);
         let rtx: Vec<&Action> = out
             .iter()
@@ -1168,7 +1257,12 @@ mod tests {
         let (at, gen) = acts
             .iter()
             .find_map(|x| {
-                if let Action::SetTimer { kind: TimerKind::Rto, at, gen } = x {
+                if let Action::SetTimer {
+                    kind: TimerKind::Rto,
+                    at,
+                    gen,
+                } = x
+                {
                     Some((*at, *gen))
                 } else {
                     None
@@ -1214,7 +1308,10 @@ mod tests {
             for r in &replies {
                 if let Action::Send(s) = r {
                     let right = s.ack + s.wnd;
-                    assert!(right >= prev_right, "right edge retreated: {right} < {prev_right}");
+                    assert!(
+                        right >= prev_right,
+                        "right edge retreated: {right} < {prev_right}"
+                    );
                     prev_right = right;
                 }
             }

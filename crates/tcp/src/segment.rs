@@ -53,7 +53,11 @@ impl Segment {
 
     /// Size of this segment as an IP packet (headers + options + payload).
     pub fn ip_bytes(&self) -> u64 {
-        let opts = if self.ts.is_some() { TCP_TIMESTAMP_OPTION } else { 0 };
+        let opts = if self.ts.is_some() {
+            TCP_TIMESTAMP_OPTION
+        } else {
+            0
+        };
         IP_HEADER + TCP_HEADER + opts + self.len
     }
 
@@ -73,7 +77,10 @@ mod tests {
             len,
             ack: 0,
             wnd: 65535,
-            flags: Flags { ack: true, ..Flags::default() },
+            flags: Flags {
+                ack: true,
+                ..Flags::default()
+            },
             ts: None,
             retransmit: false,
         }
@@ -85,17 +92,31 @@ mod tests {
         assert_eq!(s.end_seq(), 1448);
         assert_eq!(s.ip_bytes(), 1488);
         let with_ts = Segment {
-            ts: Some(Timestamps { tsval: Nanos(1), tsecr: Nanos(0) }),
+            ts: Some(Timestamps {
+                tsval: Nanos(1),
+                tsecr: Nanos(0),
+            }),
             ..s
         };
-        assert_eq!(with_ts.ip_bytes(), 1500, "1448 MSS + 40 headers + 12 ts = full 1500 MTU");
+        assert_eq!(
+            with_ts.ip_bytes(),
+            1500,
+            "1448 MSS + 40 headers + 12 ts = full 1500 MTU"
+        );
     }
 
     #[test]
     fn pure_ack_detection() {
         assert!(seg(0, 0).is_pure_ack());
         assert!(!seg(0, 1).is_pure_ack());
-        let fin = Segment { flags: Flags { fin: true, ack: true, psh: false }, ..seg(0, 0) };
+        let fin = Segment {
+            flags: Flags {
+                fin: true,
+                ack: true,
+                psh: false,
+            },
+            ..seg(0, 0)
+        };
         assert!(!fin.is_pure_ack());
     }
 }

@@ -62,8 +62,16 @@ impl Sysctls {
     /// Stock Linux 2.4 settings on the paper's testbed.
     pub fn linux24_defaults() -> Self {
         Sysctls {
-            tcp_rmem: BufTriple { min: 4096, default: 87_380, max: 174_760 },
-            tcp_wmem: BufTriple { min: 4096, default: 65_536, max: 131_072 },
+            tcp_rmem: BufTriple {
+                min: 4096,
+                default: 87_380,
+                max: 174_760,
+            },
+            tcp_wmem: BufTriple {
+                min: 4096,
+                default: 65_536,
+                max: 131_072,
+            },
             timestamps: true,
             window_scaling: true,
             adv_win_scale: 2,
@@ -170,7 +178,9 @@ mod tests {
 
     #[test]
     fn oversized_windows() {
-        let s = Sysctls::default().with_buffers(256 * 1024).with_mtu(Mtu::JUMBO_9000);
+        let s = Sysctls::default()
+            .with_buffers(256 * 1024)
+            .with_mtu(Mtu::JUMBO_9000);
         assert_eq!(s.tcp_rmem.default, 262_144);
         assert_eq!(s.mss(), 8948);
         assert_eq!(s.window_clamp(), 196_608);

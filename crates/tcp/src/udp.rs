@@ -37,14 +37,22 @@ mod tests {
 
     #[test]
     fn sizes() {
-        let d = Datagram { flow: 0, index: 0, payload: 1000 };
+        let d = Datagram {
+            flow: 0,
+            index: 0,
+            payload: 1000,
+        };
         assert_eq!(d.ip_bytes(), 1028);
         assert_eq!(Datagram::max_payload(8160), 8132);
     }
 
     #[test]
     fn pktgen_packet_fills_mtu() {
-        let d = Datagram { flow: 1, index: 7, payload: Datagram::max_payload(8160) };
+        let d = Datagram {
+            flow: 1,
+            index: 7,
+            payload: Datagram::max_payload(8160),
+        };
         assert_eq!(d.ip_bytes(), 8160);
     }
 }

@@ -7,15 +7,22 @@
 //! timers fire in timestamp order when the wire goes quiet.
 
 use proptest::prelude::*;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use tengig_sim::Nanos;
 use tengig_tcp::{Action, Segment, Sysctls, TcpConn, TimerKind};
 
 #[derive(Debug)]
 enum Ev {
-    Deliver { to_a: bool, seg: Segment },
-    Timer { of_a: bool, kind: TimerKind, gen: u64 },
+    Deliver {
+        to_a: bool,
+        seg: Segment,
+    },
+    Timer {
+        of_a: bool,
+        kind: TimerKind,
+        gen: u64,
+    },
 }
 
 struct Harness {
@@ -72,7 +79,14 @@ impl Harness {
                     }
                 }
                 Action::SetTimer { kind, at, gen } => {
-                    self.push(at, Ev::Timer { of_a: from_a, kind, gen });
+                    self.push(
+                        at,
+                        Ev::Timer {
+                            of_a: from_a,
+                            kind,
+                            gen,
+                        },
+                    );
                 }
                 Action::DeliverData { bytes } => {
                     if !from_a {

@@ -6,13 +6,25 @@ use tengig_tcp::{Action, Reno, Segment, Sysctls, TcpConn, WireSeq};
 
 fn sends(acts: &[Action]) -> Vec<Segment> {
     acts.iter()
-        .filter_map(|x| if let Action::Send(s) = x { Some(*s) } else { None })
+        .filter_map(|x| {
+            if let Action::Send(s) = x {
+                Some(*s)
+            } else {
+                None
+            }
+        })
         .collect()
 }
 
 fn delivered(acts: &[Action]) -> u64 {
     acts.iter()
-        .map(|a| if let Action::DeliverData { bytes } = a { *bytes } else { 0 })
+        .map(|a| {
+            if let Action::DeliverData { bytes } = a {
+                *bytes
+            } else {
+                0
+            }
+        })
         .sum()
 }
 

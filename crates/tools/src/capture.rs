@@ -45,7 +45,10 @@ impl Capture {
 
     /// A capture bounded to `limit` records.
     pub fn with_limit(limit: usize) -> Self {
-        Capture { records: Vec::new(), limit: Some(limit) }
+        Capture {
+            records: Vec::new(),
+            limit: Some(limit),
+        }
     }
 
     /// Record a segment.
@@ -73,18 +76,24 @@ impl Capture {
 
     /// Count retransmissions seen in a direction.
     pub fn retransmissions(&self, dir: Direction) -> usize {
-        self.filter(move |r| r.dir == dir && r.seg.retransmit && r.seg.len > 0).count()
+        self.filter(move |r| r.dir == dir && r.seg.retransmit && r.seg.len > 0)
+            .count()
     }
 
     /// The advertised-window time series in a direction — what the authors
     /// used (with MAGNET) to diagnose the §3.5.1 window behaviour.
     pub fn window_series(&self, dir: Direction) -> Vec<(Nanos, u64)> {
-        self.filter(move |r| r.dir == dir).map(|r| (r.at, r.seg.wnd)).collect()
+        self.filter(move |r| r.dir == dir)
+            .map(|r| (r.at, r.seg.wnd))
+            .collect()
     }
 
     /// Maximum payload observed in a direction (the wire view of MSS).
     pub fn max_payload(&self, dir: Direction) -> u64 {
-        self.filter(move |r| r.dir == dir).map(|r| r.seg.len).max().unwrap_or(0)
+        self.filter(move |r| r.dir == dir)
+            .map(|r| r.seg.len)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -99,7 +108,11 @@ mod tests {
             len,
             ack: 0,
             wnd,
-            flags: Flags { ack: true, psh: false, fin: false },
+            flags: Flags {
+                ack: true,
+                psh: false,
+                fin: false,
+            },
             ts: None,
             retransmit: rtx,
         }

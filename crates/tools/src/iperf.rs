@@ -22,7 +22,12 @@ impl Iperf {
     /// Measure for `duration` starting at `start`, writing `payload`-byte
     /// chunks.
     pub fn new(start: Nanos, duration: Nanos, payload: u64) -> Self {
-        Iperf { start, duration, payload, bytes_in_window: 0 }
+        Iperf {
+            start,
+            duration,
+            payload,
+            bytes_in_window: 0,
+        }
     }
 
     /// End of the measurement window.

@@ -134,8 +134,14 @@ mod tests {
         let mut np = NetPipe::new(1000, 1);
         np.start_ping(Nanos::ZERO);
         assert_eq!(np.on_delivered(Nanos(10), PingPongSide::Echoer, 400), None);
-        assert_eq!(np.on_delivered(Nanos(20), PingPongSide::Echoer, 600), Some(1000));
-        assert_eq!(np.on_delivered(Nanos(30), PingPongSide::Initiator, 999), None);
+        assert_eq!(
+            np.on_delivered(Nanos(20), PingPongSide::Echoer, 600),
+            Some(1000)
+        );
+        assert_eq!(
+            np.on_delivered(Nanos(30), PingPongSide::Initiator, 999),
+            None
+        );
         assert_eq!(np.on_delivered(Nanos(40), PingPongSide::Initiator, 1), None);
         assert!(np.is_done());
     }

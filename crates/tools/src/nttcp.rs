@@ -30,7 +30,13 @@ pub struct NttcpSender {
 impl NttcpSender {
     /// A sender that will issue `count` writes of `payload` bytes.
     pub fn new(payload: u64, count: u64) -> Self {
-        NttcpSender { payload, remaining: count, started: None, writes: 0, blocked: false }
+        NttcpSender {
+            payload,
+            remaining: count,
+            started: None,
+            writes: 0,
+            blocked: false,
+        }
     }
 
     /// Ask for the next write. `space` is the socket's free send-buffer
@@ -87,7 +93,11 @@ pub struct NttcpReceiver {
 impl NttcpReceiver {
     /// A receiver expecting `expected` bytes.
     pub fn new(expected: u64) -> Self {
-        NttcpReceiver { expected, received: 0, done_at: None }
+        NttcpReceiver {
+            expected,
+            received: 0,
+            done_at: None,
+        }
     }
 
     /// `bytes` of in-order data were delivered at `now`.

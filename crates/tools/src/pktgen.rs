@@ -38,12 +38,23 @@ pub struct Pktgen {
 impl Pktgen {
     /// A run of `count` packets of `payload` UDP payload bytes.
     pub fn new(payload: u64, count: u64) -> Self {
-        Pktgen { payload, remaining: count, sent: 0, started: None, last_done: Nanos::ZERO }
+        Pktgen {
+            payload,
+            remaining: count,
+            sent: 0,
+            started: None,
+            last_done: Nanos::ZERO,
+        }
     }
 
     /// The IP-packet size of each generated packet.
     pub fn ip_bytes(&self) -> u64 {
-        tengig_tcp::Datagram { flow: 0, index: 0, payload: self.payload }.ip_bytes()
+        tengig_tcp::Datagram {
+            flow: 0,
+            index: 0,
+            payload: self.payload,
+        }
+        .ip_bytes()
     }
 
     /// Take the next packet if any remain. Records the start time.
@@ -72,9 +83,7 @@ impl Pktgen {
     /// Achieved packet rate (packets/second).
     pub fn packets_per_sec(&self) -> f64 {
         match self.started {
-            Some(s) if self.last_done > s => {
-                self.sent as f64 / (self.last_done - s).as_secs_f64()
-            }
+            Some(s) if self.last_done > s => self.sent as f64 / (self.last_done - s).as_secs_f64(),
             _ => 0.0,
         }
     }
@@ -82,9 +91,7 @@ impl Pktgen {
     /// Achieved payload bandwidth.
     pub fn throughput(&self) -> Bandwidth {
         match self.started {
-            Some(s) if self.last_done > s => {
-                rate_of(self.sent * self.payload, self.last_done - s)
-            }
+            Some(s) if self.last_done > s => rate_of(self.sent * self.payload, self.last_done - s),
             _ => Bandwidth::ZERO,
         }
     }

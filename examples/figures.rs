@@ -117,7 +117,13 @@ fn fig7() -> Vec<Series> {
 fn print_table1() {
     let mut t = Table::new(
         "Table 1: time to recover from a single packet loss",
-        &["path", "bandwidth", "RTT (ms)", "MSS (bytes)", "time to recover"],
+        &[
+            "path",
+            "bandwidth",
+            "RTT (ms)",
+            "MSS (bytes)",
+            "time to recover",
+        ],
     );
     for row in table1() {
         t.row(vec![
@@ -135,7 +141,14 @@ fn print_fig8() {
     // Fig. 8: ideal vs MSS-allowed window — the §3.5.1 quantization.
     let mut t = Table::new(
         "Fig. 8: ideal vs MSS-allowed window (window quantization)",
-        &["ideal window", "snd MSS", "rcv MSS", "advertised", "sender-usable", "attenuation"],
+        &[
+            "ideal window",
+            "snd MSS",
+            "rcv MSS",
+            "advertised",
+            "sender-usable",
+            "attenuation",
+        ],
     );
     for (ideal, snd, rcv) in [
         (26_000u64, 8_948u64, 8_948u64), // the figure's ~26 KB example
@@ -143,7 +156,11 @@ fn print_fig8() {
         (33_000, 8_960, 8_948),          // the §3.5.1 MSS-mismatch example
         (48_000, 1_448, 1_448),          // standard MTU barely loses
     ] {
-        let wq = WindowQuantization { ideal_window: ideal, snd_mss: snd, rcv_mss: rcv };
+        let wq = WindowQuantization {
+            ideal_window: ideal,
+            snd_mss: snd,
+            rcv_mss: rcv,
+        };
         t.row(vec![
             ideal.to_string(),
             snd.to_string(),
@@ -159,7 +176,13 @@ fn print_fig8() {
 fn print_comparison() {
     let mut t = Table::new(
         "§3.5.4: interconnect comparison (published numbers)",
-        &["interconnect", "theoretical", "unidirectional", "latency", "sockets-compatible"],
+        &[
+            "interconnect",
+            "theoretical",
+            "unidirectional",
+            "latency",
+            "sockets-compatible",
+        ],
     );
     let mut rows = Interconnect::all_baselines();
     rows.push(Interconnect::tengbe_tcp_paper());
@@ -184,22 +207,34 @@ fn main() {
 
     let run = |name: &str| which == name || which == "all";
     if run("fig3") {
-        println!("{}", figure("Fig. 3: throughput of stock TCP (Mb/s)", &fig3(count)));
+        println!(
+            "{}",
+            figure("Fig. 3: throughput of stock TCP (Mb/s)", &fig3(count))
+        );
     }
     if run("fig4") {
         println!(
             "{}",
-            figure("Fig. 4: oversized windows + MMRBC 4096 + UP (Mb/s)", &fig4(count))
+            figure(
+                "Fig. 4: oversized windows + MMRBC 4096 + UP (Mb/s)",
+                &fig4(count)
+            )
         );
     }
     if run("fig5") {
-        println!("{}", figure("Fig. 5: non-standard MTUs (Mb/s)", &fig5(count)));
+        println!(
+            "{}",
+            figure("Fig. 5: non-standard MTUs (Mb/s)", &fig5(count))
+        );
     }
     if run("fig6") {
         println!("{}", figure("Fig. 6: end-to-end latency (us)", &fig6()));
     }
     if run("fig7") {
-        println!("{}", figure("Fig. 7: latency without interrupt coalescing (us)", &fig7()));
+        println!(
+            "{}",
+            figure("Fig. 7: latency without interrupt coalescing (us)", &fig7())
+        );
     }
     if run("table1") {
         print_table1();

@@ -33,7 +33,14 @@ fn main() {
 
     let mut t = Table::new(
         "§3.5.4: TCP/IP and native performance across interconnects",
-        &["interconnect", "theoretical", "unidirectional", "latency", "10GbE thr adv", "10GbE lat adv"],
+        &[
+            "interconnect",
+            "theoretical",
+            "unidirectional",
+            "latency",
+            "10GbE thr adv",
+            "10GbE lat adv",
+        ],
     );
     for ic in Interconnect::all_baselines() {
         t.row(vec![

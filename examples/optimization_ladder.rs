@@ -24,7 +24,13 @@ fn main() {
 
     let mut table = Table::new(
         "§3.3 optimization ladder (base MTU 9000)",
-        &["configuration", "peak Mb/s", "mean Mb/s", "tx CPU", "rx CPU"],
+        &[
+            "configuration",
+            "peak Mb/s",
+            "mean Mb/s",
+            "tx CPU",
+            "rx CPU",
+        ],
     );
     for r in &results {
         table.row(vec![

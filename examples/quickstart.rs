@@ -35,7 +35,10 @@ fn main() {
 
     // End-to-end latency, NetPipe-style single-byte ping-pong.
     let lat = netpipe_point(tuned, 1, false);
-    println!("one-way latency, back-to-back: {:>6.2} us  (paper: 19)", lat.as_micros_f64());
+    println!(
+        "one-way latency, back-to-back: {:>6.2} us  (paper: 19)",
+        lat.as_micros_f64()
+    );
 
     println!("\nEvery knob the paper turns is a config field — see");
     println!("`tengig::config::TuningStep` and `examples/optimization_ladder.rs`.");

@@ -15,7 +15,8 @@ use tengig_sim::Nanos;
 fn main() {
     let wan = WanSpec::record_run();
     println!("path: Sunnyvale → (OC-192 POS) → Chicago → (OC-48 POS) → Geneva");
-    println!("RTT {:.0} ms, bottleneck {:.2} Gb/s (OC-48 SONET payload), BDP {:.1} MB\n",
+    println!(
+        "RTT {:.0} ms, bottleneck {:.2} Gb/s (OC-48 SONET payload), BDP {:.1} MB\n",
         wan.rtt_small().as_millis_f64(),
         wan.forward_path().bottleneck().gbps(),
         wan.bdp() as f64 / 1e6,
@@ -26,7 +27,14 @@ fn main() {
 
     let mut t = Table::new(
         "single-stream TCP, Sunnyvale ↔ Geneva (10,037 km)",
-        &["socket buffers", "steady Gb/s", "payload eff.", "rtx", "drops", "1 TB takes"],
+        &[
+            "socket buffers",
+            "steady Gb/s",
+            "payload eff.",
+            "rtx",
+            "drops",
+            "1 TB takes",
+        ],
     );
     // The record configuration: buffers ≈ 2×BDP.
     let rec = record_run(&wan, None, warmup, window);

@@ -22,8 +22,14 @@ fn bytes_are_conserved_end_to_end() {
     };
     let (mut lab, mut eng) = b2b_lab(cfg, app, 42);
     run_to_completion(&mut lab, &mut eng);
-    let App::Nttcp { rx, .. } = &lab.flows[0].app else { unreachable!() };
-    assert_eq!(rx.received, payload * COUNT, "every byte written must arrive");
+    let App::Nttcp { rx, .. } = &lab.flows[0].app else {
+        unreachable!()
+    };
+    assert_eq!(
+        rx.received,
+        payload * COUNT,
+        "every byte written must arrive"
+    );
     let c0 = &lab.flows[0].conns[0];
     let c1 = &lab.flows[0].conns[1];
     assert_eq!(c0.snd_una(), payload * COUNT, "sender fully acknowledged");
@@ -46,7 +52,9 @@ fn mtu_ordering_matches_paper() {
     // Fully tuned: 8160 ≈ 16000 ≥ 9000 > 1500 (Figs. 4-5).
     let peak = |rung: LadderRung, mtu: Mtu| {
         let cfg = rung.pe2650_config(mtu);
-        nttcp_point(cfg, cfg.sysctls.mss(), COUNT, 5).throughput.gbps()
+        nttcp_point(cfg, cfg.sysctls.mss(), COUNT, 5)
+            .throughput
+            .gbps()
     };
     let p1500 = peak(LadderRung::OversizedWindows, Mtu::STANDARD);
     let p9000 = peak(LadderRung::OversizedWindows, Mtu::JUMBO_9000);
@@ -68,8 +76,12 @@ fn interrupt_coalescing_trades_latency_for_cpu() {
     assert!((4.0..6.0).contains(&delta), "coalescing delta {delta} µs");
     // But the CPU pays: more interrupts per segment for bulk traffic.
     let thr_with = nttcp_point(base, 8948, COUNT, 5);
-    let thr_without =
-        nttcp_point(base.tuned(TuningStep::Coalescing(Nanos::ZERO)), 8948, COUNT, 5);
+    let thr_without = nttcp_point(
+        base.tuned(TuningStep::Coalescing(Nanos::ZERO)),
+        8948,
+        COUNT,
+        5,
+    );
     assert!(
         thr_without.rx_cpu_load >= thr_with.rx_cpu_load * 0.95,
         "disabling coalescing must not reduce CPU load ({} vs {})",
@@ -89,7 +101,10 @@ fn timestamps_shrink_mss_and_cost_cpu() {
     // On the PE2650 the CPU has headroom, so the effect is small (§3.5.2:
     // "disabling TCP timestamps yields no increase in throughput").
     let gain = r_off.throughput.gbps() / r_on.throughput.gbps();
-    assert!((0.97..1.1).contains(&gain), "timestamps effect on PE2650: {gain}");
+    assert!(
+        (0.97..1.1).contains(&gain),
+        "timestamps effect on PE2650: {gain}"
+    );
 }
 
 #[test]
@@ -160,27 +175,38 @@ fn sanitized_sweeps_are_byte_identical_across_threads_and_sanitizer_state() {
         let ms20 = Nanos::from_millis(20);
         vec![
             throughput::throughput_sweep_report(
-                jumbo, "e2e", &[512, 1448, 8948], 400, 2003, runner(),
+                jumbo,
+                "e2e",
+                &[512, 1448, 8948],
+                400,
+                2003,
+                runner(),
             )
             .1
             .to_jsonl(),
             latency::latency_sweep_report(jumbo, "e2e", &[1, 256, 1024], false, 2003, runner())
                 .1
                 .to_jsonl(),
-            wan::buffer_sweep_report(
-                &wan_spec, &[None, Some(8 << 20)], sec, sec, 2003, runner(),
-            )
-            .1
-            .to_jsonl(),
+            wan::buffer_sweep_report(&wan_spec, &[None, Some(8 << 20)], sec, sec, 2003, runner())
+                .1
+                .to_jsonl(),
             multiflow::peer_sweep_report(
-                jumbo, &[1, 2], multiflow::Direction::IntoTenGbe, ms20, ms20, 2003, runner(),
+                jumbo,
+                &[1, 2],
+                multiflow::Direction::IntoTenGbe,
+                ms20,
+                ms20,
+                2003,
+                runner(),
             )
             .1
             .to_jsonl(),
             osbypass::mtu_sweep_report(&[Mtu::STANDARD, Mtu::JUMBO_9000], 400, 2003, runner())
                 .1
                 .to_jsonl(),
-            anecdotal::e7505_sweep_report(400, 2003, runner()).1.to_jsonl(),
+            anecdotal::e7505_sweep_report(400, 2003, runner())
+                .1
+                .to_jsonl(),
         ]
     };
 
@@ -194,11 +220,22 @@ fn sanitized_sweeps_are_byte_identical_across_threads_and_sanitizer_state() {
     let unsanitized = all_six(4);
     sanitizer::set_default_enabled(was_on);
 
-    for (i, name) in
-        ["throughput", "latency", "wan", "multiflow", "osbypass", "anecdotal"].iter().enumerate()
+    for (i, name) in [
+        "throughput",
+        "latency",
+        "wan",
+        "multiflow",
+        "osbypass",
+        "anecdotal",
+    ]
+    .iter()
+    .enumerate()
     {
         assert!(!serial[i].is_empty(), "{name} produced no rows");
-        assert_eq!(serial[i], parallel[i], "{name}: 1-thread vs 4-thread JSONL diverged");
+        assert_eq!(
+            serial[i], parallel[i],
+            "{name}: 1-thread vs 4-thread JSONL diverged"
+        );
         assert_eq!(
             parallel[i], unsanitized[i],
             "{name}: the sanitizer perturbed the simulation"
@@ -251,7 +288,10 @@ fn bidirectional_flows_share_the_host_fairly() {
     let (r0, r1) = (rate(0), rate(1));
     // Fairness: symmetric configuration → symmetric shares.
     let ratio = r0 / r1;
-    assert!((0.8..1.25).contains(&ratio), "direction fairness: {r0} vs {r1}");
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "direction fairness: {r0} vs {r1}"
+    );
     // Contention: each direction runs below the unidirectional rate. The
     // aggregate matches it rather than exceeding it — this configuration
     // boots a uniprocessor kernel, so both directions' stack work shares

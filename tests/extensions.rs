@@ -108,7 +108,10 @@ fn wan_without_window_scaling_collapses() {
         gbps < 0.01,
         "without window scaling the WAN must collapse to ~3 Mb/s, got {gbps} Gb/s"
     );
-    assert!(gbps > 0.0005, "but it must still make progress: {gbps} Gb/s");
+    assert!(
+        gbps > 0.0005,
+        "but it must still make progress: {gbps} Gb/s"
+    );
 }
 
 #[test]
@@ -151,7 +154,12 @@ fn osbypass_projection_matches_section5() {
     )
     .throughput
     .gbps();
-    assert!(r.gbps > best_tcp * 1.4, "bypass {} vs best TCP {}", r.gbps, best_tcp);
+    assert!(
+        r.gbps > best_tcp * 1.4,
+        "bypass {} vs best TCP {}",
+        r.gbps,
+        best_tcp
+    );
 }
 
 #[test]

@@ -73,7 +73,10 @@ fn fig5_16000_has_higher_average_than_8160_similar_peak() {
     // 8160-byte MTU case. However, the average throughput with the larger
     // MTU is clearly much higher" — because payloads between 8108 and
     // 15948 still fit one segment.
-    let payloads: Vec<u64> = (2_048..=15_948).step_by(1_024).chain([8_108, 15_948]).collect();
+    let payloads: Vec<u64> = (2_048..=15_948)
+        .step_by(1_024)
+        .chain([8_108, 15_948])
+        .collect();
     let mut payloads = payloads;
     payloads.sort_unstable();
     let m8160 = throughput_sweep(
@@ -89,7 +92,10 @@ fn fig5_16000_has_higher_average_than_8160_similar_peak() {
         COUNT,
     );
     let peak_ratio = m16000.peak() / m8160.peak();
-    assert!((0.9..1.25).contains(&peak_ratio), "peaks similar: {peak_ratio}");
+    assert!(
+        (0.9..1.25).contains(&peak_ratio),
+        "peaks similar: {peak_ratio}"
+    );
     // Direction holds (payloads in 8109-15948 ride in one segment instead
     // of two); the magnitude is muted in the model because the memory-bus
     // ceiling flattens both curves near the peak — see EXPERIMENTS.md.
@@ -111,7 +117,10 @@ fn fig6_latency_steps_and_grows_about_20pct_to_1kb() {
         assert!(w[1].y >= w[0].y - 0.05, "latency must not shrink: {w:?}");
     }
     let growth = b2b.at(1024.0).unwrap() / b2b.at(1.0).unwrap();
-    assert!((1.1..1.45).contains(&growth), "1B→1KB growth {growth} (paper ~1.2)");
+    assert!(
+        (1.1..1.45).contains(&growth),
+        "1B→1KB growth {growth} (paper ~1.2)"
+    );
     // Roughly linear: each 256-byte increment adds a similar amount
     // (the per-byte slope dominates; the 64-byte copy quanta are tested
     // at unit level in `tengig_hw::cpu`).
@@ -142,6 +151,9 @@ fn switch_adds_constant_latency_across_payloads() {
         let b2b = netpipe_point(cfg, payload, false).as_micros_f64();
         let sw = netpipe_point(cfg, payload, true).as_micros_f64();
         let delta = sw - b2b;
-        assert!((4.5..8.0).contains(&delta), "switch delta at {payload} B: {delta} µs");
+        assert!(
+            (4.5..8.0).contains(&delta),
+            "switch delta at {payload} B: {delta} µs"
+        );
     }
 }

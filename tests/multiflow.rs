@@ -63,7 +63,10 @@ fn pktgen_vs_tcp_ratio_matches_paper() {
     let tcp = nttcp_point(cfg, 8108, 1_500, 3).throughput.gbps();
     assert!((4.9..6.3).contains(&pg.gbps), "pktgen {}", pg.gbps);
     let ratio = tcp / pg.gbps;
-    assert!((0.6..0.85).contains(&ratio), "tcp/pktgen ratio {ratio} (paper ~0.75)");
+    assert!(
+        (0.6..0.85).contains(&ratio),
+        "tcp/pktgen ratio {ratio} (paper ~0.75)"
+    );
 }
 
 #[test]
@@ -94,5 +97,9 @@ fn itanium_aggregation_exceeds_xeon_hosts() {
         it.aggregate_gbps,
         pe.aggregate_gbps
     );
-    assert!(it.aggregate_gbps > 4.8, "Itanium aggregate {}", it.aggregate_gbps);
+    assert!(
+        it.aggregate_gbps > 4.8,
+        "Itanium aggregate {}",
+        it.aggregate_gbps
+    );
 }

@@ -9,7 +9,9 @@ const COUNT: u64 = 1_500;
 
 fn peak(rung: LadderRung, mtu: Mtu) -> f64 {
     let cfg = rung.pe2650_config(mtu);
-    nttcp_point(cfg, cfg.sysctls.mss(), COUNT, 3).throughput.gbps()
+    nttcp_point(cfg, cfg.sysctls.mss(), COUNT, 3)
+        .throughput
+        .gbps()
 }
 
 #[test]
@@ -33,8 +35,14 @@ fn mmrbc_gain_is_dramatic_at_9000_marginal_at_1500() {
         peak(LadderRung::PciBurst, Mtu::JUMBO_9000) / peak(LadderRung::Stock, Mtu::JUMBO_9000);
     let std_gain =
         peak(LadderRung::PciBurst, Mtu::STANDARD) / peak(LadderRung::Stock, Mtu::STANDARD);
-    assert!(jumbo_gain > std_gain, "jumbo {jumbo_gain} vs std {std_gain}");
-    assert!(std_gain < 1.25, "1500-byte gain should be marginal: {std_gain}");
+    assert!(
+        jumbo_gain > std_gain,
+        "jumbo {jumbo_gain} vs std {std_gain}"
+    );
+    assert!(
+        std_gain < 1.25,
+        "1500-byte gain should be marginal: {std_gain}"
+    );
 }
 
 #[test]
@@ -45,14 +53,20 @@ fn tuning_gains_at_1500_come_from_the_kernel_side() {
     // rung must never lose to the stock SMP configuration.
     let stock = peak(LadderRung::Stock, Mtu::STANDARD);
     let up = peak(LadderRung::Uniprocessor, Mtu::STANDARD);
-    assert!(up > stock * 1.06, "UP rung vs stock at 1500: {stock} -> {up}");
+    assert!(
+        up > stock * 1.06,
+        "UP rung vs stock at 1500: {stock} -> {up}"
+    );
 }
 
 #[test]
 fn stock_jumbo_beats_stock_standard_mtu() {
     // Fig. 3: "Using a larger MTU size produces 40-60% better throughput".
     let gain = peak(LadderRung::Stock, Mtu::JUMBO_9000) / peak(LadderRung::Stock, Mtu::STANDARD);
-    assert!((1.3..2.3).contains(&gain), "jumbo vs standard stock: {gain}");
+    assert!(
+        (1.3..2.3).contains(&gain),
+        "jumbo vs standard stock: {gain}"
+    );
 }
 
 #[test]
@@ -70,7 +84,11 @@ fn cpu_load_drops_with_jumbo_frames() {
         r_jumbo.rx_cpu_load
     );
     assert!(r_std.rx_cpu_load > 0.6, "1500 load {}", r_std.rx_cpu_load);
-    assert!(r_jumbo.rx_cpu_load < 0.85, "9000 load {}", r_jumbo.rx_cpu_load);
+    assert!(
+        r_jumbo.rx_cpu_load < 0.85,
+        "9000 load {}",
+        r_jumbo.rx_cpu_load
+    );
 }
 
 #[test]

@@ -45,10 +45,26 @@ fn table1_recovery_times_match_to_the_minute() {
     let minutes = |i: usize| rows[i].time.as_secs_f64() / 60.0;
     // Paper Table 1 (reconstructed): 1 hr 42 min / 17 min / 3 hr 51 min /
     // 38 min for the four WAN rows.
-    assert!((101.0..105.0).contains(&minutes(1)), "Geneva-Chicago 1460: {} min", minutes(1));
-    assert!((16.0..18.0).contains(&minutes(2)), "Geneva-Chicago 8960: {} min", minutes(2));
-    assert!((228.0..234.0).contains(&minutes(3)), "Geneva-Sunnyvale 1460: {} min", minutes(3));
-    assert!((36.5..38.5).contains(&minutes(4)), "Geneva-Sunnyvale 8960: {} min", minutes(4));
+    assert!(
+        (101.0..105.0).contains(&minutes(1)),
+        "Geneva-Chicago 1460: {} min",
+        minutes(1)
+    );
+    assert!(
+        (16.0..18.0).contains(&minutes(2)),
+        "Geneva-Chicago 8960: {} min",
+        minutes(2)
+    );
+    assert!(
+        (228.0..234.0).contains(&minutes(3)),
+        "Geneva-Sunnyvale 1460: {} min",
+        minutes(3)
+    );
+    assert!(
+        (36.5..38.5).contains(&minutes(4)),
+        "Geneva-Sunnyvale 8960: {} min",
+        minutes(4)
+    );
 }
 
 #[test]

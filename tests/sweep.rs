@@ -47,7 +47,10 @@ fn paper_sweep_is_byte_identical_across_thread_counts() {
             line.starts_with(&format!(r#"{{"index":{i},"#)),
             "row {i} out of order: {line}"
         );
-        assert!(line.contains(r#""mbps":"#), "row {i} missing measurement: {line}");
+        assert!(
+            line.contains(r#""mbps":"#),
+            "row {i} missing measurement: {line}"
+        );
     }
 }
 
@@ -101,9 +104,15 @@ fn panicking_scenario_surfaces_as_error_without_deadlock() {
         .expect_err("the panic must surface as an error");
     assert_eq!(err.index, 5);
     assert_eq!(err.label, "p5");
-    assert!(err.message.contains("exploded"), "payload lost: {}", err.message);
+    assert!(
+        err.message.contains("exploded"),
+        "payload lost: {}",
+        err.message
+    );
     // The runner is still usable afterwards (the pool did not wedge).
-    let ok = SweepRunner::new(4).run(&grid, |sc| sc.input).expect("clean run");
+    let ok = SweepRunner::new(4)
+        .run(&grid, |sc| sc.input)
+        .expect("clean run");
     assert_eq!(ok.len(), 12);
 }
 

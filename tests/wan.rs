@@ -18,7 +18,11 @@ fn record_run_reaches_paper_throughput() {
     );
     assert_eq!(r.retransmits, 0, "the record run was loss-free");
     assert_eq!(r.drops, 0);
-    assert!(r.payload_efficiency > 0.93, "payload efficiency {}", r.payload_efficiency);
+    assert!(
+        r.payload_efficiency > 0.93,
+        "payload efficiency {}",
+        r.payload_efficiency
+    );
     assert!(
         r.terabyte_time < Nanos::from_secs(3600),
         "a terabyte in under an hour, got {}",
@@ -30,7 +34,12 @@ fn record_run_reaches_paper_throughput() {
 fn undersized_buffers_are_window_limited() {
     // W/RTT with a 6 MB usable window at 180 ms ≈ 0.27 Gb/s.
     let wan = WanSpec::record_run();
-    let r = record_run(&wan, Some(8 << 20), Nanos::from_secs(2), Nanos::from_secs(2));
+    let r = record_run(
+        &wan,
+        Some(8 << 20),
+        Nanos::from_secs(2),
+        Nanos::from_secs(2),
+    );
     assert!(r.gbps < 0.8, "undersized buffers still got {} Gb/s", r.gbps);
     assert_eq!(r.retransmits, 0, "window-limited, not loss-limited");
 }
@@ -42,7 +51,12 @@ fn shallow_router_buffers_plus_big_windows_lose_packets() {
     // the bottleneck queue and AIMD recovery at 180 ms RTT is glacial
     // (Table 1).
     let wan = WanSpec::record_run().with_bottleneck_buffer(6 << 20);
-    let r = record_run(&wan, Some(256 << 20), Nanos::from_secs(2), Nanos::from_secs(3));
+    let r = record_run(
+        &wan,
+        Some(256 << 20),
+        Nanos::from_secs(2),
+        Nanos::from_secs(3),
+    );
     assert!(r.drops > 0, "overdriven bottleneck must drop");
     assert!(r.retransmits > 0);
     let clean = record_run(
@@ -81,7 +95,10 @@ fn slow_start_then_steady_state_timeline() {
         early_rate < late_rate / 3.0,
         "slow start ({early_rate:.2} Gb/s) must be well below steady state ({late_rate:.2})"
     );
-    assert!((2.2..2.5).contains(&late_rate), "steady {late_rate:.2} Gb/s");
+    assert!(
+        (2.2..2.5).contains(&late_rate),
+        "steady {late_rate:.2} Gb/s"
+    );
 }
 
 #[test]
@@ -114,7 +131,12 @@ fn recovery_time_validated_by_simulation() {
     // rate: each loss costs ~W/2 RTTs of reduced window (the Table 1
     // mechanism at miniature scale).
     let lossy_spec = wan.with_random_loss(2e-5);
-    let lossy = record_run(&lossy_spec, None, Nanos::from_millis(600), Nanos::from_secs(3));
+    let lossy = record_run(
+        &lossy_spec,
+        None,
+        Nanos::from_millis(600),
+        Nanos::from_secs(3),
+    );
     assert!(lossy.retransmits > 0, "loss process must have fired");
     assert!(
         lossy.gbps < clean.gbps * 0.97,
