@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test clippy benches-check lint
+.PHONY: ci build test fmt clippy benches-check lint bench bench-gate
 
-ci: build test clippy benches-check lint
+ci: build test fmt clippy benches-check lint
 
 build:
 	$(CARGO) build --release
@@ -12,16 +12,36 @@ build:
 test:
 	$(CARGO) test -q
 
+fmt:
+	$(CARGO) fmt --check
+
 clippy:
 	$(CARGO) clippy --all-targets -- -D warnings
 
 # Bench targets are test = false (they regenerate full paper figures and
-# would dominate `cargo test`); keep them compiling instead.
+# would dominate `cargo test`); keep them compiling instead. Release
+# profile: that is the profile they run under, and debug-only codegen
+# issues in cold bench code are not worth a separate compile.
 benches-check:
-	$(CARGO) check --benches
+	$(CARGO) check --benches --release
 
 # Determinism lint: forbids wall-clock time, unseeded RNGs, hash-map
 # iteration, unwrap/panic in hot paths, floats in the event loop, and
 # sweeps that bypass SweepRunner. See crates/lint.
 lint:
 	$(CARGO) run --release -q -p tengig-lint
+
+# Refresh the wall-clock benchmark baseline: runs the fixed pinned-seed
+# workload per experiment family and rewrites BENCH_sim.json in place.
+# Commit the result to claim a performance win (or accept a justified
+# regression).
+bench:
+	$(CARGO) run --release -p tengig-bench --bin tengig-bench -- --out BENCH_sim.json
+
+# Gate the current tree against the checked-in baseline: events/sec per
+# family must stay within ±15% of BENCH_sim.json (both directions), and
+# event/byte counts must match exactly. The fresh run is written next to
+# the baseline for inspection, never over it.
+bench-gate:
+	$(CARGO) run --release -p tengig-bench --bin tengig-bench -- \
+		--out target/BENCH_current.json --check BENCH_sim.json

@@ -18,3 +18,5 @@ pub fn criterion() -> criterion::Criterion {
         .warm_up_time(std::time::Duration::from_millis(300))
         .measurement_time(std::time::Duration::from_secs(3))
 }
+
+pub mod gate;

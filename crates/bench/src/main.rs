@@ -1,0 +1,199 @@
+//! `tengig-bench` — the wall-clock benchmark harness behind `make bench`.
+//!
+//! Runs one fixed, pinned-seed workload per experiment family (throughput
+//! sweep, multiflow aggregation, WAN record, pktgen), times each with the
+//! wall clock, and writes the results as JSON (`BENCH_sim.json`).
+//!
+//! ```text
+//! tengig-bench [--out PATH] [--check BASELINE] [--tolerance FRACTION]
+//! ```
+//!
+//! With `--check`, the run is additionally gated against a baseline
+//! report: event/byte counts must match exactly and events/sec must stay
+//! within the tolerance band (default ±15%) — in both directions, so an
+//! unclaimed speedup fails just as loudly as a regression. Exit status 1
+//! signals a gate violation.
+//!
+//! Every workload is deterministic (fixed seeds, fixed counts), so the
+//! only run-to-run variance is the wall clock itself.
+
+use std::time::Instant;
+use tengig::experiments::multiflow::{aggregate_seeded, Direction};
+use tengig::experiments::wan::wan_lab_seeded;
+use tengig::experiments::{b2b_lab, run_to_completion};
+use tengig::lab::{self, App};
+use tengig::LadderRung;
+use tengig_bench::gate::{self, BenchReport, FamilyResult, DEFAULT_TOLERANCE};
+use tengig_ethernet::Mtu;
+use tengig_net::WanSpec;
+use tengig_sim::Nanos;
+use tengig_tools::{NttcpReceiver, NttcpSender, Pktgen};
+
+/// Master seed for every bench workload (the publication year, as used by
+/// the paper sweeps).
+const SEED: u64 = 2003;
+
+/// Packet count per throughput-sweep point. Chosen so the whole family
+/// runs in seconds while still executing millions of events.
+const SWEEP_COUNT: u64 = 200_000;
+
+/// pktgen packet count.
+const PKTGEN_COUNT: u64 = 5_000_000;
+
+fn time<F: FnOnce() -> (u64, u64)>(name: &str, work: F) -> FamilyResult {
+    eprintln!("bench: running {name} ...");
+    let t0 = Instant::now();
+    let (events, sim_bytes) = work();
+    let wall_secs = t0.elapsed().as_secs_f64();
+    FamilyResult {
+        name: name.to_string(),
+        events,
+        sim_bytes,
+        wall_secs,
+    }
+}
+
+/// Fig. 3-5 shape: an NTTCP payload sweep, back-to-back, tuned windows.
+fn throughput_sweep() -> (u64, u64) {
+    let cfg = LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000);
+    let mut events = 0;
+    let mut bytes = 0;
+    for (i, payload) in [512u64, 1448, 8948].into_iter().enumerate() {
+        let app = App::Nttcp {
+            tx: NttcpSender::new(payload, SWEEP_COUNT),
+            rx: NttcpReceiver::new(payload * SWEEP_COUNT),
+        };
+        let (mut lab, mut eng) = b2b_lab(cfg, app, SEED + i as u64);
+        run_to_completion(&mut lab, &mut eng);
+        events += eng.executed();
+        bytes += payload * SWEEP_COUNT;
+    }
+    (events, bytes)
+}
+
+/// §3.5.2 aggregation: GbE senders into the 10GbE host, windowed.
+fn multiflow() -> (u64, u64) {
+    let tengbe = LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000);
+    let w = Nanos::from_millis(800);
+    let mut events = 0;
+    let mut bytes = 0;
+    for peers in [1usize, 2, 4] {
+        let r = aggregate_seeded(
+            tengbe,
+            peers,
+            Direction::IntoTenGbe,
+            w,
+            w,
+            SEED + peers as u64,
+        );
+        events += r.events;
+        bytes += r.window_bytes;
+    }
+    (events, bytes)
+}
+
+/// §4 Internet2 Land Speed Record: a windowed single-stream WAN run.
+fn wan_record() -> (u64, u64) {
+    let (mut lab, mut eng) = wan_lab_seeded(&WanSpec::record_run(), None, SEED);
+    lab::kick(&mut lab, &mut eng);
+    let warmup = Nanos::from_secs(3);
+    let window = Nanos::from_secs(5);
+    eng.advance_to(&mut lab, warmup);
+    let received = |lab: &lab::Lab| match &lab.flows[0].app {
+        App::Nttcp { rx, .. } => rx.received,
+        _ => 0,
+    };
+    let b0 = received(&lab);
+    eng.advance_to(&mut lab, warmup + window);
+    lab::check_sanitizer(&mut eng, false);
+    (eng.executed(), received(&lab) - b0)
+}
+
+/// §3.5.2 packet generator: single-copy TCP-bypass blast.
+fn pktgen() -> (u64, u64) {
+    let cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
+    let payload = 8132u64;
+    let (mut lab, mut eng) = b2b_lab(cfg, App::Pktgen(Pktgen::new(payload, PKTGEN_COUNT)), SEED);
+    run_to_completion(&mut lab, &mut eng);
+    (eng.executed(), payload * PKTGEN_COUNT)
+}
+
+struct Args {
+    out: String,
+    check: Option<String>,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        out: "BENCH_sim.json".to_string(),
+        check: None,
+        tolerance: DEFAULT_TOLERANCE,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = |what: &str| it.next().ok_or(format!("{what} needs a value"));
+        match flag.as_str() {
+            "--out" => args.out = take("--out")?,
+            "--check" => args.check = Some(take("--check")?),
+            "--tolerance" => {
+                args.tolerance = take("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("--tolerance: {e}"))?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tengig-bench: {e}");
+            eprintln!("usage: tengig-bench [--out PATH] [--check BASELINE] [--tolerance FRAC]");
+            std::process::exit(2);
+        }
+    };
+
+    let report = BenchReport {
+        families: vec![
+            time("throughput_sweep", throughput_sweep),
+            time("multiflow", multiflow),
+            time("wan_record", wan_record),
+            time("pktgen", pktgen),
+        ],
+        peak_rss_kb: gate::peak_rss_kb(),
+    };
+
+    print!("{}", gate::summary(&report));
+    if let Err(e) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("tengig-bench: writing {}: {e}", args.out);
+        std::process::exit(2);
+    }
+    eprintln!("bench: wrote {}", args.out);
+
+    if let Some(path) = args.check {
+        let baseline = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {path}: {e}"))
+            .and_then(|s| BenchReport::from_json(&s))
+            .unwrap_or_else(|e| {
+                eprintln!("tengig-bench: baseline: {e}");
+                std::process::exit(2);
+            });
+        let violations = gate::compare(&baseline, &report, args.tolerance);
+        if violations.is_empty() {
+            println!(
+                "bench gate: PASS (all families within ±{:.0}% of {path})",
+                args.tolerance * 100.0
+            );
+        } else {
+            println!("bench gate: FAIL against {path}");
+            for v in &violations {
+                println!("  - {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -15,7 +15,7 @@ pub mod throughput;
 pub mod wan;
 
 use crate::config::HostConfig;
-use crate::lab::{App, Lab};
+use crate::lab::{App, Lab, LabEngine};
 use tengig_net::{Hop, Path};
 use tengig_sim::{Bandwidth, Engine, Nanos, SimRng};
 
@@ -23,7 +23,7 @@ use tengig_sim::{Bandwidth, Engine, Nanos, SimRng};
 pub const XOVER_PROP: Nanos = Nanos::from_nanos(50);
 
 /// Build a back-to-back two-host lab (Fig. 2a) and one flow with `app`.
-pub fn b2b_lab(cfg: HostConfig, app: App, seed: u64) -> (Lab, Engine<Lab>) {
+pub fn b2b_lab(cfg: HostConfig, app: App, seed: u64) -> (Lab, LabEngine) {
     two_host_lab(cfg, cfg, app, seed, false)
 }
 
@@ -34,7 +34,7 @@ pub fn two_host_lab(
     app: App,
     seed: u64,
     through_switch: bool,
-) -> (Lab, Engine<Lab>) {
+) -> (Lab, LabEngine) {
     let mut lab = Lab::new();
     let a = lab.add_host(cfg_a);
     let b = lab.add_host(cfg_b);
@@ -70,7 +70,7 @@ pub fn two_host_lab(
 /// With a sanitizer installed, the fully drained calendar lets the byte
 /// ledger demand zero in-flight bytes; any violation panics with the seed
 /// in the message (the sweep runner attaches the scenario index and label).
-pub fn run_to_completion(lab: &mut Lab, eng: &mut Engine<Lab>) {
+pub fn run_to_completion(lab: &mut Lab, eng: &mut LabEngine) {
     crate::lab::kick(lab, eng);
     eng.run(lab);
     debug_assert!(lab.all_done(), "a flow failed to complete");

@@ -30,6 +30,11 @@ pub struct MultiflowResult {
     pub aggregate_gbps: f64,
     /// CPU load on the 10GbE host.
     pub tengbe_cpu_load: f64,
+    /// Engine events executed over the whole run (warmup + window); feeds
+    /// the wall-clock benchmark's events/sec figure.
+    pub events: u64,
+    /// Payload bytes delivered within the measurement window.
+    pub window_bytes: u64,
 }
 
 /// The GbE peer configuration: a workstation with an e1000.
@@ -166,6 +171,8 @@ pub fn aggregate_seeded(
         peers,
         aggregate_gbps: rate_of(b1 - b0, window).gbps(),
         tengbe_cpu_load: (busy1.saturating_sub(busy0)).as_nanos() as f64 / window.as_nanos() as f64,
+        events: eng.executed(),
+        window_bytes: b1 - b0,
     }
 }
 

@@ -191,7 +191,7 @@ pub fn pktgen_run(cfg: HostConfig, payload: u64, count: u64) -> PktgenResult {
 /// excluded).
 pub fn windowed_throughput(
     mut lab: crate::lab::Lab,
-    mut eng: tengig_sim::Engine<crate::lab::Lab>,
+    mut eng: crate::lab::LabEngine,
     warmup: Nanos,
     window: Nanos,
 ) -> f64 {

@@ -6,7 +6,7 @@
 //! state — "the network approaches congestion but avoids it altogether".
 
 use crate::config::HostConfig;
-use crate::lab::{self, App, Lab};
+use crate::lab::{self, App, Lab, LabEngine};
 use crate::report::{Json, SweepReport};
 use crate::sweep::{scenarios, SweepRunner};
 use tengig_net::WanSpec;
@@ -41,13 +41,13 @@ pub fn wan_host(wan: &WanSpec, buffer: Option<u64>) -> HostConfig {
 }
 
 /// Build the WAN lab: two hosts across the OC-192/OC-48 circuit.
-pub fn wan_lab(wan: &WanSpec, buffer: Option<u64>) -> (Lab, Engine<Lab>) {
+pub fn wan_lab(wan: &WanSpec, buffer: Option<u64>) -> (Lab, LabEngine) {
     wan_lab_seeded(wan, buffer, 2003)
 }
 
 /// [`wan_lab`] with an explicit RNG seed (the WAN path has stochastic
 /// elements — random loss — so the seed matters here).
-pub fn wan_lab_seeded(wan: &WanSpec, buffer: Option<u64>, seed: u64) -> (Lab, Engine<Lab>) {
+pub fn wan_lab_seeded(wan: &WanSpec, buffer: Option<u64>, seed: u64) -> (Lab, LabEngine) {
     let cfg = wan_host(wan, buffer);
     let mut lab = Lab::new();
     let svl = lab.add_host(cfg);

@@ -20,9 +20,170 @@ use crate::config::HostConfig;
 pub use host::{HostRt, RxFrame};
 use tengig_net::{Path, PathState};
 use tengig_nic::CoalesceAction;
-use tengig_sim::{Engine, Nanos, Sanitizer, SimConfig, SimRng, Stage, ViolationKind};
-use tengig_tcp::{Action, Segment, Sysctls, TcpConn};
+use tengig_sim::{
+    Engine, EventFire, EventId, Nanos, Sanitizer, SimConfig, SimRng, Stage, ViolationKind,
+};
+use tengig_tcp::{Action, Segment, Sysctls, TcpConn, TimerKind};
 use tengig_tools::{Iperf, NetPipe, NttcpReceiver, NttcpSender, PingPongSide, Pktgen};
+
+/// The engine type every lab runs on: event payloads are the [`Ev`] enum,
+/// stored inline in the engine's slab calendar, so steady-state scheduling
+/// performs no allocation (the original engine boxed one closure per
+/// event — one heap allocation per segment per pipeline stage).
+pub type LabEngine = Engine<Lab, Ev>;
+
+/// One scheduled laboratory event. Each variant carries only `Copy` data
+/// (indices and the fixed-size [`Segment`] header model), so the whole
+/// enum lives inline in the calendar slab.
+#[derive(Debug, Clone, Copy)]
+pub enum Ev {
+    /// Kick one flow's workload.
+    StartFlow {
+        /// Flow index.
+        f: usize,
+    },
+    /// Transmit stage 2: CPU done, start the PCI-X DMA read.
+    TxDma {
+        /// Flow index.
+        f: usize,
+        /// Sending endpoint.
+        ep: usize,
+        /// The segment in flight.
+        seg: Segment,
+    },
+    /// Transmit stage 3: DMA done, walk the link route.
+    TxWire {
+        /// Flow index.
+        f: usize,
+        /// Sending endpoint.
+        ep: usize,
+        /// The segment in flight.
+        seg: Segment,
+    },
+    /// A frame fully arrived at the destination NIC.
+    FrameArrival {
+        /// Flow index.
+        f: usize,
+        /// Receiving endpoint.
+        ep: usize,
+        /// The segment in flight.
+        seg: Segment,
+    },
+    /// Receive DMA complete: enqueue for the coalescer.
+    RxDmaDone {
+        /// Flow index.
+        f: usize,
+        /// Receiving endpoint.
+        ep: usize,
+        /// The segment in flight.
+        seg: Segment,
+    },
+    /// The interrupt-coalescing timer fired on a host.
+    CoalesceTimer {
+        /// Host index.
+        h: usize,
+        /// Coalescer generation (stale timers are ignored).
+        gen: u64,
+    },
+    /// Per-frame receive stack processing finished.
+    RxStack {
+        /// Flow index.
+        f: usize,
+        /// Receiving endpoint.
+        ep: usize,
+        /// The segment being delivered to TCP.
+        seg: Segment,
+    },
+    /// A TCP timer (RTO / delayed ACK) fired.
+    ConnTimer {
+        /// Flow index.
+        f: usize,
+        /// Endpoint the timer belongs to.
+        ep: usize,
+        /// Which timer.
+        kind: TimerKind,
+        /// Connection timer generation (stale timers are no-ops).
+        gen: u64,
+    },
+    /// Run one (chunk of a) batched application read.
+    AppRead {
+        /// Flow index.
+        f: usize,
+        /// Reading endpoint.
+        ep: usize,
+        /// Whether this chunk pays the syscall + wakeup cost.
+        fresh: bool,
+    },
+    /// An application read chunk's CPU time completed.
+    ReadDone {
+        /// Flow index.
+        f: usize,
+        /// Reading endpoint.
+        ep: usize,
+        /// Bytes copied out by the chunk.
+        bytes: u64,
+    },
+    /// One iteration of the pktgen loop.
+    PktgenTick {
+        /// Flow index.
+        f: usize,
+    },
+}
+
+impl EventFire<Lab> for Ev {
+    fn fire(self, lab: &mut Lab, eng: &mut LabEngine) {
+        match self {
+            Ev::StartFlow { f } => start_flow(lab, eng, f),
+            Ev::TxDma { f, ep, seg } => tx_dma(lab, eng, f, ep, seg),
+            Ev::TxWire { f, ep, seg } => tx_wire(lab, eng, f, ep, seg),
+            Ev::FrameArrival { f, ep, seg } => frame_arrival(lab, eng, f, ep, seg),
+            Ev::RxDmaDone { f, ep, seg } => {
+                let h = lab.flows[f].host[ep];
+                lab.hosts[h]
+                    .rx_pending
+                    .push_back(RxFrame::Tcp { flow: f, ep, seg });
+                coalesce_frame(lab, eng, h);
+            }
+            Ev::CoalesceTimer { h, gen } => {
+                if let Some(batch) = lab.hosts[h].coalescer.on_timer(gen) {
+                    process_rx_batch(lab, eng, h, batch);
+                }
+            }
+            Ev::RxStack { f, ep, seg } => {
+                let now = eng.now();
+                let mut acts = lab.take_actions();
+                lab.flows[f].conns[ep].on_segment_into(now, &seg, &mut acts);
+                // Every ACK/data arrival revalidates the connection's
+                // sequence-space invariants under the sanitizer.
+                check_tcp_invariants(lab, eng, f, ep);
+                process_actions(lab, eng, f, ep, &mut acts);
+                lab.recycle_actions(acts);
+            }
+            Ev::ConnTimer { f, ep, kind, gen } => {
+                // This event is the one the slot tracks; clear it so a
+                // re-arm from the handler stores its own id.
+                lab.flows[f].timer_ids[ep][timer_slot(kind)] = None;
+                let now = eng.now();
+                let mut acts = lab.take_actions();
+                lab.flows[f].conns[ep].on_timer_into(now, kind, gen, &mut acts);
+                check_tcp_invariants(lab, eng, f, ep);
+                process_actions(lab, eng, f, ep, &mut acts);
+                lab.recycle_actions(acts);
+            }
+            Ev::AppRead { f, ep, fresh } => app_read(lab, eng, f, ep, fresh),
+            Ev::ReadDone { f, ep, bytes } => read_done(lab, eng, f, ep, bytes),
+            Ev::PktgenTick { f } => pktgen_tick(lab, eng, f),
+        }
+    }
+}
+
+/// Index of a connection timer in [`FlowRt::timer_ids`].
+fn timer_slot(kind: TimerKind) -> usize {
+    match kind {
+        TimerKind::Rto => 0,
+        TimerKind::DelAck => 1,
+    }
+}
 
 /// The application driving a flow.
 #[derive(Debug)]
@@ -75,6 +236,11 @@ pub struct FlowRt {
     pub read_pending: [u64; 2],
     /// Whether a read event is already scheduled, per endpoint.
     pub read_scheduled: [bool; 2],
+    /// Pending connection-timer event per endpoint and [`TimerKind`]
+    /// (indexed by [`timer_slot`]). When the connection re-arms a timer,
+    /// the superseded event — a generation-guarded no-op — is cancelled
+    /// in O(1) instead of lingering in the calendar until it expires.
+    timer_ids: [[Option<EventId>; 2]; 2],
 }
 
 /// The world the engine runs.
@@ -86,6 +252,10 @@ pub struct Lab {
     pub links: Vec<PathState>,
     /// Flows by index.
     pub flows: Vec<FlowRt>,
+    /// Recycled [`Action`] buffers for the TCP entry points: the hot path
+    /// hands each `*_into` call a cleared buffer from here instead of
+    /// allocating a fresh `Vec` per segment.
+    action_pool: Vec<Vec<Action>>,
 }
 
 impl Lab {
@@ -95,7 +265,20 @@ impl Lab {
             hosts: Vec::new(),
             links: Vec::new(),
             flows: Vec::new(),
+            action_pool: Vec::new(),
         }
+    }
+
+    /// Take a cleared [`Action`] buffer from the pool (or allocate the
+    /// pool's first few). Return it with [`Lab::recycle_actions`].
+    fn take_actions(&mut self) -> Vec<Action> {
+        self.action_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a drained action buffer to the pool for reuse.
+    fn recycle_actions(&mut self, mut buf: Vec<Action>) {
+        buf.clear();
+        self.action_pool.push(buf);
     }
 
     /// Add a host; returns its index.
@@ -133,6 +316,7 @@ impl Lab {
             meas: FlowMeasure::default(),
             read_pending: [0, 0],
             read_scheduled: [false, false],
+            timer_ids: [[None; 2]; 2],
         });
         self.flows.len() - 1
     }
@@ -158,7 +342,7 @@ impl Default for Lab {
 /// [`tengig_sim::sanitizer::set_default_enabled`] in release builds).
 ///
 /// The recorded `seed` makes every violation a one-command repro.
-pub fn install_default_sanitizer(eng: &mut Engine<Lab>, seed: u64) {
+pub fn install_default_sanitizer(eng: &mut LabEngine, seed: u64) {
     if SimConfig::default().sanitize {
         eng.install_sanitizer(Sanitizer::new(seed));
     }
@@ -169,7 +353,7 @@ pub fn install_default_sanitizer(eng: &mut Engine<Lab>, seed: u64) {
 /// the byte-conservation ledger settled to zero in-flight — only valid for
 /// runs whose event calendar fully emptied (windowed measurements stop with
 /// frames legitimately still on the wire).
-pub fn check_sanitizer(eng: &mut Engine<Lab>, drained: bool) {
+pub fn check_sanitizer(eng: &mut LabEngine, drained: bool) {
     let now = eng.now();
     if let Some(s) = eng.sanitizer_mut() {
         if drained {
@@ -181,7 +365,7 @@ pub fn check_sanitizer(eng: &mut Engine<Lab>, drained: bool) {
 
 /// Record a TCP invariant breach on flow `f` endpoint `ep`, if the
 /// connection's state is inconsistent and a sanitizer is installed.
-fn check_tcp_invariants(lab: &Lab, eng: &mut Engine<Lab>, f: usize, ep: usize) {
+fn check_tcp_invariants(lab: &Lab, eng: &mut LabEngine, f: usize, ep: usize) {
     let now = eng.now();
     if let Some(s) = eng.sanitizer_mut() {
         if let Err(e) = lab.flows[f].conns[ep].check_invariants() {
@@ -200,14 +384,14 @@ fn check_tcp_invariants(lab: &Lab, eng: &mut Engine<Lab>, f: usize, ep: usize) {
 
 /// Start every flow's workload shortly after t=0 (staggered so multi-flow
 /// runs do not phase-lock).
-pub fn kick(lab: &mut Lab, eng: &mut Engine<Lab>) {
+pub fn kick(lab: &mut Lab, eng: &mut LabEngine) {
     for f in 0..lab.flows.len() {
         let at = Nanos::from_micros(1) + Nanos::from_nanos(137 * f as u64);
-        eng.schedule_at(at, move |lab, eng| start_flow(lab, eng, f));
+        eng.schedule_event_at(at, Ev::StartFlow { f });
     }
 }
 
-fn start_flow(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize) {
+fn start_flow(lab: &mut Lab, eng: &mut LabEngine, f: usize) {
     // Capture CPU baselines for load measurement.
     let now = eng.now();
     for ep in 0..2 {
@@ -227,7 +411,7 @@ fn start_flow(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize) {
 }
 
 /// The NTTCP sender loop: issue writes while buffer space allows.
-fn app_write_pump(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize) {
+fn app_write_pump(lab: &mut Lab, eng: &mut LabEngine, f: usize) {
     let now = eng.now();
     loop {
         let space = lab.flows[f].conns[0].snd_buf_space();
@@ -244,7 +428,7 @@ fn app_write_pump(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize) {
 
 /// One application write at endpoint `ep`: charge the syscall, push the
 /// bytes into the connection, process the resulting actions.
-fn app_write(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, ep: usize, bytes: u64) {
+fn app_write(lab: &mut Lab, eng: &mut LabEngine, f: usize, ep: usize, bytes: u64) {
     let now = eng.now();
     let h = lab.flows[f].host[ep];
     let cpu_idx = lab.hosts[h].app_cpu(f);
@@ -252,28 +436,37 @@ fn app_write(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, ep: usize, bytes: u
     lab.hosts[h].cpu.admit_pinned(cpu_idx, now, cost);
     let bus = lab.hosts[h].write_bus_time(bytes);
     lab.hosts[h].membus.admit(now, bus);
-    let (accepted, actions) = lab.flows[f].conns[ep].on_app_write(now, bytes);
+    let mut actions = lab.take_actions();
+    let accepted = lab.flows[f].conns[ep].on_app_write_into(now, bytes, &mut actions);
     debug_assert_eq!(accepted, bytes, "writer checked space before writing");
-    process_actions(lab, eng, f, ep, actions);
+    process_actions(lab, eng, f, ep, &mut actions);
+    lab.recycle_actions(actions);
 }
 
-/// Turn connection actions into scheduled, cost-charged events.
+/// Turn connection actions into scheduled, cost-charged events. The
+/// buffer is drained (not consumed) so the caller can recycle it through
+/// the lab's action pool.
 pub fn process_actions(
     lab: &mut Lab,
-    eng: &mut Engine<Lab>,
+    eng: &mut LabEngine,
     f: usize,
     ep: usize,
-    actions: Vec<Action>,
+    actions: &mut Vec<Action>,
 ) {
-    for act in actions {
+    for act in actions.drain(..) {
         match act {
             Action::Send(seg) => send_segment(lab, eng, f, ep, seg),
             Action::SetTimer { kind, at, gen } => {
-                eng.schedule_at(at, move |lab, eng| {
-                    let acts = lab.flows[f].conns[ep].on_timer(eng.now(), kind, gen);
-                    check_tcp_invariants(lab, eng, f, ep);
-                    process_actions(lab, eng, f, ep, acts);
-                });
+                // A re-armed timer supersedes the pending one: the old
+                // event is a generation-guarded no-op (the connection
+                // bumps its generation on every arm), so cancel it
+                // instead of letting it fire into the void.
+                let slot = timer_slot(kind);
+                if let Some(old) = lab.flows[f].timer_ids[ep][slot].take() {
+                    eng.cancel(old);
+                }
+                let id = eng.schedule_event_at(at, Ev::ConnTimer { f, ep, kind, gen });
+                lab.flows[f].timer_ids[ep][slot] = Some(id);
             }
             Action::DeliverData { bytes } => schedule_app_read(lab, eng, f, ep, bytes),
             Action::SndBufSpace => {
@@ -292,7 +485,7 @@ pub fn process_actions(
 /// stage finishes, so every server admission happens at current time — a
 /// server is never reserved in the future (which would waste idle gaps and
 /// ratchet queues ahead of the clock).
-fn send_segment(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, src_ep: usize, seg: Segment) {
+fn send_segment(lab: &mut Lab, eng: &mut LabEngine, f: usize, src_ep: usize, seg: Segment) {
     let now = eng.now();
     let h = lab.flows[f].host[src_ep];
 
@@ -315,14 +508,12 @@ fn send_segment(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, src_ep: usize, s
                 .emit(now, Stage::Retransmit, seg.seq, seg.len, Nanos::ZERO);
         }
     }
-    eng.schedule_at(cpu_adm.done, move |lab, eng| {
-        tx_dma(lab, eng, f, src_ep, seg)
-    });
+    eng.schedule_event_at(cpu_adm.done, Ev::TxDma { f, ep: src_ep, seg });
 }
 
 /// Stage 2 of transmit: the NIC DMA-reads the frame over PCI-X, its
 /// memory-bus traffic concurrent with the bus transfer.
-fn tx_dma(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, src_ep: usize, seg: Segment) {
+fn tx_dma(lab: &mut Lab, eng: &mut LabEngine, f: usize, src_ep: usize, seg: Segment) {
     let now = eng.now();
     let h = lab.flows[f].host[src_ep];
     let frame = HostRt::frame_bytes(&seg);
@@ -334,12 +525,12 @@ fn tx_dma(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, src_ep: usize, seg: Se
     if host.tracer.is_enabled() {
         host.tracer.emit(now, Stage::TxDma, seg.seq, frame, pci);
     }
-    eng.schedule_at(t3, move |lab, eng| tx_wire(lab, eng, f, src_ep, seg));
+    eng.schedule_event_at(t3, Ev::TxWire { f, ep: src_ep, seg });
 }
 
 /// Stage 3 of transmit: walk the link route (serialization + queueing
 /// happens inside the hop states).
-fn tx_wire(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, src_ep: usize, seg: Segment) {
+fn tx_wire(lab: &mut Lab, eng: &mut LabEngine, f: usize, src_ep: usize, seg: Segment) {
     let now = eng.now();
     let h = lab.flows[f].host[src_ep];
     let dst_ep = 1 - src_ep;
@@ -373,11 +564,11 @@ fn tx_wire(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, src_ep: usize, seg: S
         host.tracer
             .emit(now, Stage::Wire, seg.seq, wire, Nanos::ZERO);
     }
-    eng.schedule_at(t, move |lab, eng| frame_arrival(lab, eng, f, dst_ep, seg));
+    eng.schedule_event_at(t, Ev::FrameArrival { f, ep: dst_ep, seg });
 }
 
 /// A frame fully arrived at the destination NIC: rx DMA, then coalescing.
-fn frame_arrival(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, dst_ep: usize, seg: Segment) {
+fn frame_arrival(lab: &mut Lab, eng: &mut LabEngine, f: usize, dst_ep: usize, seg: Segment) {
     let now = eng.now();
     if let Some(s) = eng.sanitizer_mut() {
         s.deliver(now, tengig_ethernet::Mtu::wire_bytes_for(seg.ip_bytes()));
@@ -394,19 +585,11 @@ fn frame_arrival(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, dst_ep: usize, 
         host.tracer
             .emit(now, Stage::RxDma, seg.seq, frame, t_dma.saturating_sub(now));
     }
-    eng.schedule_at(t_dma, move |lab, eng| {
-        let h = lab.flows[f].host[dst_ep];
-        lab.hosts[h].rx_pending.push_back(RxFrame::Tcp {
-            flow: f,
-            ep: dst_ep,
-            seg,
-        });
-        coalesce_frame(lab, eng, h);
-    });
+    eng.schedule_event_at(t_dma, Ev::RxDmaDone { f, ep: dst_ep, seg });
 }
 
 /// Run the coalescer for a DMA-complete frame on host `h`.
-fn coalesce_frame(lab: &mut Lab, eng: &mut Engine<Lab>, h: usize) {
+fn coalesce_frame(lab: &mut Lab, eng: &mut LabEngine, h: usize) {
     let now = eng.now();
     let (action, gen) = lab.hosts[h].coalescer.on_frame(now);
     match action {
@@ -415,11 +598,7 @@ fn coalesce_frame(lab: &mut Lab, eng: &mut Engine<Lab>, h: usize) {
             process_rx_batch(lab, eng, h, batch);
         }
         CoalesceAction::ArmTimer(at) => {
-            eng.schedule_at(at, move |lab, eng| {
-                if let Some(batch) = lab.hosts[h].coalescer.on_timer(gen) {
-                    process_rx_batch(lab, eng, h, batch);
-                }
-            });
+            eng.schedule_event_at(at, Ev::CoalesceTimer { h, gen });
         }
         CoalesceAction::None => {}
     }
@@ -428,7 +607,7 @@ fn coalesce_frame(lab: &mut Lab, eng: &mut Engine<Lab>, h: usize) {
 /// An interrupt fired on host `h` covering `batch` frames: charge the IRQ
 /// entry once, then per-frame stack processing; each frame's protocol work
 /// completes at its own CPU-admission time.
-fn process_rx_batch(lab: &mut Lab, eng: &mut Engine<Lab>, h: usize, batch: u32) {
+fn process_rx_batch(lab: &mut Lab, eng: &mut LabEngine, h: usize, batch: u32) {
     let now = eng.now();
     let irq_cpu = lab.hosts[h].irq_cpu();
     let irq = lab.hosts[h].irq_cost();
@@ -454,13 +633,7 @@ fn process_rx_batch(lab: &mut Lab, eng: &mut Engine<Lab>, h: usize, batch: u32) 
                     };
                     lab.hosts[h].tracer.emit(now, stage, seg.seq, seg.len, cost);
                 }
-                eng.schedule_at(done, move |lab, eng| {
-                    let acts = lab.flows[flow].conns[ep].on_segment(eng.now(), &seg);
-                    // Every ACK/data arrival revalidates the connection's
-                    // sequence-space invariants under the sanitizer.
-                    check_tcp_invariants(lab, eng, flow, ep);
-                    process_actions(lab, eng, flow, ep, acts);
-                });
+                eng.schedule_event_at(done, Ev::RxStack { f: flow, ep, seg });
             }
             RxFrame::Udp { flow, bytes } => {
                 // pktgen sink: count only.
@@ -474,11 +647,11 @@ fn process_rx_batch(lab: &mut Lab, eng: &mut Engine<Lab>, h: usize, batch: u32) 
 /// schedule the application's read. The reader loops on `recv`, so all
 /// bytes that accumulate while one read executes are drained by the next
 /// in a single syscall — syscall and wakeup costs amortize over the batch.
-fn schedule_app_read(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, ep: usize, bytes: u64) {
+fn schedule_app_read(lab: &mut Lab, eng: &mut LabEngine, f: usize, ep: usize, bytes: u64) {
     lab.flows[f].read_pending[ep] += bytes;
     if !lab.flows[f].read_scheduled[ep] {
         lab.flows[f].read_scheduled[ep] = true;
-        eng.schedule_now(move |lab, eng| app_read(lab, eng, f, ep, true));
+        eng.schedule_event_now(Ev::AppRead { f, ep, fresh: true });
     }
 }
 
@@ -490,7 +663,7 @@ const READ_CHUNK: u64 = 16_384;
 /// Execute one (chunk of a) batched application read. `fresh` marks the
 /// first chunk after a wakeup, which pays the syscall + wakeup cost;
 /// continuation chunks are pure copy.
-fn app_read(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, ep: usize, fresh: bool) {
+fn app_read(lab: &mut Lab, eng: &mut LabEngine, f: usize, ep: usize, fresh: bool) {
     let now = eng.now();
     let pending = lab.flows[f].read_pending[ep];
     if pending == 0 {
@@ -514,17 +687,25 @@ fn app_read(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, ep: usize, fresh: bo
     let bus = lab.hosts[h].read_bus_time(bytes);
     lab.hosts[h].membus.admit(now, bus);
     let t2 = cpu_adm.done;
-    eng.schedule_at(t2, move |lab, eng| {
-        let acts = lab.flows[f].conns[ep].on_app_read(eng.now(), bytes);
-        process_actions(lab, eng, f, ep, acts);
-        app_on_delivered(lab, eng, f, ep, bytes);
-        // Drain anything that arrived while this chunk copied.
-        if lab.flows[f].read_pending[ep] > 0 {
-            app_read(lab, eng, f, ep, false);
-        } else {
-            lab.flows[f].read_scheduled[ep] = false;
-        }
-    });
+    eng.schedule_event_at(t2, Ev::ReadDone { f, ep, bytes });
+}
+
+/// An application read chunk's CPU time completed: free the receive
+/// window, react to the delivered bytes, and chain the next chunk if more
+/// data accumulated while this one copied.
+fn read_done(lab: &mut Lab, eng: &mut LabEngine, f: usize, ep: usize, bytes: u64) {
+    let now = eng.now();
+    let mut acts = lab.take_actions();
+    lab.flows[f].conns[ep].on_app_read_into(now, bytes, &mut acts);
+    process_actions(lab, eng, f, ep, &mut acts);
+    lab.recycle_actions(acts);
+    app_on_delivered(lab, eng, f, ep, bytes);
+    // Drain anything that arrived while this chunk copied.
+    if lab.flows[f].read_pending[ep] > 0 {
+        app_read(lab, eng, f, ep, false);
+    } else {
+        lab.flows[f].read_scheduled[ep] = false;
+    }
 }
 
 /// Record a flow's completion time and CPU snapshots (idempotent).
@@ -540,7 +721,7 @@ fn mark_done(lab: &mut Lab, f: usize, now: Nanos) {
 }
 
 /// Workload reaction to delivered-and-read data.
-fn app_on_delivered(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, ep: usize, bytes: u64) {
+fn app_on_delivered(lab: &mut Lab, eng: &mut LabEngine, f: usize, ep: usize, bytes: u64) {
     let now = eng.now();
     let mut write_back: Option<(usize, u64)> = None;
     match &mut lab.flows[f].app {
@@ -585,7 +766,7 @@ fn app_on_delivered(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize, ep: usize, b
 // ---------------------------------------------------------------------
 
 /// One iteration of the kernel packet-generator loop.
-fn pktgen_tick(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize) {
+fn pktgen_tick(lab: &mut Lab, eng: &mut LabEngine, f: usize) {
     let now = eng.now();
     let h = lab.flows[f].host[0];
     let (ip_bytes, proceed) = match &mut lab.flows[f].app {
@@ -651,7 +832,7 @@ fn pktgen_tick(lab: &mut Lab, eng: &mut Engine<Lab>, f: usize) {
         let t_done = t.max(now);
         mark_done(lab, f, t_done);
     } else {
-        eng.schedule_at(next, move |lab, eng| pktgen_tick(lab, eng, f));
+        eng.schedule_event_at(next, Ev::PktgenTick { f });
     }
 }
 
@@ -681,7 +862,7 @@ mod tests {
     use tengig_net::Hop;
     use tengig_sim::Bandwidth;
 
-    fn b2b_lab(rung: LadderRung, mtu: Mtu, payload: u64, count: u64) -> (Lab, Engine<Lab>) {
+    fn b2b_lab(rung: LadderRung, mtu: Mtu, payload: u64, count: u64) -> (Lab, LabEngine) {
         let cfg = rung.pe2650_config(mtu);
         let mut lab = Lab::new();
         let a = lab.add_host(cfg);

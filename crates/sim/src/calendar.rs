@@ -1,0 +1,421 @@
+//! The slab-backed event calendar underneath [`crate::Engine`].
+//!
+//! Three structural choices keep the hot path allocation- and
+//! comparison-light, replacing the original `BinaryHeap<Box<event>>`:
+//!
+//! * **Slab storage.** Payloads live in a slab (`Vec` of slots) and are
+//!   referenced by `u32` handles; freed slots go on an intrusive freelist
+//!   and are reused, so steady-state scheduling performs no allocation
+//!   and the heap itself only moves 24-byte copyable keys around.
+//! * **Cancellation tombstones.** [`Calendar::cancel`] frees the payload
+//!   immediately and bumps the slot generation; the key already sitting
+//!   in the heap is left behind as a tombstone and discarded lazily when
+//!   it surfaces. Cancelling is O(1) instead of an O(n) heap rebuild or
+//!   an O(log n) removal.
+//! * **Same-timestamp batching.** An event scheduled for the *current*
+//!   instant (the overwhelmingly common "immediately after this one"
+//!   pattern, plus past-clamped events) bypasses the heap into a FIFO
+//!   lane. Draining the lane costs no comparisons, and the keys never
+//!   pay sift-up/sift-down traffic.
+//!
+//! The observable order is **exactly** the strict `(time, seq)` order of
+//! the original queue. The lane is sound because a key only enters it
+//! while the clock already sits at its timestamp, so every heap key with
+//! the same timestamp was scheduled earlier and holds a smaller `seq`:
+//! draining heap keys at `now` before lane keys reproduces the global
+//! sequence order. The equivalence (including cancellation) is pinned by
+//! a property test against a reference heap in
+//! `crates/sim/tests/calendar_equivalence.rs`.
+
+use crate::time::Nanos;
+use std::collections::VecDeque;
+
+/// Handle to a scheduled event, returned by the schedule calls and
+/// accepted by [`Calendar::cancel`] (via `Engine::cancel`).
+///
+/// The generation makes handles ABA-safe: once the event fires or is
+/// cancelled, the slot is recycled under a new generation and the old
+/// handle turns inert (cancelling it is a no-op returning `None`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
+
+/// A heap/lane key: everything the ordering needs, nothing it does not.
+/// 24 bytes and `Copy`, so sift operations move keys, not payloads.
+#[derive(Debug, Clone, Copy)]
+struct Key {
+    at: Nanos,
+    seq: u64,
+    slot: u32,
+    gen: u32,
+}
+
+impl Key {
+    #[inline]
+    fn before(&self, other: &Key) -> bool {
+        (self.at, self.seq) < (other.at, other.seq)
+    }
+}
+
+/// One slab slot: vacant slots chain through the freelist, occupied slots
+/// own the payload. Both carry the slot's current generation.
+#[derive(Debug)]
+enum Slot<T> {
+    Vacant { next_free: u32, gen: u32 },
+    Occupied { payload: T, gen: u32 },
+}
+
+/// Freelist terminator.
+const NIL: u32 = u32::MAX;
+
+/// A deterministic event calendar: a slab of payloads indexed by a binary
+/// min-heap of `(time, seq)` keys, with a FIFO fast lane for events at the
+/// current instant and O(1) tombstone cancellation.
+#[derive(Debug)]
+pub struct Calendar<T> {
+    heap: Vec<Key>,
+    /// Keys whose `at` equals the current time, in insertion (= seq) order.
+    lane: VecDeque<Key>,
+    slots: Vec<Slot<T>>,
+    free_head: u32,
+    now: Nanos,
+    seq: u64,
+    /// Scheduled-and-not-cancelled events (tombstones excluded).
+    live: usize,
+}
+
+impl<T> Default for Calendar<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Calendar<T> {
+    /// An empty calendar at time zero.
+    pub fn new() -> Self {
+        Calendar {
+            heap: Vec::new(),
+            lane: VecDeque::new(),
+            slots: Vec::new(),
+            free_head: NIL,
+            now: Nanos::ZERO,
+            seq: 0,
+            live: 0,
+        }
+    }
+
+    /// Current virtual time; advances only in [`Calendar::pop`] and
+    /// [`Calendar::advance_now_to`].
+    #[inline]
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Live (scheduled, not cancelled, not yet popped) events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live events remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Schedule `payload` at absolute time `at`, which the caller must
+    /// have clamped to `at >= now`. Returns a handle for cancellation.
+    pub fn schedule(&mut self, at: Nanos, payload: T) -> EventId {
+        debug_assert!(at >= self.now, "calendar caller must clamp to now");
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        let (slot, gen) = self.insert(payload);
+        let key = Key { at, seq, slot, gen };
+        if at == self.now {
+            // Fast lane: every heap key at this timestamp predates (and
+            // outranks) every lane key, so FIFO order is (at, seq) order.
+            self.lane.push_back(key);
+        } else {
+            self.heap_push(key);
+        }
+        self.live += 1;
+        EventId { slot, gen }
+    }
+
+    /// Cancel a scheduled event, returning its payload if the handle was
+    /// still live. The payload is freed now; the key left in the heap (or
+    /// lane) becomes a tombstone discarded lazily on pop.
+    pub fn cancel(&mut self, id: EventId) -> Option<T> {
+        match self.slots.get(id.slot as usize) {
+            Some(Slot::Occupied { gen, .. }) if *gen == id.gen => {
+                let payload = self.remove(id.slot);
+                self.live -= 1;
+                Some(payload)
+            }
+            _ => None,
+        }
+    }
+
+    /// Timestamp of the earliest live event, without popping it.
+    /// Tombstones encountered on the way are discarded.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        loop {
+            if let Some(&top) = self.heap.first() {
+                if top.at == self.now {
+                    if self.is_live(top) {
+                        return Some(top.at);
+                    }
+                    self.heap_pop();
+                    continue;
+                }
+            }
+            if let Some(&front) = self.lane.front() {
+                if self.is_live(front) {
+                    return Some(front.at);
+                }
+                self.lane.pop_front();
+                continue;
+            }
+            let &top = self.heap.first()?;
+            if self.is_live(top) {
+                return Some(top.at);
+            }
+            self.heap_pop();
+        }
+    }
+
+    /// Pop the earliest live event in strict `(time, seq)` order,
+    /// advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Nanos, T)> {
+        loop {
+            // Heap keys at the current instant precede the lane: they
+            // were scheduled before the clock reached `now`, so their
+            // seqs are smaller than any lane key's.
+            if let Some(&top) = self.heap.first() {
+                if top.at == self.now {
+                    self.heap_pop();
+                    if let Some(p) = self.take_live(top) {
+                        return Some((top.at, p));
+                    }
+                    continue;
+                }
+            }
+            if let Some(front) = self.lane.pop_front() {
+                debug_assert!(front.at == self.now, "lane key left behind the clock");
+                if let Some(p) = self.take_live(front) {
+                    return Some((front.at, p));
+                }
+                continue;
+            }
+            // Lane drained: the earliest event (if any) sits atop the heap
+            // strictly in the future; popping it advances the clock.
+            let top = self.heap_pop()?;
+            if let Some(p) = self.take_live(top) {
+                debug_assert!(top.at >= self.now, "time went backwards");
+                self.now = top.at;
+                return Some((top.at, p));
+            }
+        }
+    }
+
+    /// Advance the clock without running events, e.g. to pin a measurement
+    /// window edge. The caller must ensure no live event is earlier.
+    pub fn advance_now_to(&mut self, at: Nanos) {
+        debug_assert!(
+            self.peek_time().map_or(true, |t| t >= at),
+            "advancing the clock over a pending event"
+        );
+        if at > self.now {
+            self.now = at;
+        }
+    }
+
+    #[inline]
+    fn is_live(&self, key: Key) -> bool {
+        matches!(
+            self.slots.get(key.slot as usize),
+            Some(Slot::Occupied { gen, .. }) if *gen == key.gen
+        )
+    }
+
+    /// Remove the payload behind `key` if the key is live (not a
+    /// tombstone), recycling the slot either way it was occupied.
+    fn take_live(&mut self, key: Key) -> Option<T> {
+        if self.is_live(key) {
+            let p = self.remove(key.slot);
+            self.live -= 1;
+            Some(p)
+        } else {
+            None
+        }
+    }
+
+    fn insert(&mut self, payload: T) -> (u32, u32) {
+        if self.free_head != NIL {
+            let slot = self.free_head;
+            let s = &mut self.slots[slot as usize];
+            let Slot::Vacant { next_free, gen } = *s else {
+                unreachable!("freelist points at an occupied slot")
+            };
+            self.free_head = next_free;
+            *s = Slot::Occupied { payload, gen };
+            (slot, gen)
+        } else {
+            assert!(
+                self.slots.len() < NIL as usize,
+                "calendar slab exhausted u32 handles"
+            );
+            let slot = self.slots.len() as u32;
+            self.slots.push(Slot::Occupied { payload, gen: 0 });
+            (slot, 0)
+        }
+    }
+
+    /// Free an occupied slot, bumping its generation so stale keys and
+    /// handles go inert, and chain it onto the freelist.
+    fn remove(&mut self, slot: u32) -> T {
+        let s = &mut self.slots[slot as usize];
+        let next = Slot::Vacant {
+            next_free: self.free_head,
+            gen: match s {
+                Slot::Occupied { gen, .. } => gen.wrapping_add(1),
+                Slot::Vacant { .. } => unreachable!("double free of a calendar slot"),
+            },
+        };
+        let Slot::Occupied { payload, .. } = std::mem::replace(s, next) else {
+            unreachable!("checked occupied above")
+        };
+        self.free_head = slot;
+        payload
+    }
+
+    // ---- the key heap: a plain binary min-heap over `Key` ----
+
+    fn heap_push(&mut self, key: Key) {
+        self.heap.push(key);
+        let mut i = self.heap.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].before(&self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_pop(&mut self) -> Option<Key> {
+        let last = self.heap.pop()?;
+        if self.heap.is_empty() {
+            return Some(last);
+        }
+        let top = std::mem::replace(&mut self.heap[0], last);
+        // Sift the relocated tail down to its place.
+        let len = self.heap.len();
+        let mut i = 0;
+        loop {
+            let l = 2 * i + 1;
+            if l >= len {
+                break;
+            }
+            let r = l + 1;
+            let child = if r < len && self.heap[r].before(&self.heap[l]) {
+                r
+            } else {
+                l
+            };
+            if self.heap[child].before(&self.heap[i]) {
+                self.heap.swap(i, child);
+                i = child;
+            } else {
+                break;
+            }
+        }
+        Some(top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut c: Calendar<u32> = Calendar::new();
+        c.schedule(Nanos(30), 3);
+        c.schedule(Nanos(10), 1);
+        c.schedule(Nanos(10), 2);
+        c.schedule(Nanos(20), 9);
+        assert_eq!(c.len(), 4);
+        let order: Vec<u32> = std::iter::from_fn(|| c.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, vec![1, 2, 9, 3]);
+        assert_eq!(c.now(), Nanos(30));
+    }
+
+    #[test]
+    fn current_instant_uses_the_lane_and_keeps_global_order() {
+        let mut c: Calendar<u32> = Calendar::new();
+        c.schedule(Nanos(5), 1);
+        c.schedule(Nanos(5), 2);
+        let (at, p) = c.pop().expect("event pending");
+        assert_eq!((at, p), (Nanos(5), 1));
+        // Scheduled *at* the clock: lands in the lane, after key 2.
+        c.schedule(Nanos(5), 3);
+        assert!(!c.lane.is_empty(), "same-instant event must take the lane");
+        assert_eq!(c.pop().map(|(_, p)| p), Some(2));
+        assert_eq!(c.pop().map(|(_, p)| p), Some(3));
+        assert_eq!(c.pop(), None);
+    }
+
+    #[test]
+    fn cancel_frees_immediately_and_tombstones_the_key() {
+        let mut c: Calendar<String> = Calendar::new();
+        let a = c.schedule(Nanos(10), "a".to_string());
+        c.schedule(Nanos(20), "b".to_string());
+        assert_eq!(c.cancel(a), Some("a".to_string()));
+        assert_eq!(c.len(), 1);
+        // Double-cancel and cancel-after-pop are inert.
+        assert_eq!(c.cancel(a), None);
+        assert_eq!(c.pop(), Some((Nanos(20), "b".to_string())));
+        assert_eq!(c.pop(), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn slots_are_reused_through_the_freelist() {
+        let mut c: Calendar<u64> = Calendar::new();
+        for round in 0..100u64 {
+            let at = Nanos(round + 1);
+            c.schedule(at, round);
+            let (_, p) = c.pop().expect("just scheduled");
+            assert_eq!(p, round);
+        }
+        assert_eq!(c.slots.len(), 1, "steady-state churn must reuse one slot");
+    }
+
+    #[test]
+    fn stale_handle_after_reuse_does_not_cancel_the_new_tenant() {
+        let mut c: Calendar<u32> = Calendar::new();
+        let a = c.schedule(Nanos(10), 1);
+        c.pop();
+        // Slot reused under a new generation.
+        let _b = c.schedule(Nanos(20), 2);
+        assert_eq!(c.cancel(a), None, "old handle must be inert");
+        assert_eq!(c.pop().map(|(_, p)| p), Some(2));
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones() {
+        let mut c: Calendar<u32> = Calendar::new();
+        let a = c.schedule(Nanos(10), 1);
+        c.schedule(Nanos(30), 3);
+        c.cancel(a);
+        assert_eq!(c.peek_time(), Some(Nanos(30)));
+        assert_eq!(c.pop().map(|(at, _)| at), Some(Nanos(30)));
+        assert_eq!(c.peek_time(), None);
+    }
+}

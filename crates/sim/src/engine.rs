@@ -1,76 +1,76 @@
 //! The discrete-event engine.
 //!
-//! [`Engine<W>`] is a deterministic event calendar over a caller-supplied
-//! world type `W`. Events are boxed `FnOnce(&mut W, &mut Engine<W>)` closures
-//! keyed by `(time, sequence)`; the sequence number breaks ties in insertion
-//! order, so two runs with identical inputs execute identical schedules.
+//! [`Engine<W, E>`] is a deterministic event calendar over a caller-supplied
+//! world type `W` and event payload type `E`. Events are keyed by
+//! `(time, sequence)`; the sequence number breaks ties in insertion order,
+//! so two runs with identical inputs execute identical schedules.
 //!
-//! The closure form keeps the engine agnostic of everything above it: the
-//! TCP stack, NIC models, and workload tools are pure state machines, and the
-//! composition layer (the `tengig` core crate) turns their actions into
-//! scheduled closures.
+//! The payload type keeps the engine agnostic of everything above it while
+//! letting hot compositions avoid allocation entirely: a payload is any
+//! [`EventFire`] type, stored inline in the calendar's slab
+//! ([`crate::calendar::Calendar`]) and referenced by `u32` handles. The
+//! composition layer (the `tengig` core crate) schedules a plain `enum` of
+//! its event kinds; tests and small models use the default
+//! [`BoxedEvent<W>`] payload, which restores the original boxed-closure
+//! ergonomics ([`Engine::schedule_at`] and friends taking `FnOnce`).
 
+use crate::calendar::Calendar;
+pub use crate::calendar::EventId;
 use crate::sanitizer::{Sanitizer, ViolationKind};
 use crate::time::Nanos;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
-/// Type of the boxed event callbacks executed by the engine.
-pub type Event<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
-
-struct Entry<W> {
-    at: Nanos,
-    seq: u64,
-    f: Event<W>,
+/// An event payload the engine can execute.
+///
+/// Implementors are consumed by value when their scheduled instant
+/// arrives, with mutable access to both the world and the engine (to
+/// schedule follow-up events).
+pub trait EventFire<W>: Sized {
+    /// Execute the event.
+    fn fire(self, world: &mut W, eng: &mut Engine<W, Self>);
 }
 
-// BinaryHeap is a max-heap; invert the ordering to pop the earliest
-// (time, seq) first.
-impl<W> PartialEq for Entry<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<W> Eq for Entry<W> {}
-impl<W> PartialOrd for Entry<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Entry<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+/// The closure type a [`BoxedEvent`] boxes.
+type BoxedFire<W> = dyn FnOnce(&mut W, &mut Engine<W>);
+
+/// The default payload: a boxed `FnOnce` closure, for worlds that prefer
+/// closure ergonomics over allocation-free scheduling.
+pub struct BoxedEvent<W>(Box<BoxedFire<W>>);
+
+/// Backwards-compatible alias for the boxed payload type.
+pub type Event<W> = BoxedEvent<W>;
+
+impl<W> EventFire<W> for BoxedEvent<W> {
+    fn fire(self, world: &mut W, eng: &mut Engine<W, Self>) {
+        (self.0)(world, eng)
     }
 }
 
 /// A deterministic discrete-event scheduler over world state `W`.
-pub struct Engine<W> {
-    now: Nanos,
-    seq: u64,
+pub struct Engine<W, E: EventFire<W> = BoxedEvent<W>> {
     executed: u64,
-    queue: BinaryHeap<Entry<W>>,
+    calendar: Calendar<E>,
     sanitizer: Option<Sanitizer>,
     /// Hard cap on executed events; guards against runaway feedback loops in
     /// model composition bugs. [`Engine::run`] panics when exceeded.
     pub event_limit: u64,
+    _world: std::marker::PhantomData<fn(&mut W)>,
 }
 
-impl<W> Default for Engine<W> {
+impl<W, E: EventFire<W>> Default for Engine<W, E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<W> Engine<W> {
+impl<W, E: EventFire<W>> Engine<W, E> {
     /// Create an empty engine at time zero.
     pub fn new() -> Self {
         Engine {
-            now: Nanos::ZERO,
-            seq: 0,
             executed: 0,
-            queue: BinaryHeap::new(),
+            calendar: Calendar::new(),
             sanitizer: None,
             event_limit: u64::MAX,
+            _world: std::marker::PhantomData,
         }
     }
 
@@ -101,7 +101,7 @@ impl<W> Engine<W> {
     /// Current virtual time. Monotonically non-decreasing across callbacks.
     #[inline]
     pub fn now(&self) -> Nanos {
-        self.now
+        self.calendar.now()
     }
 
     /// Number of events executed so far.
@@ -110,77 +110,64 @@ impl<W> Engine<W> {
         self.executed
     }
 
-    /// Number of events still pending.
+    /// Number of events still pending (cancelled events excluded).
     #[inline]
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.calendar.len()
     }
 
-    /// Schedule `f` to run at absolute time `at`.
+    /// Schedule `ev` to fire at absolute time `at`, returning a handle
+    /// that [`Engine::cancel`] accepts until the event fires.
     ///
     /// Scheduling in the past is a model bug and is rejected, never
     /// silently reordered: with a [`Sanitizer`] installed the engine
     /// records a causality violation (so tests can observe it); without
     /// one it panics in debug builds. Either way the event is clamped to
     /// `now` so release runs keep a monotonic clock.
-    pub fn schedule_at<F>(&mut self, at: Nanos, f: F)
-    where
-        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
-    {
-        if at < self.now {
+    pub fn schedule_event_at(&mut self, at: Nanos, ev: E) -> EventId {
+        let now = self.calendar.now();
+        if at < now {
             if let Some(s) = self.sanitizer.as_mut() {
                 let detail = format!(
                     "handler scheduled an event at {} with the clock at {}",
-                    at, self.now
+                    at, now
                 );
-                s.record(ViolationKind::Causality, self.now, detail);
+                s.record(ViolationKind::Causality, now, detail);
             } else {
-                debug_assert!(
-                    at >= self.now,
-                    "event scheduled in the past: {} < {}",
-                    at,
-                    self.now
-                );
+                debug_assert!(at >= now, "event scheduled in the past: {} < {}", at, now);
             }
         }
-        let at = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Entry {
-            at,
-            seq,
-            f: Box::new(f),
-        });
+        self.calendar.schedule(at.max(now), ev)
     }
 
-    /// Schedule `f` to run `delay` after the current time.
-    pub fn schedule_in<F>(&mut self, delay: Nanos, f: F)
-    where
-        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
-    {
-        let at = self.now.saturating_add(delay);
-        self.schedule_at(at, f);
+    /// Schedule `ev` to fire `delay` after the current time.
+    pub fn schedule_event_in(&mut self, delay: Nanos, ev: E) -> EventId {
+        let at = self.calendar.now().saturating_add(delay);
+        self.schedule_event_at(at, ev)
     }
 
-    /// Schedule `f` to run "immediately" (at the current time, after all
-    /// callbacks already queued for this instant).
-    pub fn schedule_now<F>(&mut self, f: F)
-    where
-        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
-    {
-        self.schedule_at(self.now, f);
+    /// Schedule `ev` to fire "immediately" (at the current time, after all
+    /// events already queued for this instant).
+    pub fn schedule_event_now(&mut self, ev: E) -> EventId {
+        self.schedule_event_at(self.calendar.now(), ev)
+    }
+
+    /// Cancel a scheduled event. Returns `true` when the handle was still
+    /// live (the payload is dropped immediately); `false` when the event
+    /// already fired or was already cancelled. O(1): the calendar leaves a
+    /// tombstone behind instead of restructuring the heap.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.calendar.cancel(id).is_some()
     }
 
     /// Run a single event if one is pending. Returns `false` when the
     /// calendar is empty.
     pub fn step(&mut self, world: &mut W) -> bool {
-        let Some(entry) = self.queue.pop() else {
+        let Some((_, ev)) = self.calendar.pop() else {
             return false;
         };
-        debug_assert!(entry.at >= self.now, "time went backwards");
-        self.now = entry.at;
         self.executed += 1;
-        (entry.f)(world, self);
+        ev.fire(world, self);
         true
     }
 
@@ -194,7 +181,7 @@ impl<W> Engine<W> {
                 self.executed <= self.event_limit,
                 "event limit {} exceeded at t={}",
                 self.event_limit,
-                self.now
+                self.calendar.now()
             );
         }
     }
@@ -204,7 +191,7 @@ impl<W> Engine<W> {
     /// Events scheduled strictly after `deadline` remain queued; the clock is
     /// left at the last executed event (≤ `deadline`).
     pub fn run_until(&mut self, world: &mut W, deadline: Nanos) {
-        while let Some(next) = self.queue.peek().map(|e| e.at) {
+        while let Some(next) = self.calendar.peek_time() {
             if next > deadline {
                 break;
             }
@@ -213,7 +200,7 @@ impl<W> Engine<W> {
                 self.executed <= self.event_limit,
                 "event limit {} exceeded at t={}",
                 self.event_limit,
-                self.now
+                self.calendar.now()
             );
         }
     }
@@ -229,9 +216,35 @@ impl<W> Engine<W> {
     /// event is strictly later than `deadline`.
     pub fn advance_to(&mut self, world: &mut W, deadline: Nanos) {
         self.run_until(world, deadline);
-        if self.now < deadline {
-            self.now = deadline;
-        }
+        self.calendar.advance_now_to(deadline);
+    }
+}
+
+impl<W> Engine<W, BoxedEvent<W>> {
+    /// Schedule closure `f` to run at absolute time `at` (boxed-payload
+    /// engines only). See [`Engine::schedule_event_at`].
+    pub fn schedule_at<F>(&mut self, at: Nanos, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.schedule_event_at(at, BoxedEvent(Box::new(f)))
+    }
+
+    /// Schedule closure `f` to run `delay` after the current time.
+    pub fn schedule_in<F>(&mut self, delay: Nanos, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.schedule_event_in(delay, BoxedEvent(Box::new(f)))
+    }
+
+    /// Schedule closure `f` to run "immediately" (at the current time,
+    /// after all callbacks already queued for this instant).
+    pub fn schedule_now<F>(&mut self, f: F) -> EventId
+    where
+        F: FnOnce(&mut W, &mut Engine<W>) + 'static,
+    {
+        self.schedule_event_now(BoxedEvent(Box::new(f)))
     }
 }
 
@@ -366,5 +379,38 @@ mod tests {
         eng.run(&mut w);
         assert_eq!(w, 1);
         assert_eq!(eng.now(), Nanos::MAX);
+    }
+
+    #[test]
+    fn cancelled_events_never_fire_and_leave_pending_clean() {
+        let mut eng: Engine<Vec<u32>> = Engine::new();
+        let mut log = Vec::new();
+        let a = eng.schedule_at(Nanos(10), |w: &mut Vec<u32>, _| w.push(1));
+        eng.schedule_at(Nanos(20), |w, _| w.push(2));
+        assert_eq!(eng.pending(), 2);
+        assert!(eng.cancel(a), "live event cancels");
+        assert_eq!(eng.pending(), 1);
+        assert!(!eng.cancel(a), "second cancel is inert");
+        eng.run(&mut log);
+        assert_eq!(log, vec![2]);
+        assert_eq!(eng.executed(), 1, "cancelled events are not executed");
+        assert!(!eng.cancel(a), "cancel after run is inert");
+    }
+
+    #[test]
+    fn cancel_from_within_a_handler_kills_a_pending_timer() {
+        // The timer-reschedule pattern: a handler cancels a previously
+        // armed event and arms a replacement.
+        let mut eng: Engine<Vec<&'static str>> = Engine::new();
+        let mut log = Vec::new();
+        let stale = eng.schedule_at(Nanos(100), |w: &mut Vec<&'static str>, _| w.push("stale"));
+        eng.schedule_at(Nanos(50), move |w: &mut Vec<&'static str>, e| {
+            w.push("reschedule");
+            assert!(e.cancel(stale));
+            e.schedule_at(Nanos(200), |w, _| w.push("fresh"));
+        });
+        eng.run(&mut log);
+        assert_eq!(log, vec!["reschedule", "fresh"]);
+        assert_eq!(eng.now(), Nanos(200));
     }
 }

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod engine;
 pub mod queue;
 pub mod rng;
@@ -31,7 +32,8 @@ pub mod time;
 pub mod trace;
 pub mod units;
 
-pub use engine::Engine;
+pub use calendar::{Calendar, EventId};
+pub use engine::{BoxedEvent, Engine, EventFire};
 pub use queue::{DropTailQueue, Enqueue};
 pub use rng::SimRng;
 pub use sanitizer::{Sanitizer, SimConfig, Violation, ViolationKind};

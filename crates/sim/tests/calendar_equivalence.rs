@@ -1,0 +1,168 @@
+//! Equivalence property for the slab event calendar.
+//!
+//! The original engine queue was a `BinaryHeap` of `(time, seq)`-ordered
+//! entries owning boxed payloads: strict `(time, seq)` pop order, ties
+//! FIFO by insertion. The slab calendar replaces it with handle-indexed
+//! storage, a same-instant FIFO lane, and tombstone cancellation — none
+//! of which may change the observable order. This test drives random
+//! schedule/cancel/pop traces through both queues and asserts identical
+//! pop sequences, identical cancellation outcomes, and identical live
+//! counts at every step.
+
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tengig_sim::{Calendar, EventId, Nanos};
+
+/// The pre-overhaul queue, reduced to its ordering semantics: a binary
+/// max-heap on inverted `(time, seq)` keys, payloads owned by the
+/// entries. Cancellation (which the old engine lacked) is modeled the
+/// straightforward way — an eager sweep of the backing store — so the
+/// property checks the tombstone scheme against remove-semantics, not
+/// against another lazy implementation of itself.
+struct ReferenceQueue {
+    heap: BinaryHeap<Reverse<(Nanos, u64, u32)>>,
+    cancelled: Vec<bool>,
+    seq: u64,
+    now: Nanos,
+    live: usize,
+}
+
+impl ReferenceQueue {
+    fn new() -> Self {
+        ReferenceQueue {
+            heap: BinaryHeap::new(),
+            cancelled: Vec::new(),
+            seq: 0,
+            now: Nanos::ZERO,
+            live: 0,
+        }
+    }
+
+    /// Schedule a payload (its tag is its position in `cancelled`).
+    fn schedule(&mut self, at: Nanos) -> u32 {
+        let tag = self.cancelled.len() as u32;
+        self.cancelled.push(false);
+        self.heap.push(Reverse((at.max(self.now), self.seq, tag)));
+        self.seq += 1;
+        self.live += 1;
+        tag
+    }
+
+    fn cancel(&mut self, tag: u32) -> bool {
+        if self.cancelled[tag as usize] {
+            return false;
+        }
+        // "already popped" shows as absent from the heap.
+        if !self.heap.iter().any(|Reverse((_, _, t))| *t == tag) {
+            return false;
+        }
+        self.cancelled[tag as usize] = true;
+        self.live -= 1;
+        true
+    }
+
+    fn pop(&mut self) -> Option<(Nanos, u32)> {
+        while let Some(Reverse((at, _, tag))) = self.heap.pop() {
+            if self.cancelled[tag as usize] {
+                continue;
+            }
+            self.now = at;
+            self.live -= 1;
+            return Some((at, tag));
+        }
+        None
+    }
+}
+
+/// One step of a random trace, decoded from a `(kind, offset, pick)`
+/// tuple: kinds 0-3 schedule at `now + offset` (tiny offsets force heavy
+/// timestamp collisions; offset 0 exercises the same-instant FIFO lane),
+/// kind 4 cancels the `pick`-th id issued so far (live, popped, or
+/// already cancelled — all three outcomes must agree across queues), and
+/// kinds 5-7 pop the earliest live event from both queues.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Schedule { offset: u64 },
+    Cancel { pick: usize },
+    Pop,
+}
+
+fn decode(kind: u8, offset: u64, pick: usize) -> Op {
+    match kind {
+        0..=3 => Op::Schedule { offset },
+        4 => Op::Cancel { pick },
+        _ => Op::Pop,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Identical pop order (FIFO-stable at equal timestamps), identical
+    /// cancellation results, identical live counts — across arbitrary
+    /// interleavings of schedule, cancel, and pop.
+    #[test]
+    fn slab_calendar_matches_the_reference_binary_heap(
+        ops in proptest::collection::vec((0u8..8, 0u64..6, 0usize..64), 1..400)
+    ) {
+        let mut cal: Calendar<u32> = Calendar::new();
+        let mut reference = ReferenceQueue::new();
+        let mut ids: Vec<(EventId, u32)> = Vec::new();
+        for (kind, offset, pick) in ops {
+            match decode(kind, offset, pick) {
+                Op::Schedule { offset } => {
+                    let at = cal.now() + Nanos(offset);
+                    let tag = reference.schedule(at);
+                    let id = cal.schedule(at, tag);
+                    ids.push((id, tag));
+                }
+                Op::Cancel { pick } if !ids.is_empty() => {
+                    let (id, tag) = ids[pick % ids.len()];
+                    let got = cal.cancel(id);
+                    let want = reference.cancel(tag);
+                    prop_assert_eq!(
+                        got.is_some(),
+                        want,
+                        "cancel diverged for tag {}", tag
+                    );
+                    if let Some(p) = got {
+                        prop_assert_eq!(p, tag, "cancel returned the wrong payload");
+                    }
+                }
+                Op::Cancel { .. } => {}
+                Op::Pop => {
+                    prop_assert_eq!(cal.pop(), reference.pop(), "pop order diverged");
+                }
+            }
+            prop_assert_eq!(cal.len(), reference.live, "live counts diverged");
+            prop_assert_eq!(cal.now(), reference.now, "clocks diverged");
+        }
+        // Drain both completely: the tails must match too.
+        loop {
+            let (a, b) = (cal.pop(), reference.pop());
+            prop_assert_eq!(a, b, "drain order diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// With no cancellations at all, pop order is exactly the
+    /// stable-by-insertion sort of the schedule times.
+    #[test]
+    fn pop_order_is_a_stable_sort_of_schedule_times(
+        times in proptest::collection::vec(0u64..50, 1..200)
+    ) {
+        let mut cal: Calendar<usize> = Calendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(Nanos(t), i);
+        }
+        let mut expect: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expect.sort_by_key(|&(t, i)| (t, i));
+        let got: Vec<(u64, usize)> =
+            std::iter::from_fn(|| cal.pop().map(|(at, i)| (at.as_nanos(), i))).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

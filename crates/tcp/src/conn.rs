@@ -263,6 +263,15 @@ impl TcpConn {
     /// The application wrote `bytes`. Returns the accepted byte count
     /// (bounded by send-buffer space) and resulting actions.
     pub fn on_app_write(&mut self, now: Nanos, bytes: u64) -> (u64, Vec<Action>) {
+        let mut out = Vec::new();
+        let accepted = self.on_app_write_into(now, bytes, &mut out);
+        (accepted, out)
+    }
+
+    /// Allocation-free variant of [`TcpConn::on_app_write`]: actions are
+    /// appended to `out`, so the composition layer can recycle one buffer
+    /// across calls instead of allocating per write.
+    pub fn on_app_write_into(&mut self, now: Nanos, bytes: u64, out: &mut Vec<Action>) -> u64 {
         let accepted = bytes.min(self.snd_buf_space());
         if accepted > 0 {
             if self.cfg.nodelay {
@@ -278,17 +287,24 @@ impl TcpConn {
             }
             self.queued_bytes += accepted;
         }
-        let mut out = Vec::new();
-        self.try_send(now, &mut out);
-        (accepted, out)
+        self.try_send(now, out);
+        accepted
     }
 
     /// The application read `bytes` from the receive queue. Frees buffer
     /// space and may emit a window update.
-    pub fn on_app_read(&mut self, _now: Nanos, bytes: u64) -> Vec<Action> {
+    pub fn on_app_read(&mut self, now: Nanos, bytes: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_app_read_into(now, bytes, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`TcpConn::on_app_read`]; see
+    /// [`TcpConn::on_app_write_into`].
+    pub fn on_app_read_into(&mut self, _now: Nanos, bytes: u64, out: &mut Vec<Action>) {
         let bytes = bytes.min(self.rcv_buffered);
         if bytes == 0 {
-            return Vec::new();
+            return;
         }
         // Free truesize proportionally to the bytes drained.
         let ts_freed = if self.rcv_buffered == bytes {
@@ -305,9 +321,8 @@ impl TcpConn {
         // backlog and the flow self-limits far below the path capacity.
         let edge = self.rcv_nxt + self.window_to_advertise();
         if edge >= self.rcv_adv + 2 * self.rcv_mss_est {
-            return vec![Action::Send(self.make_ack(false))];
+            out.push(Action::Send(self.make_ack(false)));
         }
-        Vec::new()
     }
 
     // ------------------------------------------------------------------
@@ -468,17 +483,24 @@ impl TcpConn {
     /// A segment arrived from the peer at `now`.
     pub fn on_segment(&mut self, now: Nanos, seg: &Segment) -> Vec<Action> {
         let mut out = Vec::new();
+        self.on_segment_into(now, seg, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`TcpConn::on_segment`]; see
+    /// [`TcpConn::on_app_write_into`].
+    pub fn on_segment_into(&mut self, now: Nanos, seg: &Segment, out: &mut Vec<Action>) {
         if let Some(ts) = seg.ts {
             // Echo policy: remember the latest in-window timestamp.
             self.ts_recent = ts.tsval;
         }
         // --- sender half: process the acknowledgment ---
         if seg.flags.ack {
-            self.process_ack(now, seg, &mut out);
+            self.process_ack(now, seg, out);
         }
         // --- receiver half: process payload ---
         if seg.len > 0 {
-            self.process_data(now, seg, &mut out);
+            self.process_data(now, seg, out);
         } else if seg.flags.fin {
             self.fin_seen = true;
             out.push(Action::Send(self.make_ack(false)));
@@ -486,8 +508,7 @@ impl TcpConn {
             self.stats.acks_in += 1;
         }
         // Window may have opened; send what we can.
-        self.try_send(now, &mut out);
-        out
+        self.try_send(now, out);
     }
 
     fn process_ack(&mut self, now: Nanos, seg: &Segment, out: &mut Vec<Action>) {
@@ -701,23 +722,30 @@ impl TcpConn {
     /// stale generations are ignored.
     pub fn on_timer(&mut self, now: Nanos, kind: TimerKind, gen: u64) -> Vec<Action> {
         let mut out = Vec::new();
+        self.on_timer_into(now, kind, gen, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`TcpConn::on_timer`]; see
+    /// [`TcpConn::on_app_write_into`].
+    pub fn on_timer_into(&mut self, now: Nanos, kind: TimerKind, gen: u64, out: &mut Vec<Action>) {
         match kind {
             TimerKind::Rto => {
                 if gen != self.rto_gen || !self.rto_armed {
-                    return out;
+                    return;
                 }
                 self.rto_armed = false;
                 if self.rtxq.is_empty() {
-                    return out;
+                    return;
                 }
                 self.cc.on_timeout(self.inflight_segs());
                 self.backoff += 1;
-                self.retransmit_first(now, &mut out);
-                self.arm_rto(now, &mut out);
+                self.retransmit_first(now, out);
+                self.arm_rto(now, out);
             }
             TimerKind::DelAck => {
                 if gen != self.delack_gen || !self.delack_armed {
-                    return out;
+                    return;
                 }
                 self.delack_armed = false;
                 if self.segs_since_ack > 0 {
@@ -727,7 +755,6 @@ impl TcpConn {
                 }
             }
         }
-        out
     }
 
     /// Expose the current advertised window (for instrumentation).
