@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt clippy benches-check lint bench bench-gate
+.PHONY: ci build test fmt clippy benches-check lint obs-check bench bench-gate
 
-ci: build test fmt clippy benches-check lint
+ci: build test fmt clippy benches-check lint obs-check
 
 build:
 	$(CARGO) build --release
@@ -30,6 +30,15 @@ benches-check:
 # sweeps that bypass SweepRunner. See crates/lint.
 lint:
 	$(CARGO) run --release -q -p tengig-lint
+
+# Observability determinism gate: runs the pinned-seed throughput sweep
+# with metrics enabled on 1 and 4 worker threads (timeline sidecars must
+# be byte-identical), then with obs disabled (report must byte-match the
+# checked-in golden — the side-channel never touches the primary bytes).
+# Regenerate the golden deliberately by appending `--write-golden`.
+obs-check:
+	$(CARGO) run --release -q -p tengig-bench --bin tengig-obs -- \
+		check goldens/obs_throughput.jsonl
 
 # Refresh the wall-clock benchmark baseline: runs the fixed pinned-seed
 # workload per experiment family and rewrites BENCH_sim.json in place.

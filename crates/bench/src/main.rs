@@ -71,6 +71,34 @@ fn throughput_sweep() -> (u64, u64) {
     (events, bytes)
 }
 
+/// The same payload sweep with the observability layer enabled: per-flow
+/// metrics timelines sampled every 100 µs plus detail tracing 1-in-16.
+/// Exists to price the obs tax — its events/sec is gated like any other
+/// family, and the workload bytes match `throughput_sweep` exactly.
+fn throughput_sweep_obs() -> (u64, u64) {
+    let cfg = LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000);
+    let obs = tengig_sim::ObsConfig {
+        sample_interval: Nanos::from_micros(100),
+        ring_capacity: 256,
+        sample_every: 16,
+    };
+    let mut events = 0;
+    let mut bytes = 0;
+    for (i, payload) in [512u64, 1448, 8948].into_iter().enumerate() {
+        let app = App::Nttcp {
+            tx: NttcpSender::new(payload, SWEEP_COUNT),
+            rx: NttcpReceiver::new(payload * SWEEP_COUNT),
+        };
+        let seed = SEED + i as u64;
+        let (mut lab, mut eng) = b2b_lab(cfg, app, seed);
+        lab.enable_obs(&obs, seed);
+        run_to_completion(&mut lab, &mut eng);
+        events += eng.executed();
+        bytes += payload * SWEEP_COUNT;
+    }
+    (events, bytes)
+}
+
 /// §3.5.2 aggregation: GbE senders into the 10GbE host, windowed.
 fn multiflow() -> (u64, u64) {
     let tengbe = LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000);
@@ -105,7 +133,7 @@ fn wan_record() -> (u64, u64) {
     };
     let b0 = received(&lab);
     eng.advance_to(&mut lab, warmup + window);
-    lab::check_sanitizer(&mut eng, false);
+    lab::check_sanitizer(&lab, &mut eng, false);
     (eng.executed(), received(&lab) - b0)
 }
 
@@ -160,6 +188,7 @@ fn main() {
     let report = BenchReport {
         families: vec![
             time("throughput_sweep", throughput_sweep),
+            time("throughput_sweep_obs", throughput_sweep_obs),
             time("multiflow", multiflow),
             time("wan_record", wan_record),
             time("pktgen", pktgen),

@@ -1,0 +1,195 @@
+//! `tengig-obs` — command-line companion to the observability layer.
+//!
+//! Works on the metrics-timeline JSONL written by the obs side-channel
+//! (`Timelines::to_jsonl`), plus a determinism self-check used by
+//! `make obs-check`:
+//!
+//! ```text
+//! tengig-obs summarize FILE          pretty-print one run's timelines
+//! tengig-obs diff A B                compare two runs' timelines
+//! tengig-obs run [--out PATH]        record the WAN cwnd timeline
+//! tengig-obs check GOLDEN [--write-golden]
+//!                                    obs determinism + golden gate
+//! ```
+//!
+//! `check` runs the pinned throughput sweep with metrics enabled on 1 and
+//! 4 worker threads and requires the sidecars (and primary reports) to be
+//! byte-identical, then runs the same sweep with obs disabled and requires
+//! its report to byte-match the checked-in golden — proving the metrics
+//! side-channel never touches the primary report bytes. Exit status 1
+//! signals a mismatch.
+
+use tengig::experiments::throughput::{throughput_sweep_report, throughput_sweep_with_metrics};
+use tengig::experiments::wan::record_timeline;
+use tengig::{LadderRung, SweepRunner};
+use tengig_ethernet::Mtu;
+use tengig_net::WanSpec;
+use tengig_sim::{Nanos, ObsConfig, Timelines};
+
+/// Master seed for every pinned workload (the publication year, matching
+/// the paper sweeps and `tengig-bench`).
+const SEED: u64 = 2003;
+
+/// Packet count per throughput point in `check`. Small enough for CI,
+/// large enough that every probe stage fires and timelines have shape.
+const CHECK_COUNT: u64 = 20_000;
+
+/// Obs cadence for the pinned workloads: a 100 µs sampling interval with
+/// 1-in-4 detail sampling keeps the timelines compact but non-trivial.
+fn obs_config() -> ObsConfig {
+    ObsConfig {
+        sample_interval: Nanos::from_micros(100),
+        ring_capacity: 256,
+        sample_every: 4,
+    }
+}
+
+fn read_timelines(path: &str) -> Result<Timelines, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Timelines::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn summarize(path: &str) -> Result<(), String> {
+    let tl = read_timelines(path)?;
+    print!("{}", tl.summary());
+    Ok(())
+}
+
+fn diff(a: &str, b: &str) -> Result<bool, String> {
+    let left = read_timelines(a)?;
+    let right = read_timelines(b)?;
+    let lines = left.diff(&right);
+    if lines.is_empty() {
+        println!("timelines identical: {a} == {b}");
+        return Ok(true);
+    }
+    println!("timelines differ ({a} vs {b}):");
+    for line in &lines {
+        println!("  - {line}");
+    }
+    Ok(false)
+}
+
+/// Record the Internet2 land-speed-record run with metrics enabled and
+/// write its timelines — including the cwnd-vs-time series of the paper's
+/// AIMD plot — as JSONL.
+fn run(out: &str) -> Result<(), String> {
+    let obs = obs_config();
+    let (result, tl) = record_timeline(
+        &WanSpec::record_run(),
+        None,
+        Nanos::from_secs(1),
+        Nanos::from_secs(2),
+        SEED,
+        &obs,
+    );
+    std::fs::write(out, tl.to_jsonl()).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wan record: {:.3} Gb/s, {} retransmits, {} drops",
+        result.gbps, result.retransmits, result.drops
+    );
+    println!("wrote {} series to {out}", tl.len());
+    Ok(())
+}
+
+/// The pinned `check` sweep at a given thread count. Returns the primary
+/// report bytes and the concatenated metrics sidecar bytes.
+fn check_sweep(threads: usize) -> (String, String) {
+    let cfg = LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000);
+    let (_, report, sidecar) = throughput_sweep_with_metrics(
+        cfg,
+        "obs-check",
+        &[512, 1448, 8948],
+        CHECK_COUNT,
+        SEED,
+        SweepRunner::new(threads),
+        &obs_config(),
+    );
+    (report.to_jsonl(), sidecar.concatenated())
+}
+
+fn check(golden: &str, write_golden: bool) -> Result<bool, String> {
+    eprintln!("obs-check: pinned sweep, obs enabled, 1 thread ...");
+    let (report_1, sidecar_1) = check_sweep(1);
+    eprintln!("obs-check: pinned sweep, obs enabled, 4 threads ...");
+    let (report_4, sidecar_4) = check_sweep(4);
+    eprintln!("obs-check: pinned sweep, obs disabled ...");
+    let cfg = LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000);
+    let (_, plain) = throughput_sweep_report(
+        cfg,
+        "obs-check",
+        &[512, 1448, 8948],
+        CHECK_COUNT,
+        SEED,
+        SweepRunner::new(4),
+    );
+    let plain = plain.to_jsonl();
+
+    if write_golden {
+        if let Some(dir) = std::path::Path::new(golden).parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        std::fs::write(golden, &plain).map_err(|e| format!("writing {golden}: {e}"))?;
+        println!("obs-check: wrote golden {golden}");
+    }
+
+    let mut ok = true;
+    if sidecar_1 != sidecar_4 {
+        println!("obs-check: FAIL: metrics sidecar differs between 1 and 4 threads");
+        ok = false;
+    }
+    if report_1 != report_4 {
+        println!("obs-check: FAIL: primary report differs between 1 and 4 threads");
+        ok = false;
+    }
+    if report_4 != plain {
+        println!("obs-check: FAIL: enabling obs changed the primary report bytes");
+        ok = false;
+    }
+    let checked_in =
+        std::fs::read_to_string(golden).map_err(|e| format!("reading {golden}: {e}"))?;
+    if plain != checked_in {
+        println!("obs-check: FAIL: obs-disabled sweep diverged from golden {golden}");
+        println!("  (regenerate deliberately with `tengig-obs check {golden} --write-golden`)");
+        ok = false;
+    }
+    if ok {
+        println!(
+            "obs-check: PASS (sidecar byte-identical across 1/4 threads; \
+             primary report untouched and matches {golden})"
+        );
+    }
+    Ok(ok)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tengig-obs summarize FILE\n\
+        \x20      tengig-obs diff A B\n\
+        \x20      tengig-obs run [--out PATH]\n\
+        \x20      tengig-obs check GOLDEN [--write-golden]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let outcome = match strs.as_slice() {
+        ["summarize", path] => summarize(path).map(|()| true),
+        ["diff", a, b] => diff(a, b),
+        ["run"] => run("wan_record.obs.jsonl").map(|()| true),
+        ["run", "--out", path] => run(path).map(|()| true),
+        ["check", golden] => check(golden, false),
+        ["check", golden, "--write-golden"] => check(golden, true),
+        _ => usage(),
+    };
+    match outcome {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("tengig-obs: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -26,7 +26,7 @@ pub fn netpipe_point_seeded(
     lab::kick(&mut lab, &mut eng);
     eng.run(&mut lab);
     assert!(lab.all_done(), "netpipe did not complete");
-    lab::check_sanitizer(&mut eng, true);
+    lab::check_sanitizer(&lab, &mut eng, true);
     let App::NetPipe(np) = &lab.flows[0].app else {
         unreachable!()
     };

@@ -61,7 +61,7 @@ pub fn two_host_lab(
     lab.add_flow(a, b, vec![l_ab], vec![l_ba], app);
     let mut eng = Engine::new();
     eng.event_limit = 2_000_000_000;
-    crate::lab::install_default_sanitizer(&mut eng, seed);
+    crate::lab::install_default_sanitizer(&mut lab, &mut eng, seed);
     (lab, eng)
 }
 
@@ -74,5 +74,5 @@ pub fn run_to_completion(lab: &mut Lab, eng: &mut LabEngine) {
     crate::lab::kick(lab, eng);
     eng.run(lab);
     debug_assert!(lab.all_done(), "a flow failed to complete");
-    crate::lab::check_sanitizer(eng, true);
+    crate::lab::check_sanitizer(lab, eng, true);
 }

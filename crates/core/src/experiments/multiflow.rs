@@ -146,7 +146,7 @@ pub fn aggregate_seeded(
 
     let mut eng = Engine::new();
     eng.event_limit = 2_000_000_000;
-    lab::install_default_sanitizer(&mut eng, seed);
+    lab::install_default_sanitizer(&mut lab, &mut eng, seed);
     lab::kick(&mut lab, &mut eng);
     // advance_to: the CPU-load and rate math below divide by the window, so
     // the clock must sit exactly on its edges.
@@ -164,7 +164,7 @@ pub fn aggregate_seeded(
     let busy0 = lab.hosts[big].hottest_cpu_busy(warmup);
     eng.advance_to(&mut lab, warmup + window);
     // Windowed run: frames are still in flight, so no drain check.
-    lab::check_sanitizer(&mut eng, false);
+    lab::check_sanitizer(&lab, &mut eng, false);
     let b1 = received(&lab);
     let busy1 = lab.hosts[big].hottest_cpu_busy(warmup + window);
     MultiflowResult {

@@ -35,6 +35,34 @@ pub fn nttcp_point(cfg: HostConfig, payload: u64, count: u64, seed: u64) -> Nttc
         .expect("run completed")
 }
 
+/// [`nttcp_point`] with the observability layer enabled: identical
+/// simulation (sampling is strictly read-only), plus the run's metrics
+/// timelines.
+pub fn nttcp_point_obs(
+    cfg: HostConfig,
+    payload: u64,
+    count: u64,
+    seed: u64,
+    obs: &tengig_sim::ObsConfig,
+) -> (NttcpResult, tengig_sim::Timelines) {
+    let app = App::Nttcp {
+        tx: NttcpSender::new(payload, count),
+        rx: NttcpReceiver::new(payload * count),
+    };
+    let (mut lab, mut eng) = b2b_lab(cfg, app, seed);
+    lab.enable_obs(obs, seed);
+    run_to_completion(&mut lab, &mut eng);
+    let timelines = lab.take_timelines().expect("obs was enabled");
+    let flow = &lab.flows[0];
+    let App::Nttcp { tx, rx } = &flow.app else {
+        unreachable!()
+    };
+    let result =
+        NttcpResult::from_run(tx, rx, lab::cpu_load(&lab, 0, 0), lab::cpu_load(&lab, 0, 1))
+            .expect("run completed");
+    (result, timelines)
+}
+
 /// Sweep NTTCP throughput over payload sizes on the deterministic sweep
 /// runner (one simulation per scenario, fanned across worker threads).
 /// Returns a figure series labeled like the paper's legends, plus the
@@ -75,6 +103,54 @@ pub fn throughput_sweep_report(
         );
     }
     (series, report)
+}
+
+/// [`throughput_sweep_report`] with the metrics side-channel: every
+/// scenario additionally records its timelines, returned as a
+/// [`crate::report::MetricsSidecar`] alongside — and never inside — the
+/// primary report, whose bytes are identical to the obs-disabled sweep's.
+///
+/// Like the primary report, the sidecar is a pure function of the
+/// arguments: the runner's thread count cannot change a byte of it.
+pub fn throughput_sweep_with_metrics(
+    cfg: HostConfig,
+    label: impl Into<String>,
+    payloads: &[u64],
+    count: u64,
+    master_seed: u64,
+    runner: SweepRunner,
+    obs: &tengig_sim::ObsConfig,
+) -> (Series, SweepReport, crate::report::MetricsSidecar) {
+    let label = label.into();
+    let grid = scenarios(master_seed, payloads.iter().copied(), |p| {
+        format!("{label}/payload={p}")
+    });
+    let (results, timelines) = runner
+        .run_split(&grid, |sc| {
+            let (r, tl) = nttcp_point_obs(cfg, sc.input, count, sc.seed, obs);
+            (r, tl.to_jsonl())
+        })
+        .expect("throughput sweep scenario panicked");
+    let mut series = Series::new(label.clone());
+    let mut report = SweepReport::new(label.clone(), master_seed);
+    let mut sidecar = crate::report::MetricsSidecar::new(label);
+    for ((sc, r), tl) in grid.iter().zip(&results).zip(timelines) {
+        let mbps = r.throughput.gbps() * 1000.0;
+        series.push(sc.input as f64, mbps);
+        report.push_row(
+            sc.index,
+            sc.label.clone(),
+            sc.seed,
+            vec![
+                ("payload".to_string(), Json::U64(sc.input)),
+                ("mbps".to_string(), Json::F64(mbps)),
+                ("rx_cpu_load".to_string(), Json::F64(r.rx_cpu_load)),
+                ("tx_cpu_load".to_string(), Json::F64(r.tx_cpu_load)),
+            ],
+        );
+        sidecar.push(sc.index, sc.label.clone(), tl);
+    }
+    (series, report, sidecar)
 }
 
 /// Sweep NTTCP throughput over payload sizes, in parallel. Returns a
@@ -154,7 +230,7 @@ pub fn iperf_point(cfg: HostConfig, payload: u64, start: Nanos, duration: Nanos,
     // tool itself clips to the window).
     eng.run_until(&mut lab, start + duration + Nanos::from_millis(20));
     // The deadline cuts the run short of a full drain; skip the drain check.
-    crate::lab::check_sanitizer(&mut eng, false);
+    crate::lab::check_sanitizer(&lab, &mut eng, false);
     let App::Iperf(ip) = &lab.flows[0].app else {
         unreachable!()
     };
@@ -206,7 +282,7 @@ pub fn windowed_throughput(
     let b0 = bytes_at(&lab);
     eng.advance_to(&mut lab, warmup + window);
     // Windowed run: frames are still in flight, so no drain check.
-    crate::lab::check_sanitizer(&mut eng, false);
+    crate::lab::check_sanitizer(&lab, &mut eng, false);
     let b1 = bytes_at(&lab);
     rate_of(b1 - b0, window).gbps()
 }

@@ -70,7 +70,7 @@ pub fn wan_lab_seeded(wan: &WanSpec, buffer: Option<u64>, seed: u64) -> (Lab, La
     );
     let mut eng = Engine::new();
     eng.event_limit = 2_000_000_000;
-    lab::install_default_sanitizer(&mut eng, seed);
+    lab::install_default_sanitizer(&mut lab, &mut eng, seed);
     (lab, eng)
 }
 
@@ -88,7 +88,36 @@ pub fn record_run_seeded(
     window: Nanos,
     seed: u64,
 ) -> WanResult {
+    record_run_inner(wan, buffer, warmup, window, seed, None).0
+}
+
+/// [`record_run_seeded`] with the observability layer enabled: returns the
+/// WAN result plus the metrics timelines — the cwnd-vs-time series that
+/// reproduces the record run's AIMD plot (flow 0, endpoint 0, `cwnd`).
+pub fn record_timeline(
+    wan: &WanSpec,
+    buffer: Option<u64>,
+    warmup: Nanos,
+    window: Nanos,
+    seed: u64,
+    obs: &tengig_sim::ObsConfig,
+) -> (WanResult, tengig_sim::Timelines) {
+    let (result, tl) = record_run_inner(wan, buffer, warmup, window, seed, Some(obs));
+    (result, tl.expect("obs was enabled"))
+}
+
+fn record_run_inner(
+    wan: &WanSpec,
+    buffer: Option<u64>,
+    warmup: Nanos,
+    window: Nanos,
+    seed: u64,
+    obs: Option<&tengig_sim::ObsConfig>,
+) -> (WanResult, Option<tengig_sim::Timelines>) {
     let (mut lab, mut eng) = wan_lab_seeded(wan, buffer, seed);
+    if let Some(cfg) = obs {
+        lab.enable_obs(cfg, seed);
+    }
     lab::kick(&mut lab, &mut eng);
     // advance_to: the rate below divides by the window, so the clock must
     // sit exactly on its edges.
@@ -100,18 +129,19 @@ pub fn record_run_seeded(
     let b0 = received(&lab);
     eng.advance_to(&mut lab, warmup + window);
     // Windowed run: frames are still in flight, so no drain check.
-    lab::check_sanitizer(&mut eng, false);
+    lab::check_sanitizer(&lab, &mut eng, false);
     let b1 = received(&lab);
     let gbps = rate_of(b1 - b0, window).gbps();
     let bottleneck = wan.forward_path().bottleneck().gbps();
     let drops = lab.links[0].total_drops();
-    WanResult {
+    let result = WanResult {
         gbps,
         retransmits: lab.flows[0].conns[0].stats.retransmits,
         drops,
         payload_efficiency: gbps / bottleneck,
         terabyte_time: Nanos::from_secs_f64(1e12 * 8.0 / (gbps * 1e9)),
-    }
+    };
+    (result, lab.take_timelines())
 }
 
 /// Sweep the record scenario over socket-buffer sizes (`None` = BDP-tuned)

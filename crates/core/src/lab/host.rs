@@ -5,7 +5,7 @@ use crate::config::HostConfig;
 use std::collections::VecDeque;
 use tengig_ethernet::{ETH_FCS, ETH_HEADER};
 use tengig_nic::Coalescer;
-use tengig_sim::{FifoServer, Nanos, ServerBank, Tracer};
+use tengig_sim::{FifoServer, Nanos, ServerBank, Stage, Tracer};
 use tengig_tcp::Segment;
 
 /// A frame sitting in a host's receive ring awaiting an interrupt.
@@ -60,6 +60,17 @@ impl HostRt {
             coalescer: Coalescer::new(cfg.nic.rx_coalesce_delay, cfg.nic.rx_coalesce_max_frames),
             rx_pending: VecDeque::new(),
             tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Typed probe point: record a pipeline-stage observation on this
+    /// host's tracer. The disabled fast path is a single inlined bool
+    /// test, so probes sprinkled through the hot pipeline cost nothing
+    /// unless observability or the flight recorder is armed.
+    #[inline]
+    pub fn probe(&mut self, at: Nanos, stage: Stage, packet: u64, bytes: u64, cost: Nanos) {
+        if self.tracer.is_enabled() {
+            self.tracer.emit(at, stage, packet, bytes, cost);
         }
     }
 

@@ -21,7 +21,8 @@ pub use host::{HostRt, RxFrame};
 use tengig_net::{Path, PathState};
 use tengig_nic::CoalesceAction;
 use tengig_sim::{
-    Engine, EventFire, EventId, Nanos, Sanitizer, SimConfig, SimRng, Stage, ViolationKind,
+    Engine, EventFire, EventId, FlightDump, MetricKind, Nanos, ObsConfig, Sanitizer, Scope,
+    SimConfig, SimRng, Stage, Timelines, Tracer, ViolationKind,
 };
 use tengig_tcp::{Action, Segment, Sysctls, TcpConn, TimerKind};
 use tengig_tools::{Iperf, NetPipe, NttcpReceiver, NttcpSender, PingPongSide, Pktgen};
@@ -128,6 +129,9 @@ pub enum Ev {
         /// Flow index.
         f: usize,
     },
+    /// Sample the observability timelines (scheduled on a fixed sim-clock
+    /// cadence while [`Lab::enable_obs`] is active).
+    ObsSample,
 }
 
 impl EventFire<Lab> for Ev {
@@ -164,6 +168,12 @@ impl EventFire<Lab> for Ev {
                 // re-arm from the handler stores its own id.
                 lab.flows[f].timer_ids[ep][timer_slot(kind)] = None;
                 let now = eng.now();
+                let h = lab.flows[f].host[ep];
+                let stage = match kind {
+                    TimerKind::Rto => Stage::TimerRto,
+                    TimerKind::DelAck => Stage::TimerDelack,
+                };
+                lab.hosts[h].probe(now, stage, f as u64, 0, Nanos::ZERO);
                 let mut acts = lab.take_actions();
                 lab.flows[f].conns[ep].on_timer_into(now, kind, gen, &mut acts);
                 check_tcp_invariants(lab, eng, f, ep);
@@ -173,6 +183,7 @@ impl EventFire<Lab> for Ev {
             Ev::AppRead { f, ep, fresh } => app_read(lab, eng, f, ep, fresh),
             Ev::ReadDone { f, ep, bytes } => read_done(lab, eng, f, ep, bytes),
             Ev::PktgenTick { f } => pktgen_tick(lab, eng, f),
+            Ev::ObsSample => obs_sample(lab, eng),
         }
     }
 }
@@ -243,6 +254,19 @@ pub struct FlowRt {
     timer_ids: [[Option<EventId>; 2]; 2],
 }
 
+/// Live state of the observability layer while a lab run has metrics
+/// sampling enabled (see [`Lab::enable_obs`]).
+#[derive(Debug)]
+struct ObsRt {
+    /// Sampling cadence.
+    interval: Nanos,
+    /// The step-series being accumulated.
+    timelines: Timelines,
+    /// Previous hottest-CPU busy snapshot per host, for per-interval
+    /// utilization deltas.
+    cpu_prev: Vec<Nanos>,
+}
+
 /// The world the engine runs.
 #[derive(Debug)]
 pub struct Lab {
@@ -256,6 +280,9 @@ pub struct Lab {
     /// hands each `*_into` call a cleared buffer from here instead of
     /// allocating a fresh `Vec` per segment.
     action_pool: Vec<Vec<Action>>,
+    /// Metrics-timeline sampling state (None = observability disabled; the
+    /// disabled path schedules zero events and records zero samples).
+    obs: Option<ObsRt>,
 }
 
 impl Lab {
@@ -266,6 +293,7 @@ impl Lab {
             links: Vec::new(),
             flows: Vec::new(),
             action_pool: Vec::new(),
+            obs: None,
         }
     }
 
@@ -325,6 +353,56 @@ impl Lab {
     pub fn all_done(&self) -> bool {
         self.flows.iter().all(|f| f.meas.t_done.is_some())
     }
+
+    /// Enable the observability layer: arm every host's tracer in sampling
+    /// mode (ring detail for ~1/`sample_every` packets) and start
+    /// accumulating metrics timelines on `cfg.sample_interval` cadence.
+    ///
+    /// The tracer sampling RNG is forked per host from `seed` — the same
+    /// seed that drives the scenario — so the kept sample is a pure
+    /// function of the run configuration, never a global constant.
+    ///
+    /// Call after the topology is assembled and before [`kick`] (the first
+    /// sample event is scheduled by `kick`).
+    pub fn enable_obs(&mut self, cfg: &ObsConfig, seed: u64) {
+        let mut root = SimRng::seeded(seed);
+        for (i, host) in self.hosts.iter_mut().enumerate() {
+            host.tracer = Tracer::sampling(
+                cfg.ring_capacity,
+                cfg.sample_every,
+                root.fork(&format!("tracer-{i}")),
+            );
+        }
+        self.obs = Some(ObsRt {
+            interval: cfg.sample_interval,
+            timelines: Timelines::new(cfg.sample_interval),
+            cpu_prev: vec![Nanos::ZERO; self.hosts.len()],
+        });
+    }
+
+    /// Whether metrics-timeline sampling is active.
+    pub fn obs_enabled(&self) -> bool {
+        self.obs.is_some()
+    }
+
+    /// Stop metrics sampling and take the accumulated timelines (None if
+    /// observability was never enabled).
+    pub fn take_timelines(&mut self) -> Option<Timelines> {
+        self.obs.take().map(|o| o.timelines)
+    }
+
+    /// Arm every host whose tracer is disabled with a full (unsampled)
+    /// flight-recorder ring of the most recent `ring_capacity` trace
+    /// events. Hosts already tracing (e.g. via [`Lab::enable_obs`]) keep
+    /// their tracer. Recording is observe-only: it schedules no events and
+    /// draws no randomness, so arming it cannot perturb a run.
+    pub fn arm_flight_recorder(&mut self, ring_capacity: usize) {
+        for host in &mut self.hosts {
+            if !host.tracer.is_enabled() {
+                host.tracer = Tracer::full(ring_capacity);
+            }
+        }
+    }
 }
 
 impl Default for Lab {
@@ -337,29 +415,54 @@ impl Default for Lab {
 // runtime sanitizer wiring
 // ---------------------------------------------------------------------
 
+/// Ring capacity of the flight recorder armed alongside the sanitizer:
+/// the "last N trace events" a violation dump shows per host.
+pub const FLIGHT_RING: usize = 256;
+
 /// Install a runtime invariant [`Sanitizer`] on `eng` when the process-wide
 /// default asks for one (always in debug builds; opt-in via
 /// [`tengig_sim::sanitizer::set_default_enabled`] in release builds).
 ///
-/// The recorded `seed` makes every violation a one-command repro.
-pub fn install_default_sanitizer(eng: &mut LabEngine, seed: u64) {
+/// The recorded `seed` makes every violation a one-command repro, and the
+/// flight recorder armed with it makes the violation come with its story:
+/// [`check_sanitizer`] appends each host's last [`FLIGHT_RING`] trace
+/// events to the panic message.
+pub fn install_default_sanitizer(lab: &mut Lab, eng: &mut LabEngine, seed: u64) {
     if SimConfig::default().sanitize {
         eng.install_sanitizer(Sanitizer::new(seed));
+        lab.arm_flight_recorder(FLIGHT_RING);
     }
 }
 
-/// Panic with the sanitizer's full report (seed, scenario, violations) if
-/// any invariant was breached during the run. With `drained`, first assert
-/// the byte-conservation ledger settled to zero in-flight — only valid for
+/// Collect the flight-recorder dump: every host's ring of recent trace
+/// events, in host-index order (empty if no tracer was armed).
+pub fn flight_dump(lab: &Lab) -> FlightDump {
+    FlightDump {
+        hosts: lab
+            .hosts
+            .iter()
+            .enumerate()
+            .map(|(h, host)| (h, host.tracer.recent().cloned().collect()))
+            .collect(),
+    }
+}
+
+/// Panic with the sanitizer's full report (seed, scenario, violations) —
+/// followed by the flight-recorder dump, so the panic carries the recent
+/// per-host packet history and not just a scalar — if any invariant was
+/// breached during the run. With `drained`, first assert the
+/// byte-conservation ledger settled to zero in-flight — only valid for
 /// runs whose event calendar fully emptied (windowed measurements stop with
 /// frames legitimately still on the wire).
-pub fn check_sanitizer(eng: &mut LabEngine, drained: bool) {
+pub fn check_sanitizer(lab: &Lab, eng: &mut LabEngine, drained: bool) {
     let now = eng.now();
     if let Some(s) = eng.sanitizer_mut() {
         if drained {
             s.check_drained(now);
         }
-        assert!(!s.has_violations(), "{}", s.report());
+        if s.has_violations() {
+            panic!("{}\n{}", s.report(), flight_dump(lab).text());
+        }
     }
 }
 
@@ -388,6 +491,86 @@ pub fn kick(lab: &mut Lab, eng: &mut LabEngine) {
     for f in 0..lab.flows.len() {
         let at = Nanos::from_micros(1) + Nanos::from_nanos(137 * f as u64);
         eng.schedule_event_at(at, Ev::StartFlow { f });
+    }
+    if let Some(obs) = &lab.obs {
+        eng.schedule_event_at(obs.interval, Ev::ObsSample);
+    }
+}
+
+/// One observability sample: read every flow's TCP state, every host's
+/// NIC/CPU state, and every link's queue state into the step-series, then
+/// re-arm the sampling timer (until all workloads complete, so a finished
+/// run's calendar drains).
+///
+/// Strictly read-only with respect to the simulation: no resource is
+/// admitted, no randomness drawn, no connection touched — so enabling
+/// observability never changes what a run measures.
+fn obs_sample(lab: &mut Lab, eng: &mut LabEngine) {
+    let now = eng.now();
+    let Some(mut obs) = lab.obs.take() else {
+        return;
+    };
+    let tl = &mut obs.timelines;
+    for (f, flow) in lab.flows.iter().enumerate() {
+        for ep in 0..2 {
+            let c = &flow.conns[ep];
+            let scope = Scope::Flow {
+                flow: f as u32,
+                ep: ep as u32,
+            };
+            tl.record(scope, MetricKind::Cwnd, now, c.cc.cwnd);
+            tl.record(scope, MetricKind::Ssthresh, now, c.cc.ssthresh);
+            tl.record(
+                scope,
+                MetricKind::SrttNanos,
+                now,
+                c.srtt().unwrap_or(Nanos::ZERO).as_nanos(),
+            );
+            tl.record(scope, MetricKind::RttvarNanos, now, c.rttvar().as_nanos());
+            tl.record(scope, MetricKind::BytesInFlight, now, c.inflight_bytes());
+            tl.record(scope, MetricKind::Retransmits, now, c.stats.retransmits);
+        }
+    }
+    for (h, host) in lab.hosts.iter().enumerate() {
+        let scope = Scope::Host { host: h as u32 };
+        let busy = host.hottest_cpu_busy(now);
+        let delta = busy.saturating_sub(obs.cpu_prev[h]);
+        obs.cpu_prev[h] = busy;
+        let permille = if obs.interval == Nanos::ZERO {
+            0
+        } else {
+            (delta.as_nanos().saturating_mul(1000) / obs.interval.as_nanos()).min(1000)
+        };
+        tl.record(scope, MetricKind::CpuPermille, now, permille);
+        tl.record(
+            scope,
+            MetricKind::RxRingFrames,
+            now,
+            host.rx_pending.len() as u64,
+        );
+        tl.record(
+            scope,
+            MetricKind::CoalescePending,
+            now,
+            host.coalescer.pending() as u64,
+        );
+        tl.record(
+            scope,
+            MetricKind::CoalesceDelayNanos,
+            now,
+            host.cfg.nic.rx_coalesce_delay.as_nanos(),
+        );
+    }
+    for (l, link) in lab.links.iter().enumerate() {
+        let scope = Scope::Link { link: l as u32 };
+        let backlog: u64 = link.hops.iter().map(|hop| hop.backlog_bytes(now)).sum();
+        tl.record(scope, MetricKind::QueueBytes, now, backlog);
+        tl.record(scope, MetricKind::QueueDrops, now, link.total_drops());
+    }
+    let interval = obs.interval;
+    lab.obs = Some(obs);
+    if !lab.all_done() {
+        eng.schedule_event_at(now + interval, Ev::ObsSample);
     }
 }
 
@@ -436,6 +619,7 @@ fn app_write(lab: &mut Lab, eng: &mut LabEngine, f: usize, ep: usize, bytes: u64
     lab.hosts[h].cpu.admit_pinned(cpu_idx, now, cost);
     let bus = lab.hosts[h].write_bus_time(bytes);
     lab.hosts[h].membus.admit(now, bus);
+    lab.hosts[h].probe(now, Stage::AppWrite, f as u64, bytes, cost);
     let mut actions = lab.take_actions();
     let accepted = lab.flows[f].conns[ep].on_app_write_into(now, bytes, &mut actions);
     debug_assert_eq!(accepted, bytes, "writer checked space before writing");
@@ -500,13 +684,9 @@ fn send_segment(lab: &mut Lab, eng: &mut LabEngine, f: usize, src_ep: usize, seg
     };
     let cpu_cost = host.tx_cpu_cost(&seg);
     let cpu_adm = host.cpu.admit_pinned(cpu_idx, now, cpu_cost);
-    if host.tracer.is_enabled() {
-        host.tracer
-            .emit(now, Stage::TxStack, seg.seq, seg.len, cpu_cost);
-        if seg.retransmit {
-            host.tracer
-                .emit(now, Stage::Retransmit, seg.seq, seg.len, Nanos::ZERO);
-        }
+    host.probe(now, Stage::TxStack, seg.seq, seg.len, cpu_cost);
+    if seg.retransmit {
+        host.probe(now, Stage::Retransmit, seg.seq, seg.len, Nanos::ZERO);
     }
     eng.schedule_event_at(cpu_adm.done, Ev::TxDma { f, ep: src_ep, seg });
 }
@@ -522,9 +702,7 @@ fn tx_dma(lab: &mut Lab, eng: &mut LabEngine, f: usize, src_ep: usize, seg: Segm
     let pci_adm = host.pci.admit(now, pci);
     let bus_adm = host.membus.admit(now, host.tx_bus_time(&seg));
     let t3 = pci_adm.done.max(bus_adm.done);
-    if host.tracer.is_enabled() {
-        host.tracer.emit(now, Stage::TxDma, seg.seq, frame, pci);
-    }
+    host.probe(now, Stage::TxDma, seg.seq, frame, pci);
     eng.schedule_event_at(t3, Ev::TxWire { f, ep: src_ep, seg });
 }
 
@@ -540,7 +718,9 @@ fn tx_wire(lab: &mut Lab, eng: &mut LabEngine, f: usize, src_ep: usize, seg: Seg
     }
     let mut t = now;
     let mut dropped = false;
+    let mut route_hops = 0usize;
     for &lid in &lab.flows[f].route[src_ep] {
+        route_hops += lab.links[lid].hops.len();
         match lab.links[lid].send(t, wire) {
             Some(arr) => t = arr,
             None => {
@@ -554,15 +734,13 @@ fn tx_wire(lab: &mut Lab, eng: &mut LabEngine, f: usize, src_ep: usize, seg: Seg
         if let Some(s) = eng.sanitizer_mut() {
             s.drop_bytes(t, wire);
         }
-        if host.tracer.is_enabled() {
-            host.tracer
-                .emit(t, Stage::Drop, seg.seq, seg.len, Nanos::ZERO);
-        }
+        host.probe(t, Stage::Drop, seg.seq, seg.len, Nanos::ZERO);
         return;
     }
-    if host.tracer.is_enabled() {
-        host.tracer
-            .emit(now, Stage::Wire, seg.seq, wire, Nanos::ZERO);
+    host.probe(now, Stage::Wire, seg.seq, wire, Nanos::ZERO);
+    if route_hops > 1 {
+        // The frame traversed at least one store-and-forward stage.
+        host.probe(now, Stage::Switch, seg.seq, wire, Nanos::ZERO);
     }
     eng.schedule_event_at(t, Ev::FrameArrival { f, ep: dst_ep, seg });
 }
@@ -581,10 +759,7 @@ fn frame_arrival(lab: &mut Lab, eng: &mut LabEngine, f: usize, dst_ep: usize, se
     let pci_adm = host.pci.admit(now, host.pci_time(frame));
     let bus_adm = host.membus.admit(now, host.rx_dma_bus_time(frame));
     let t_dma = pci_adm.done.max(bus_adm.done);
-    if host.tracer.is_enabled() {
-        host.tracer
-            .emit(now, Stage::RxDma, seg.seq, frame, t_dma.saturating_sub(now));
-    }
+    host.probe(now, Stage::RxDma, seg.seq, frame, t_dma.saturating_sub(now));
     eng.schedule_event_at(t_dma, Ev::RxDmaDone { f, ep: dst_ep, seg });
 }
 
@@ -612,11 +787,7 @@ fn process_rx_batch(lab: &mut Lab, eng: &mut LabEngine, h: usize, batch: u32) {
     let irq_cpu = lab.hosts[h].irq_cpu();
     let irq = lab.hosts[h].irq_cost();
     lab.hosts[h].cpu.admit_pinned(irq_cpu, now, irq);
-    if lab.hosts[h].tracer.is_enabled() {
-        lab.hosts[h]
-            .tracer
-            .emit(now, Stage::Interrupt, 0, batch as u64, irq);
-    }
+    lab.hosts[h].probe(now, Stage::Interrupt, 0, batch as u64, irq);
     for _ in 0..batch {
         let Some(frame) = lab.hosts[h].rx_pending.pop_front() else {
             break;
@@ -625,14 +796,12 @@ fn process_rx_batch(lab: &mut Lab, eng: &mut LabEngine, h: usize, batch: u32) {
             RxFrame::Tcp { flow, ep, seg } => {
                 let cost = lab.hosts[h].rx_cpu_cost(&seg);
                 let done = lab.hosts[h].cpu.admit_pinned(irq_cpu, now, cost).done;
-                if lab.hosts[h].tracer.is_enabled() {
-                    let stage = if seg.is_pure_ack() {
-                        Stage::Ack
-                    } else {
-                        Stage::RxStack
-                    };
-                    lab.hosts[h].tracer.emit(now, stage, seg.seq, seg.len, cost);
-                }
+                let stage = if seg.is_pure_ack() {
+                    Stage::Ack
+                } else {
+                    Stage::RxStack
+                };
+                lab.hosts[h].probe(now, stage, seg.seq, seg.len, cost);
                 eng.schedule_event_at(done, Ev::RxStack { f: flow, ep, seg });
             }
             RxFrame::Udp { flow, bytes } => {
@@ -686,6 +855,7 @@ fn app_read(lab: &mut Lab, eng: &mut LabEngine, f: usize, ep: usize, fresh: bool
     // CPU availability alone (a recv loop drains as fast as it can copy).
     let bus = lab.hosts[h].read_bus_time(bytes);
     lab.hosts[h].membus.admit(now, bus);
+    lab.hosts[h].probe(now, Stage::RxCopy, f as u64, bytes, cost);
     let t2 = cpu_adm.done;
     eng.schedule_event_at(t2, Ev::ReadDone { f, ep, bytes });
 }
@@ -695,6 +865,8 @@ fn app_read(lab: &mut Lab, eng: &mut LabEngine, f: usize, ep: usize, fresh: bool
 /// data accumulated while this one copied.
 fn read_done(lab: &mut Lab, eng: &mut LabEngine, f: usize, ep: usize, bytes: u64) {
     let now = eng.now();
+    let h = lab.flows[f].host[ep];
+    lab.hosts[h].probe(now, Stage::AppRead, f as u64, bytes, Nanos::ZERO);
     let mut acts = lab.take_actions();
     lab.flows[f].conns[ep].on_app_read_into(now, bytes, &mut acts);
     process_actions(lab, eng, f, ep, &mut acts);

@@ -19,5 +19,5 @@ pub mod sweep;
 
 pub use config::{HostConfig, LadderRung, TuningStep};
 pub use lab::{App, FlowRt, HostRt, Lab};
-pub use report::{Json, SweepReport, SweepRow};
+pub use report::{Json, MetricsSidecar, SweepReport, SweepRow};
 pub use sweep::{scenarios, Scenario, SweepError, SweepRunner};

@@ -321,6 +321,72 @@ impl SweepReport {
     }
 }
 
+/// The opt-in metrics side-channel of a sweep: one timelines JSONL
+/// document per scenario, collected alongside — and strictly outside — the
+/// primary [`SweepReport`], so enabling metrics can never change a byte of
+/// the report itself. Callers write each run's document to its own file
+/// (see [`MetricsSidecar::file_name`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSidecar {
+    /// The sweep this sidecar belongs to.
+    pub sweep: String,
+    /// Per-scenario `(index, label, timelines JSONL)`, in scenario order.
+    pub runs: Vec<(usize, String, String)>,
+}
+
+impl MetricsSidecar {
+    /// New empty sidecar for a sweep.
+    pub fn new(sweep: impl Into<String>) -> Self {
+        MetricsSidecar {
+            sweep: sweep.into(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Append one scenario's timelines document.
+    pub fn push(&mut self, index: usize, label: String, timelines_jsonl: String) {
+        self.runs.push((index, label, timelines_jsonl));
+    }
+
+    /// Number of runs recorded.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the sidecar is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Deterministic file name for one run's document:
+    /// `<sweep>.obs.<index>.jsonl`, with the sweep name sanitized to
+    /// `[A-Za-z0-9._-]` so it is always a single path component.
+    pub fn file_name(&self, index: usize) -> String {
+        let safe: String = self
+            .sweep
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        format!("{safe}.obs.{index}.jsonl")
+    }
+
+    /// Concatenate every run's document (each already line-oriented) for
+    /// single-file transports; run order is scenario order.
+    pub fn concatenated(&self) -> String {
+        let mut out = String::new();
+        for (_, _, doc) in &self.runs {
+            out.push_str(doc);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,6 @@
+//! Known-bad: printf debugging in a simulation hot path.
+
+pub fn debug_dump(x: u64) {
+    println!("cwnd is now {x}");
+    eprintln!("warning: cwnd is {x}");
+}

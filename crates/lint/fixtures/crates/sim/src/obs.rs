@@ -1,0 +1,9 @@
+//! Exemption proof: the observability module is the sanctioned place for
+//! human-facing output, so print macros here must NOT be flagged.
+
+pub fn render_flight_dump(events: &[u64]) {
+    for e in events {
+        println!("trace event {e}");
+    }
+    eprintln!("{} events dumped", events.len());
+}

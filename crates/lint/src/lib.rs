@@ -21,6 +21,11 @@
 //! * **float-event-loop** — `f32` / `f64` in the engine's calendar
 //!   (`crates/sim/src/engine.rs`) accumulate rounding error that differs
 //!   across platforms; the calendar stays integer-only (`Nanos`).
+//! * **printf-debug** — `println!` / `eprintln!` (and `print!` /
+//!   `eprint!`) in the simulation hot paths (`crates/sim`, `crates/tcp`)
+//!   outside the observability module (`obs.rs`): ad-hoc printf debugging
+//!   must not leak into the deterministic core — diagnostics flow through
+//!   the tracer, the flight recorder, and the metrics timelines.
 //! * **sweep-routing** — every public sweep entry point in
 //!   `crates/core/src/experiments/` must route through `SweepRunner`, so
 //!   parallelism and per-scenario seeding stay centralized.
@@ -139,6 +144,10 @@ pub fn lint_file(rel: &Path, krate: &str, content: &str) -> Vec<Diagnostic> {
         && fname != "mod.rs";
     let is_engine = krate == "sim" && fname == "engine.rs";
     let no_unwrap = NO_UNWRAP_CRATES.contains(&krate);
+    // The observability/flight-recorder module is the one sanctioned place
+    // that renders output for humans; everything else in the hot-path
+    // crates must stay print-free.
+    let no_print = no_unwrap && fname != "obs.rs";
 
     for (idx, line) in code.lines().enumerate() {
         let lineno = idx + 1;
@@ -190,6 +199,19 @@ pub fn lint_file(rel: &Path, krate: &str, content: &str) -> Vec<Diagnostic> {
                 "unwrap",
                 "unwrap()/panic! in a simulation hot path; use expect() with \
                  context or return an error"
+                    .to_string(),
+            );
+        }
+        if no_print
+            && (has_macro(line, "println")
+                || has_macro(line, "eprintln")
+                || has_macro(line, "print")
+                || has_macro(line, "eprint"))
+        {
+            push(
+                "printf-debug",
+                "print macro in a simulation hot path; diagnostics go through \
+                 the tracer / obs module, not stdout"
                     .to_string(),
             );
         }

@@ -72,6 +72,17 @@ fn fixture_tree_trips_every_rule() {
     assert_eq!(sweep[0].line, 3);
     assert!(sweep[0].message.contains("buffer_sweep"));
 
+    // printf-debug: both print macros, at their own lines.
+    let print = diags_for(d, "bad_print.rs");
+    assert_eq!(print.len(), 2, "{print:?}");
+    assert!(print.iter().all(|x| x.rule == "printf-debug"));
+    assert!(print.iter().any(|x| x.line == 4), "{print:?}");
+    assert!(print.iter().any(|x| x.line == 5), "{print:?}");
+
+    // ...but the obs/flight-recorder module is exempt: human-facing
+    // rendering lives there by design.
+    assert!(diags_for(d, "obs.rs").is_empty(), "{d:?}");
+
     // The tricky-but-clean file (tokens only in comments/strings/chars)
     // and the properly routed sweeps must not fire at all.
     assert!(diags_for(d, "clean_tricky.rs").is_empty(), "{d:?}");

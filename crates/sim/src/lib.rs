@@ -23,6 +23,7 @@
 
 pub mod calendar;
 pub mod engine;
+pub mod obs;
 pub mod queue;
 pub mod rng;
 pub mod sanitizer;
@@ -34,6 +35,7 @@ pub mod units;
 
 pub use calendar::{Calendar, EventId};
 pub use engine::{BoxedEvent, Engine, EventFire};
+pub use obs::{FlightDump, MetricKind, ObsConfig, Scope, StepSeries, Timelines};
 pub use queue::{DropTailQueue, Enqueue};
 pub use rng::SimRng;
 pub use sanitizer::{Sanitizer, SimConfig, Violation, ViolationKind};

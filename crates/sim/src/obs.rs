@@ -1,0 +1,666 @@
+//! The observability layer: per-flow metrics timelines and the flight
+//! recorder that grow the MAGNET analog ([`crate::trace`]) into a real
+//! diagnostic subsystem.
+//!
+//! The paper's conclusions rest on instrumentation — MAGNET packet-path
+//! traces, per-optimization CPU-load numbers, and cwnd/throughput-over-time
+//! plots that explain the WAN record's AIMD behaviour. This module provides
+//! the simulated equivalents:
+//!
+//! * [`Timelines`] — compact step-series of per-flow TCP state (cwnd,
+//!   ssthresh, srtt/rttvar, bytes in flight, retransmits), per-host NIC and
+//!   CPU state, and per-link queue depths, sampled on a sim-clock cadence.
+//! * [`FlightDump`] — a rendering of the per-host [`crate::Tracer`] rings
+//!   (the "flight recorder"), produced when the [`crate::Sanitizer`] fires
+//!   so a violation comes with the story, not just a scalar.
+//! * [`ObsConfig`] — the knobs, including the tracer-sampling RNG seed
+//!   discipline (seeded from the lab config via [`crate::SimRng`], never a
+//!   fixed constant).
+//!
+//! Everything here honors the house determinism rules: values are integer
+//! (`u64` / [`Nanos`]), containers are `BTreeMap`-ordered, there is no
+//! wall-clock anywhere, and serialization is byte-deterministic — the same
+//! run on 1 and N sweep threads emits identical timeline JSONL.
+
+use crate::time::Nanos;
+use crate::trace::TraceEvent;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Configuration of the observability layer for one lab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Sim-clock cadence between metric samples.
+    pub sample_interval: Nanos,
+    /// Per-host flight-recorder ring capacity (recent detailed events).
+    pub ring_capacity: usize,
+    /// Keep ring detail for a random ~1/k sample of packets (1 = all) —
+    /// MAGNET's sampling mode. The sampling RNG is forked from the lab
+    /// seed, so the kept sample is a pure function of `(config, seed)`.
+    pub sample_every: u64,
+}
+
+impl ObsConfig {
+    /// Default sampling cadence: 1 ms of sim time — fine enough to resolve
+    /// AIMD sawtooth on a 180 ms-RTT WAN path, coarse enough to stay
+    /// compact on microsecond-scale LAN runs.
+    pub const DEFAULT_INTERVAL: Nanos = Nanos::from_millis(1);
+
+    /// Default flight-recorder ring capacity per host.
+    pub const DEFAULT_RING: usize = 256;
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            sample_interval: Self::DEFAULT_INTERVAL,
+            ring_capacity: Self::DEFAULT_RING,
+            sample_every: 1,
+        }
+    }
+}
+
+/// What a step-series measures. Values are integers; sub-unit quantities
+/// are scaled (`CpuPermille` is busy time in 1/1000ths of the sampling
+/// interval; RTT metrics are nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MetricKind {
+    /// Congestion window, segments.
+    Cwnd,
+    /// Slow-start threshold, segments.
+    Ssthresh,
+    /// Smoothed RTT estimate, nanoseconds (0 until the first sample).
+    SrttNanos,
+    /// RTT variance estimate, nanoseconds.
+    RttvarNanos,
+    /// Unacknowledged bytes in flight.
+    BytesInFlight,
+    /// Cumulative retransmissions.
+    Retransmits,
+    /// Frames DMA-complete in the NIC receive ring, awaiting an interrupt.
+    RxRingFrames,
+    /// Frames held by the interrupt coalescer, awaiting timer or cap.
+    CoalescePending,
+    /// Configured interrupt-coalescing delay, nanoseconds.
+    CoalesceDelayNanos,
+    /// Hottest-CPU busy time over the last interval, in permille (0-1000).
+    CpuPermille,
+    /// Bytes backlogged across the link's hop queues.
+    QueueBytes,
+    /// Cumulative drops on the link (overflow + loss model).
+    QueueDrops,
+}
+
+impl MetricKind {
+    /// Every kind, in serialization order.
+    pub const ALL: [MetricKind; 12] = [
+        MetricKind::Cwnd,
+        MetricKind::Ssthresh,
+        MetricKind::SrttNanos,
+        MetricKind::RttvarNanos,
+        MetricKind::BytesInFlight,
+        MetricKind::Retransmits,
+        MetricKind::RxRingFrames,
+        MetricKind::CoalescePending,
+        MetricKind::CoalesceDelayNanos,
+        MetricKind::CpuPermille,
+        MetricKind::QueueBytes,
+        MetricKind::QueueDrops,
+    ];
+
+    /// Parse the serialized name back into a kind.
+    pub fn parse(name: &str) -> Option<MetricKind> {
+        MetricKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.to_string() == name)
+    }
+}
+
+impl fmt::Display for MetricKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MetricKind::Cwnd => "cwnd",
+            MetricKind::Ssthresh => "ssthresh",
+            MetricKind::SrttNanos => "srtt_ns",
+            MetricKind::RttvarNanos => "rttvar_ns",
+            MetricKind::BytesInFlight => "bytes_in_flight",
+            MetricKind::Retransmits => "retransmits",
+            MetricKind::RxRingFrames => "rx_ring_frames",
+            MetricKind::CoalescePending => "coalesce_pending",
+            MetricKind::CoalesceDelayNanos => "coalesce_delay_ns",
+            MetricKind::CpuPermille => "cpu_permille",
+            MetricKind::QueueBytes => "queue_bytes",
+            MetricKind::QueueDrops => "queue_drops",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What a series is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scope {
+    /// One endpoint of one flow.
+    Flow {
+        /// Flow index in the lab.
+        flow: u32,
+        /// Endpoint (0 = initiator/sender, 1 = peer).
+        ep: u32,
+    },
+    /// One host.
+    Host {
+        /// Host index in the lab.
+        host: u32,
+    },
+    /// One link (a hop path between two hosts).
+    Link {
+        /// Link index in the lab.
+        link: u32,
+    },
+}
+
+impl fmt::Display for Scope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scope::Flow { flow, ep } => write!(f, "flow {flow}/{ep}"),
+            Scope::Host { host } => write!(f, "host {host}"),
+            Scope::Link { link } => write!(f, "link {link}"),
+        }
+    }
+}
+
+/// A compact step-series: `(t, v)` points recorded only when the value
+/// changes, so a steady metric sampled ten thousand times costs one point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepSeries {
+    points: Vec<(Nanos, u64)>,
+}
+
+impl StepSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        StepSeries { points: Vec::new() }
+    }
+
+    /// Record a sample. Consecutive samples with an unchanged value are
+    /// collapsed into the first point (step semantics).
+    pub fn push(&mut self, t: Nanos, v: u64) {
+        if self.points.last().map(|&(_, last)| last) == Some(v) {
+            return;
+        }
+        self.points.push((t, v));
+    }
+
+    /// The recorded change points, in time order.
+    pub fn points(&self) -> &[(Nanos, u64)] {
+        &self.points
+    }
+
+    /// Number of change points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series recorded nothing.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The step value in effect at time `t` (the last change at or before
+    /// `t`), if any sample precedes it.
+    pub fn value_at(&self, t: Nanos) -> Option<u64> {
+        match self.points.partition_point(|&(pt, _)| pt <= t) {
+            0 => None,
+            n => self.points.get(n - 1).map(|&(_, v)| v),
+        }
+    }
+
+    /// Smallest recorded value.
+    pub fn min(&self) -> Option<u64> {
+        self.points.iter().map(|&(_, v)| v).min()
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> Option<u64> {
+        self.points.iter().map(|&(_, v)| v).max()
+    }
+
+    /// The last recorded value.
+    pub fn last(&self) -> Option<u64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+}
+
+/// The full set of step-series recorded by one run, keyed by
+/// `(scope, metric)` in `BTreeMap` order so serialization is
+/// byte-deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timelines {
+    /// The sampling cadence the series were recorded on.
+    pub interval: Nanos,
+    series: BTreeMap<(Scope, MetricKind), StepSeries>,
+}
+
+impl Timelines {
+    /// An empty timeline set for the given sampling cadence.
+    pub fn new(interval: Nanos) -> Self {
+        Timelines {
+            interval,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, scope: Scope, metric: MetricKind, t: Nanos, v: u64) {
+        self.series.entry((scope, metric)).or_default().push(t, v);
+    }
+
+    /// The series for one `(scope, metric)` pair, if recorded.
+    pub fn get(&self, scope: Scope, metric: MetricKind) -> Option<&StepSeries> {
+        self.series.get(&(scope, metric))
+    }
+
+    /// All series in deterministic `(scope, metric)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (&(Scope, MetricKind), &StepSeries)> {
+        self.series.iter()
+    }
+
+    /// Number of recorded series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Serialize as JSON lines: one header object, then one object per
+    /// series in `(scope, metric)` order. All values are integers, so the
+    /// bytes are exactly reproducible on any platform.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"obs\":\"timelines\",\"interval_ns\":{},\"series\":{}}}",
+            self.interval.as_nanos(),
+            self.series.len()
+        );
+        for ((scope, metric), s) in &self.series {
+            match scope {
+                Scope::Flow { flow, ep } => {
+                    let _ = write!(out, "{{\"scope\":\"flow\",\"flow\":{flow},\"ep\":{ep}");
+                }
+                Scope::Host { host } => {
+                    let _ = write!(out, "{{\"scope\":\"host\",\"host\":{host}");
+                }
+                Scope::Link { link } => {
+                    let _ = write!(out, "{{\"scope\":\"link\",\"link\":{link}");
+                }
+            }
+            let _ = write!(out, ",\"metric\":\"{metric}\",\"points\":[");
+            for (i, (t, v)) in s.points().iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{},{}]", t.as_nanos(), v);
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+
+    /// Parse a document produced by [`Timelines::to_jsonl`]. The parser
+    /// accepts exactly that shape (this is a round-trip format, not a
+    /// general JSON reader).
+    pub fn from_jsonl(text: &str) -> Result<Timelines, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines
+            .next()
+            .ok_or_else(|| "empty timelines document".to_string())?;
+        if !header.contains("\"obs\":\"timelines\"") {
+            return Err(format!("not a timelines document: {header}"));
+        }
+        let interval = field_u64(header, "interval_ns")
+            .ok_or_else(|| format!("header missing interval_ns: {header}"))?;
+        let mut tl = Timelines::new(Nanos::from_nanos(interval));
+        for (idx, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            let scope = match field_str(line, "scope") {
+                Some("flow") => Scope::Flow {
+                    flow: field_u64(line, "flow").ok_or_else(|| err_at(lineno, "flow"))? as u32,
+                    ep: field_u64(line, "ep").ok_or_else(|| err_at(lineno, "ep"))? as u32,
+                },
+                Some("host") => Scope::Host {
+                    host: field_u64(line, "host").ok_or_else(|| err_at(lineno, "host"))? as u32,
+                },
+                Some("link") => Scope::Link {
+                    link: field_u64(line, "link").ok_or_else(|| err_at(lineno, "link"))? as u32,
+                },
+                other => return Err(format!("line {lineno}: unknown scope {other:?}")),
+            };
+            let metric_name = field_str(line, "metric").ok_or_else(|| err_at(lineno, "metric"))?;
+            let metric = MetricKind::parse(metric_name)
+                .ok_or_else(|| format!("line {lineno}: unknown metric `{metric_name}`"))?;
+            for (t, v) in parse_points(line).map_err(|e| format!("line {lineno}: {e}"))? {
+                tl.record(scope, metric, Nanos::from_nanos(t), v);
+            }
+            // A constant series must survive the round trip even though
+            // push() collapses repeats: to_jsonl only emits change points,
+            // so nothing is lost here.
+            tl.series.entry((scope, metric)).or_default();
+        }
+        Ok(tl)
+    }
+
+    /// A human-readable per-series summary (count, range, final value).
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "timelines: {} series, {} sampling interval\n",
+            self.series.len(),
+            self.interval
+        );
+        for ((scope, metric), s) in &self.series {
+            let _ = writeln!(
+                out,
+                "  {:<10} {:<18} steps={:<6} min={:<12} max={:<12} last={}",
+                scope.to_string(),
+                metric.to_string(),
+                s.len(),
+                s.min().unwrap_or(0),
+                s.max().unwrap_or(0),
+                s.last().unwrap_or(0),
+            );
+        }
+        out
+    }
+
+    /// Differences between two timeline sets, one line per divergence
+    /// (empty = identical). Reports series present on only one side and,
+    /// for shared series, the first diverging change point.
+    pub fn diff(&self, other: &Timelines) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.interval != other.interval {
+            out.push(format!(
+                "sampling interval differs: {} vs {}",
+                self.interval, other.interval
+            ));
+        }
+        for (key @ (scope, metric), a) in &self.series {
+            match other.series.get(key) {
+                None => out.push(format!("{scope} {metric}: only in left")),
+                Some(b) => {
+                    if let Some(i) =
+                        (0..a.len().max(b.len())).find(|&i| a.points().get(i) != b.points().get(i))
+                    {
+                        let render = |p: Option<&(Nanos, u64)>| match p {
+                            Some((t, v)) => format!("{v} @ {t}"),
+                            None => "—".to_string(),
+                        };
+                        out.push(format!(
+                            "{scope} {metric}: first divergence at step {i}: {} vs {}",
+                            render(a.points().get(i)),
+                            render(b.points().get(i)),
+                        ));
+                    }
+                }
+            }
+        }
+        for (scope, metric) in other.series.keys() {
+            if !self.series.contains_key(&(*scope, *metric)) {
+                out.push(format!("{scope} {metric}: only in right"));
+            }
+        }
+        out
+    }
+}
+
+/// `"key":value` integer field lookup on one serialized line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `"key":"value"` string field lookup on one serialized line.
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// Parse the `"points":[[t,v],...]` array of one serialized line.
+fn parse_points(line: &str) -> Result<Vec<(u64, u64)>, String> {
+    let pat = "\"points\":[";
+    let start = line
+        .find(pat)
+        .ok_or_else(|| "missing points array".to_string())?
+        + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .rfind(']')
+        .ok_or_else(|| "unterminated points".to_string())?;
+    let body = &rest[..end];
+    let mut out = Vec::new();
+    for pair in body.split("],[") {
+        let pair = pair.trim_matches(|c| c == '[' || c == ']');
+        if pair.is_empty() {
+            continue;
+        }
+        let (t, v) = pair
+            .split_once(',')
+            .ok_or_else(|| format!("malformed point `{pair}`"))?;
+        let t: u64 = t.parse().map_err(|e| format!("point time `{t}`: {e}"))?;
+        let v: u64 = v.parse().map_err(|e| format!("point value `{v}`: {e}"))?;
+        out.push((t, v));
+    }
+    Ok(out)
+}
+
+fn err_at(lineno: usize, key: &str) -> String {
+    format!("line {lineno}: missing field `{key}`")
+}
+
+/// A flight-recorder dump: the recent [`TraceEvent`] rings of every host,
+/// captured at the moment something went wrong (sanitizer violation, TCP
+/// invariant failure, panicking lab). Renders both human-readable text
+/// (for panic messages and terminals) and JSONL (for tooling).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlightDump {
+    /// Per-host `(host index, recent events oldest-first)`.
+    pub hosts: Vec<(usize, Vec<TraceEvent>)>,
+}
+
+impl FlightDump {
+    /// Whether no host recorded any events (tracers disabled or idle).
+    pub fn is_empty(&self) -> bool {
+        self.hosts.iter().all(|(_, evs)| evs.is_empty())
+    }
+
+    /// Total events across all hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.iter().map(|(_, evs)| evs.len()).sum()
+    }
+
+    /// Human-readable rendering (the form embedded in panic messages).
+    pub fn text(&self) -> String {
+        if self.is_empty() {
+            return "== flight recorder == (no trace events recorded)\n".to_string();
+        }
+        let mut out = String::from("== flight recorder ==\n");
+        for (host, evs) in &self.hosts {
+            let _ = writeln!(out, "host {host}: last {} trace events", evs.len());
+            for e in evs {
+                let _ = writeln!(
+                    out,
+                    "  [{:>14}] {:<11} packet={:<12} bytes={:<8} cost={}",
+                    e.at.as_nanos(),
+                    e.stage.to_string(),
+                    e.packet,
+                    e.bytes,
+                    e.cost
+                );
+            }
+        }
+        out
+    }
+
+    /// JSONL rendering: one object per event, hosts in index order.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"obs\":\"flight\",\"hosts\":{},\"events\":{}}}",
+            self.hosts.len(),
+            self.len()
+        );
+        for (host, evs) in &self.hosts {
+            for e in evs {
+                let _ = writeln!(
+                    out,
+                    "{{\"host\":{host},\"at\":{},\"stage\":\"{}\",\"packet\":{},\"bytes\":{},\"cost\":{}}}",
+                    e.at.as_nanos(),
+                    e.stage,
+                    e.packet,
+                    e.bytes,
+                    e.cost.as_nanos()
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Stage;
+
+    fn flow0() -> Scope {
+        Scope::Flow { flow: 0, ep: 0 }
+    }
+
+    #[test]
+    fn step_series_collapses_repeats() {
+        let mut s = StepSeries::new();
+        s.push(Nanos(10), 5);
+        s.push(Nanos(20), 5);
+        s.push(Nanos(30), 7);
+        s.push(Nanos(40), 7);
+        s.push(Nanos(50), 5);
+        assert_eq!(
+            s.points(),
+            &[(Nanos(10), 5), (Nanos(30), 7), (Nanos(50), 5)]
+        );
+        assert_eq!(s.value_at(Nanos(9)), None);
+        assert_eq!(s.value_at(Nanos(10)), Some(5));
+        assert_eq!(s.value_at(Nanos(35)), Some(7));
+        assert_eq!(s.value_at(Nanos(99)), Some(5));
+        assert_eq!(s.min(), Some(5));
+        assert_eq!(s.max(), Some(7));
+        assert_eq!(s.last(), Some(5));
+    }
+
+    #[test]
+    fn timelines_round_trip_jsonl() {
+        let mut tl = Timelines::new(Nanos::from_millis(1));
+        tl.record(flow0(), MetricKind::Cwnd, Nanos(1_000), 8948);
+        tl.record(flow0(), MetricKind::Cwnd, Nanos(2_000), 17896);
+        tl.record(
+            Scope::Host { host: 1 },
+            MetricKind::CpuPermille,
+            Nanos(1_000),
+            512,
+        );
+        tl.record(
+            Scope::Link { link: 0 },
+            MetricKind::QueueBytes,
+            Nanos(1_000),
+            0,
+        );
+        let text = tl.to_jsonl();
+        let back = Timelines::from_jsonl(&text).expect("round trip parses");
+        assert_eq!(back, tl);
+        assert_eq!(back.to_jsonl(), text);
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_regardless_of_record_order() {
+        let build = |swap: bool| {
+            let mut tl = Timelines::new(Nanos::from_millis(1));
+            let records = [
+                (Scope::Host { host: 0 }, MetricKind::RxRingFrames, 3u64),
+                (flow0(), MetricKind::Cwnd, 8948),
+            ];
+            let order: Vec<_> = if swap {
+                records.iter().rev().collect()
+            } else {
+                records.iter().collect()
+            };
+            for (scope, metric, v) in order {
+                tl.record(*scope, *metric, Nanos(1000), *v);
+            }
+            tl.to_jsonl()
+        };
+        assert_eq!(build(false), build(true));
+    }
+
+    #[test]
+    fn diff_reports_divergence_and_missing_series() {
+        let mut a = Timelines::new(Nanos::from_millis(1));
+        let mut b = Timelines::new(Nanos::from_millis(1));
+        a.record(flow0(), MetricKind::Cwnd, Nanos(1000), 10);
+        b.record(flow0(), MetricKind::Cwnd, Nanos(1000), 11);
+        a.record(flow0(), MetricKind::Retransmits, Nanos(1000), 0);
+        assert!(a.diff(&a.clone()).is_empty());
+        let d = a.diff(&b);
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d[0].contains("first divergence"), "{d:?}");
+        assert!(d[1].contains("only in left"), "{d:?}");
+    }
+
+    #[test]
+    fn metric_names_round_trip() {
+        for k in MetricKind::ALL {
+            assert_eq!(MetricKind::parse(&k.to_string()), Some(k));
+        }
+        assert_eq!(MetricKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn flight_dump_renders_text_and_jsonl() {
+        let dump = FlightDump {
+            hosts: vec![(
+                0,
+                vec![TraceEvent {
+                    at: Nanos(1234),
+                    stage: Stage::TxStack,
+                    packet: 42,
+                    bytes: 8948,
+                    cost: Nanos(500),
+                }],
+            )],
+        };
+        let text = dump.text();
+        assert!(text.contains("flight recorder"));
+        assert!(text.contains("tx-stack"));
+        assert!(text.contains("packet=42"));
+        let jsonl = dump.jsonl();
+        assert!(jsonl.starts_with("{\"obs\":\"flight\",\"hosts\":1,\"events\":1}"));
+        assert!(jsonl.contains("\"stage\":\"tx-stack\""));
+        assert!(!dump.is_empty());
+        assert_eq!(dump.len(), 1);
+        assert!(FlightDump::default().is_empty());
+        assert!(FlightDump::default().text().contains("no trace events"));
+    }
+}

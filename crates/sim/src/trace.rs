@@ -10,7 +10,6 @@
 
 use crate::rng::SimRng;
 use crate::time::Nanos;
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -48,6 +47,41 @@ pub enum Stage {
     Retransmit,
     /// ACK generated.
     Ack,
+    /// Retransmission timer fired.
+    TimerRto,
+    /// Delayed-ACK timer fired.
+    TimerDelack,
+}
+
+impl Stage {
+    /// Number of stages (the size of the per-stage stats table).
+    const COUNT: usize = 16;
+
+    /// Every stage, in pipeline order — the iteration order of
+    /// [`Tracer::stage_stats`].
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::AppWrite,
+        Stage::TxCopy,
+        Stage::TxStack,
+        Stage::TxDma,
+        Stage::Wire,
+        Stage::Switch,
+        Stage::RxDma,
+        Stage::Interrupt,
+        Stage::RxStack,
+        Stage::RxCopy,
+        Stage::AppRead,
+        Stage::Drop,
+        Stage::Retransmit,
+        Stage::Ack,
+        Stage::TimerRto,
+        Stage::TimerDelack,
+    ];
+
+    #[inline]
+    fn index(self) -> usize {
+        self as usize
+    }
 }
 
 impl fmt::Display for Stage {
@@ -67,6 +101,8 @@ impl fmt::Display for Stage {
             Stage::Drop => "drop",
             Stage::Retransmit => "retransmit",
             Stage::Ack => "ack",
+            Stage::TimerRto => "timer-rto",
+            Stage::TimerDelack => "timer-delack",
         };
         f.write_str(s)
     }
@@ -111,14 +147,19 @@ impl StageStats {
 }
 
 /// The tracer. Cheap when disabled: a disabled tracer only tests one bool.
+///
+/// Per-stage aggregates live in a fixed array indexed by [`Stage`] so the
+/// emit hot path is an add, not a map lookup.
 #[derive(Debug)]
 pub struct Tracer {
     enabled: bool,
     /// Keep only every k-th packet's detailed events (1 = all).
     sample_every: u64,
+    /// Precomputed `1 / sample_every` for the sampling draw.
+    sample_p: f64,
     ring_capacity: usize,
     ring: VecDeque<TraceEvent>,
-    stats: BTreeMap<Stage, StageStats>,
+    stats: [StageStats; Stage::COUNT],
     rng: Option<SimRng>,
 }
 
@@ -134,9 +175,10 @@ impl Tracer {
         Tracer {
             enabled: false,
             sample_every: 1,
+            sample_p: 1.0,
             ring_capacity: 0,
             ring: VecDeque::new(),
-            stats: BTreeMap::new(),
+            stats: [StageStats::default(); Stage::COUNT],
             rng: None,
         }
     }
@@ -147,9 +189,10 @@ impl Tracer {
         Tracer {
             enabled: true,
             sample_every: 1,
+            sample_p: 1.0,
             ring_capacity,
             ring: VecDeque::with_capacity(ring_capacity.min(4096)),
-            stats: BTreeMap::new(),
+            stats: [StageStats::default(); Stage::COUNT],
             rng: None,
         }
     }
@@ -157,12 +200,14 @@ impl Tracer {
     /// A tracer that aggregates all events but keeps detailed ring entries
     /// only for a random ~1/k sample of packets (MAGNET's sampling mode).
     pub fn sampling(ring_capacity: usize, every: u64, rng: SimRng) -> Self {
+        let every = every.max(1);
         Tracer {
             enabled: true,
-            sample_every: every.max(1),
+            sample_every: every,
+            sample_p: 1.0 / every as f64,
             ring_capacity,
             ring: VecDeque::with_capacity(ring_capacity.min(4096)),
-            stats: BTreeMap::new(),
+            stats: [StageStats::default(); Stage::COUNT],
             rng: Some(rng),
         }
     }
@@ -174,11 +219,12 @@ impl Tracer {
     }
 
     /// Record an event.
+    #[inline]
     pub fn emit(&mut self, at: Nanos, stage: Stage, packet: u64, bytes: u64, cost: Nanos) {
         if !self.enabled {
             return;
         }
-        let s = self.stats.entry(stage).or_default();
+        let s = &mut self.stats[stage.index()];
         s.count += 1;
         s.bytes += bytes;
         s.cost = s.cost.saturating_add(cost);
@@ -186,7 +232,7 @@ impl Tracer {
         let keep_detail = if self.sample_every == 1 {
             true
         } else if let Some(rng) = &mut self.rng {
-            rng.chance(1.0 / self.sample_every as f64)
+            rng.chance(self.sample_p)
         } else {
             packet % self.sample_every == 0
         };
@@ -204,14 +250,17 @@ impl Tracer {
         }
     }
 
-    /// Per-stage aggregates, ordered by stage.
-    pub fn stage_stats(&self) -> &BTreeMap<Stage, StageStats> {
-        &self.stats
+    /// Per-stage aggregates for every observed stage, in pipeline order.
+    pub fn stage_stats(&self) -> impl Iterator<Item = (Stage, StageStats)> + '_ {
+        Stage::ALL
+            .iter()
+            .map(|&st| (st, self.stats[st.index()]))
+            .filter(|(_, s)| s.count > 0)
     }
 
     /// Aggregate for a single stage (zeroes if never observed).
     pub fn stage(&self, stage: Stage) -> StageStats {
-        self.stats.get(&stage).copied().unwrap_or_default()
+        self.stats[stage.index()]
     }
 
     /// Recently recorded detailed events, oldest first.
@@ -227,7 +276,7 @@ impl Tracer {
     /// Render the MAGNET-style per-stage cost profile.
     pub fn profile(&self) -> String {
         let mut out = String::from("stage        count        bytes     mean-cost\n");
-        for (stage, s) in &self.stats {
+        for (stage, s) in self.stage_stats() {
             out.push_str(&format!(
                 "{:<12} {:>9} {:>12} {:>13}\n",
                 stage.to_string(),

@@ -251,6 +251,11 @@ impl TcpConn {
         self.srtt
     }
 
+    /// RTT variance estimate (RFC 6298 `rttvar`; zero before any sample).
+    pub fn rttvar(&self) -> Nanos {
+        self.rttvar
+    }
+
     /// Whether the peer's FIN has been received.
     pub fn fin_seen(&self) -> bool {
         self.fin_seen

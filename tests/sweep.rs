@@ -2,10 +2,12 @@
 //! reports at any thread count) and panic containment, exercised through a
 //! real paper experiment (the Fig. 3/4 NTTCP payload sweep).
 
-use tengig::experiments::throughput::{throughput_sweep_report, MASTER_SEED};
+use tengig::experiments::throughput::{
+    throughput_sweep_report, throughput_sweep_with_metrics, MASTER_SEED,
+};
 use tengig::{scenarios, Json, LadderRung, Scenario, SweepReport, SweepRunner};
 use tengig_ethernet::Mtu;
-use tengig_sim::SimRng;
+use tengig_sim::{Nanos, ObsConfig, SimRng};
 
 /// Reduced packet count: sweep shapes converge well before the paper's
 /// 32,768 and the suite must stay quick.
@@ -51,6 +53,67 @@ fn paper_sweep_is_byte_identical_across_thread_counts() {
             line.contains(r#""mbps":"#),
             "row {i} missing measurement: {line}"
         );
+    }
+}
+
+/// The metrics side-channel obeys the same contract as the report it rides
+/// alongside: byte-identical at any thread count, and the primary report's
+/// bytes are untouched by enabling it. (That the tracer's sampling RNG is
+/// plumbed from the scenario seed is covered in `tests/obs.rs` — the
+/// timelines themselves sample deterministic state, so a back-to-back
+/// sweep's sidecar is legitimately seed-stable.)
+#[test]
+fn metrics_sidecar_is_byte_identical_across_thread_counts() {
+    let cfg = LadderRung::Stock.pe2650_config(Mtu::JUMBO_9000);
+    let payloads = [512u64, 1448, 8948];
+    let obs = ObsConfig {
+        sample_interval: Nanos::from_micros(50),
+        ring_capacity: 64,
+        sample_every: 4,
+    };
+    let sweep = |threads: usize, master_seed: u64| {
+        let (_, report, sidecar) = throughput_sweep_with_metrics(
+            cfg,
+            "obs",
+            &payloads,
+            QUICK,
+            master_seed,
+            SweepRunner::new(threads),
+            &obs,
+        );
+        (report.to_jsonl(), sidecar.concatenated())
+    };
+    let (report_1, sidecar_1) = sweep(1, MASTER_SEED);
+    let (report_4, sidecar_4) = sweep(4, MASTER_SEED);
+    assert_eq!(sidecar_1, sidecar_4, "sidecar must not depend on threads");
+    assert_eq!(report_1, report_4);
+
+    // Obs on vs off: the primary report bytes are identical.
+    let (_, plain) = throughput_sweep_report(
+        cfg,
+        "obs",
+        &payloads,
+        QUICK,
+        MASTER_SEED,
+        SweepRunner::new(4),
+    );
+    assert_eq!(plain.to_jsonl(), report_4, "obs must be a pure observer");
+
+    // The sidecar itself is well-formed: one timelines blob per scenario,
+    // each parseable back into the exact same bytes.
+    let (_, _, sidecar) = throughput_sweep_with_metrics(
+        cfg,
+        "obs",
+        &payloads,
+        QUICK,
+        MASTER_SEED,
+        SweepRunner::new(2),
+        &obs,
+    );
+    assert_eq!(sidecar.runs.len(), payloads.len());
+    for (_, _, jsonl) in &sidecar.runs {
+        let tl = tengig_sim::Timelines::from_jsonl(jsonl).expect("sidecar parses");
+        assert_eq!(&tl.to_jsonl(), jsonl);
     }
 }
 
