@@ -2,9 +2,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt clippy benches-check lint obs-check bench bench-gate
+.PHONY: ci build test fmt clippy benches-check lint obs-check faults-check bench bench-gate
 
-ci: build test fmt clippy benches-check lint obs-check
+ci: build test fmt clippy benches-check lint obs-check faults-check
 
 build:
 	$(CARGO) build --release
@@ -39,6 +39,15 @@ lint:
 obs-check:
 	$(CARGO) run --release -q -p tengig-bench --bin tengig-obs -- \
 		check goldens/obs_throughput.jsonl
+
+# Fault-injection determinism gate: runs the pinned burst-loss sweep, the
+# flap-recovery sweep, and the 64-scenario chaos campaign on 1 and 4
+# worker threads (reports must be byte-identical), then byte-compares
+# each against its checked-in golden (goldens/faults_*.jsonl).
+# Regenerate deliberately by appending `--write-golden`.
+faults-check:
+	$(CARGO) run --release -q -p tengig-bench --bin tengig-chaos -- \
+		check goldens
 
 # Refresh the wall-clock benchmark baseline: runs the fixed pinned-seed
 # workload per experiment family and rewrites BENCH_sim.json in place.

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use tengig::analytic::{recovery_time, table1};
 use tengig::experiments::wan::record_run;
 use tengig::report::{humanize, Table};
-use tengig_net::WanSpec;
+use tengig_net::{Impairments, WanSpec};
 use tengig_sim::{Bandwidth, Nanos};
 
 fn regenerate() {
@@ -41,6 +41,7 @@ fn regenerate() {
         prop_chi_gva: Nanos::from_millis(3),
         bottleneck_buffer: 64 << 20,
         random_loss: 0.0,
+        impair: Impairments::none(),
     };
     let clean = record_run(
         &mini,

@@ -1,0 +1,271 @@
+//! `tengig-chaos` — the seeded chaos-campaign runner.
+//!
+//! Drives N randomly drawn impairment cocktails (burst loss, reordering,
+//! duplication, corruption, scripted outages) through the simulator with
+//! the sanitizer and TCP invariants armed, reports survivors and
+//! failures, and prints the exact command line that reproduces any
+//! failure from its scenario seed:
+//!
+//! ```text
+//! tengig-chaos run [--scenarios N] [--seed S] [--threads T] [--out PATH]
+//!                  [--inject INDEX]     campaign; exit 1 if any scenario fails
+//! tengig-chaos repro --seed SEED [--inject]
+//!                  re-run one scenario standalone from its seed
+//! tengig-chaos check GOLDENS_DIR [--write-golden]
+//!                  faults determinism + golden gate (`make faults-check`)
+//! ```
+//!
+//! `check` runs the pinned faults family — the burst-length sweep, the
+//! flap-recovery sweep, and a 64-scenario campaign — on 1 and 4 worker
+//! threads, requires every report byte-identical across thread counts,
+//! and byte-compares each against its checked-in golden
+//! (`faults_burst.jsonl`, `faults_flap.jsonl`, `faults_chaos.jsonl`).
+//! `--inject INDEX` deliberately fails one scenario through the same
+//! panic-capture path a real invariant violation takes — the self-test
+//! that the printed repro line actually works.
+
+use tengig::experiments::faults::{
+    burst_sweep_report, chaos_campaign, chaos_run, chaos_spec, flap_recovery_sweep_report,
+    ChaosRow, BURST_LENGTHS, FLAP_RTTS,
+};
+use tengig::SweepRunner;
+use tengig_sim::Nanos;
+
+/// Master seed for the pinned `check` sweeps (the publication year,
+/// matching the paper sweeps and `tengig-bench`).
+const SEED: u64 = 2003;
+
+/// Master seed for the default campaign (and the pinned `check` one).
+const CAMPAIGN_SEED: u64 = 77;
+
+/// Scenario count for the default campaign and the pinned `check` one.
+const CAMPAIGN_N: usize = 64;
+
+/// Pinned burst-sweep operating point: 0.3% mean loss, measured over a
+/// 90 s window after a 2 s warmup (see `BURST_LENGTHS` for why the grid
+/// brackets the window).
+fn pinned_burst(threads: usize) -> String {
+    let (_, report) = burst_sweep_report(
+        3e-3,
+        &BURST_LENGTHS,
+        Nanos::from_secs(2),
+        Nanos::from_secs(90),
+        SEED,
+        SweepRunner::new(threads),
+    );
+    report.to_jsonl()
+}
+
+fn pinned_flap(threads: usize) -> String {
+    let (_, report) = flap_recovery_sweep_report(&FLAP_RTTS, SEED, SweepRunner::new(threads));
+    report.to_jsonl()
+}
+
+fn pinned_campaign(threads: usize) -> String {
+    let (_, report) = chaos_campaign(CAMPAIGN_N, CAMPAIGN_SEED, None, SweepRunner::new(threads));
+    report.to_jsonl()
+}
+
+fn print_failures(rows: &[ChaosRow]) {
+    for row in rows {
+        if let Err(text) = &row.outcome {
+            let first = text.lines().next().unwrap_or("");
+            println!("FAIL scenario {:03} seed {}: {first}", row.index, row.seed);
+            println!("  repro: tengig-chaos repro --seed {}", row.seed);
+        }
+    }
+}
+
+fn run_campaign(
+    n: usize,
+    master_seed: u64,
+    threads: usize,
+    out: Option<&str>,
+    inject: Option<usize>,
+) -> Result<bool, String> {
+    // Scenario panics are captured into rows; keep the default hook from
+    // spraying backtraces over the campaign summary. `repro` leaves the
+    // hook alone so a reproduced failure prints its full report.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let (rows, report) = chaos_campaign(n, master_seed, inject, SweepRunner::new(threads));
+    std::panic::set_hook(hook);
+    let failures = rows.iter().filter(|r| r.outcome.is_err()).count();
+    if let Some(path) = out {
+        std::fs::write(path, report.to_jsonl()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote campaign report to {path}");
+    }
+    print_failures(&rows);
+    println!(
+        "chaos campaign: {n} scenarios, master seed {master_seed}, {} survived, {failures} failed",
+        n - failures
+    );
+    Ok(failures == 0)
+}
+
+/// Re-run a single scenario from its seed, exactly as the campaign did.
+fn repro(seed: u64, inject: bool) -> Result<bool, String> {
+    let spec = chaos_spec(seed);
+    println!(
+        "scenario seed {seed}: mean_loss={:.5} burst={:.2} reorder_p={:.4} \
+         dup={:.4} corrupt={:.4} outage={:?}",
+        spec.mean_loss,
+        spec.burst_len,
+        spec.reorder_p,
+        spec.duplicate,
+        spec.corrupt,
+        spec.outage_at.map(|at| (at, spec.outage_len)),
+    );
+    match chaos_run(seed, inject) {
+        Ok(o) => {
+            println!(
+                "survived: {:.4} Gb/s over {}, {} rtx, {} rto, {} impair drops, \
+                 {} dups, {} reordered, {} crc drops, {} events",
+                o.gbps,
+                o.duration,
+                o.retransmits,
+                o.timeouts,
+                o.impair_drops,
+                o.dup_frames,
+                o.reordered,
+                o.crc_drops,
+                o.events
+            );
+            Ok(true)
+        }
+        Err(text) => {
+            println!("FAILED:\n{text}");
+            Ok(false)
+        }
+    }
+}
+
+fn check_one(
+    name: &str,
+    golden_path: &str,
+    write_golden: bool,
+    sweep: impl Fn(usize) -> String,
+) -> Result<bool, String> {
+    eprintln!("faults-check: {name}, 1 thread ...");
+    let one = sweep(1);
+    eprintln!("faults-check: {name}, 4 threads ...");
+    let four = sweep(4);
+    let mut ok = true;
+    if one != four {
+        println!("faults-check: FAIL: {name} differs between 1 and 4 threads");
+        ok = false;
+    }
+    if write_golden {
+        if let Some(dir) = std::path::Path::new(golden_path).parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        std::fs::write(golden_path, &one).map_err(|e| format!("writing {golden_path}: {e}"))?;
+        println!("faults-check: wrote golden {golden_path}");
+    }
+    let checked_in =
+        std::fs::read_to_string(golden_path).map_err(|e| format!("reading {golden_path}: {e}"))?;
+    if one != checked_in {
+        println!("faults-check: FAIL: {name} diverged from golden {golden_path}");
+        println!("  (regenerate deliberately with `tengig-chaos check <dir> --write-golden`)");
+        ok = false;
+    }
+    Ok(ok)
+}
+
+fn check(dir: &str, write_golden: bool) -> Result<bool, String> {
+    let burst = check_one(
+        "burst sweep",
+        &format!("{dir}/faults_burst.jsonl"),
+        write_golden,
+        pinned_burst,
+    )?;
+    let flap = check_one(
+        "flap recovery sweep",
+        &format!("{dir}/faults_flap.jsonl"),
+        write_golden,
+        pinned_flap,
+    )?;
+    let chaos = check_one(
+        "chaos campaign",
+        &format!("{dir}/faults_chaos.jsonl"),
+        write_golden,
+        pinned_campaign,
+    )?;
+    let ok = burst && flap && chaos;
+    if ok {
+        println!(
+            "faults-check: PASS (burst/flap/chaos reports byte-identical \
+             across 1/4 threads and match {dir}/faults_*.jsonl)"
+        );
+    }
+    Ok(ok)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tengig-chaos run [--scenarios N] [--seed S] [--threads T] [--out PATH] \
+         [--inject INDEX]\n\
+        \x20      tengig-chaos repro --seed SEED [--inject]\n\
+        \x20      tengig-chaos check GOLDENS_DIR [--write-golden]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(value: &str, what: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("tengig-chaos: bad {what}: {value}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let outcome = match strs.split_first() {
+        Some((&"run", rest)) => {
+            let mut n = CAMPAIGN_N;
+            let mut seed = CAMPAIGN_SEED;
+            let mut threads = 4;
+            let mut out = None;
+            let mut inject = None;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                let mut arg = |what| match it.next() {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("tengig-chaos: {what} needs a value");
+                        std::process::exit(2);
+                    }
+                };
+                match *flag {
+                    "--scenarios" => n = parse(arg("--scenarios"), "scenario count"),
+                    "--seed" => seed = parse(arg("--seed"), "seed"),
+                    "--threads" => threads = parse(arg("--threads"), "thread count"),
+                    "--out" => out = Some(*arg("--out")),
+                    "--inject" => inject = Some(parse(arg("--inject"), "inject index")),
+                    _ => usage(),
+                }
+            }
+            run_campaign(n, seed, threads, out, inject)
+        }
+        Some((&"repro", rest)) => match rest {
+            ["--seed", seed] => repro(parse(seed, "seed"), false),
+            ["--seed", seed, "--inject"] => repro(parse(seed, "seed"), true),
+            _ => usage(),
+        },
+        Some((&"check", rest)) => match rest {
+            [dir] => check(dir, false),
+            [dir, "--write-golden"] => check(dir, true),
+            _ => usage(),
+        },
+        _ => usage(),
+    };
+    match outcome {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("tengig-chaos: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! only run-to-run variance is the wall clock itself.
 
 use std::time::Instant;
+use tengig::experiments::faults::{faults_lab, scaled_wan};
 use tengig::experiments::multiflow::{aggregate_seeded, Direction};
 use tengig::experiments::wan::wan_lab_seeded;
 use tengig::experiments::{b2b_lab, run_to_completion};
@@ -25,7 +26,7 @@ use tengig::lab::{self, App};
 use tengig::LadderRung;
 use tengig_bench::gate::{self, BenchReport, FamilyResult, DEFAULT_TOLERANCE};
 use tengig_ethernet::Mtu;
-use tengig_net::WanSpec;
+use tengig_net::{GilbertElliott, Impairments, WanSpec};
 use tengig_sim::Nanos;
 use tengig_tools::{NttcpReceiver, NttcpSender, Pktgen};
 
@@ -137,6 +138,30 @@ fn wan_record() -> (u64, u64) {
     (eng.executed(), received(&lab) - b0)
 }
 
+/// The windowed WAN run again, but with Gilbert–Elliott burst loss on
+/// the data path: prices the impairment tax next to the clean
+/// `wan_record` family above. The control is `wan_record` itself —
+/// `Impairments::none()` short-circuits before any per-frame RNG draw,
+/// so that family's event count must not move when the impairment layer
+/// changes (the gate's exact event-count match enforces it).
+fn wan_burst_loss() -> (u64, u64) {
+    let mut wan = scaled_wan(Nanos::from_millis(20), 64 << 20);
+    wan.impair = Impairments::none().with_burst(GilbertElliott::bursty(3e-3, 8.0));
+    let (mut lab, mut eng) = faults_lab(&wan, Some(256 << 10), SEED);
+    lab::kick(&mut lab, &mut eng);
+    let warmup = Nanos::from_secs(2);
+    let window = Nanos::from_secs(5);
+    eng.advance_to(&mut lab, warmup);
+    let received = |lab: &lab::Lab| match &lab.flows[0].app {
+        App::Nttcp { rx, .. } => rx.received,
+        _ => 0,
+    };
+    let b0 = received(&lab);
+    eng.advance_to(&mut lab, warmup + window);
+    lab::check_sanitizer(&lab, &mut eng, false);
+    (eng.executed(), received(&lab) - b0)
+}
+
 /// §3.5.2 packet generator: single-copy TCP-bypass blast.
 fn pktgen() -> (u64, u64) {
     let cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
@@ -191,6 +216,7 @@ fn main() {
             time("throughput_sweep_obs", throughput_sweep_obs),
             time("multiflow", multiflow),
             time("wan_record", wan_record),
+            time("wan_burst_loss", wan_burst_loss),
             time("pktgen", pktgen),
         ],
         peak_rss_kb: gate::peak_rss_kb(),

@@ -8,6 +8,7 @@
 //! result is identical at any thread count.
 
 pub mod anecdotal;
+pub mod faults;
 pub mod latency;
 pub mod multiflow;
 pub mod osbypass;

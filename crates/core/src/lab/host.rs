@@ -44,6 +44,9 @@ pub struct HostRt {
     pub coalescer: Coalescer,
     /// Frames DMA-complete, awaiting the interrupt.
     pub rx_pending: VecDeque<RxFrame>,
+    /// Corrupted frames the NIC's MAC discarded on a bad FCS (before any
+    /// DMA), i.e. the receive side of the corruption impairment.
+    pub rx_crc_drops: u64,
     /// MAGNET-style tracer for this host.
     pub tracer: Tracer,
 }
@@ -59,6 +62,7 @@ impl HostRt {
             pci: FifoServer::new("pci-x"),
             coalescer: Coalescer::new(cfg.nic.rx_coalesce_delay, cfg.nic.rx_coalesce_max_frames),
             rx_pending: VecDeque::new(),
+            rx_crc_drops: 0,
             tracer: Tracer::disabled(),
         }
     }

@@ -18,7 +18,7 @@ pub mod host;
 
 use crate::config::HostConfig;
 pub use host::{HostRt, RxFrame};
-use tengig_net::{Path, PathState};
+use tengig_net::{Delivery, Path, PathState};
 use tengig_nic::CoalesceAction;
 use tengig_sim::{
     Engine, EventFire, EventId, FlightDump, MetricKind, Nanos, ObsConfig, Sanitizer, Scope,
@@ -69,6 +69,9 @@ pub enum Ev {
         ep: usize,
         /// The segment in flight.
         seg: Segment,
+        /// The frame was bit-corrupted en route; the MAC discards it on
+        /// the bad FCS before DMA.
+        corrupted: bool,
     },
     /// Receive DMA complete: enqueue for the coalescer.
     RxDmaDone {
@@ -140,7 +143,12 @@ impl EventFire<Lab> for Ev {
             Ev::StartFlow { f } => start_flow(lab, eng, f),
             Ev::TxDma { f, ep, seg } => tx_dma(lab, eng, f, ep, seg),
             Ev::TxWire { f, ep, seg } => tx_wire(lab, eng, f, ep, seg),
-            Ev::FrameArrival { f, ep, seg } => frame_arrival(lab, eng, f, ep, seg),
+            Ev::FrameArrival {
+                f,
+                ep,
+                seg,
+                corrupted,
+            } => frame_arrival(lab, eng, f, ep, seg, corrupted),
             Ev::RxDmaDone { f, ep, seg } => {
                 let h = lab.flows[f].host[ep];
                 lab.hosts[h]
@@ -560,12 +568,14 @@ fn obs_sample(lab: &mut Lab, eng: &mut LabEngine) {
             now,
             host.cfg.nic.rx_coalesce_delay.as_nanos(),
         );
+        tl.record(scope, MetricKind::RxCrcDrops, now, host.rx_crc_drops);
     }
     for (l, link) in lab.links.iter().enumerate() {
         let scope = Scope::Link { link: l as u32 };
         let backlog: u64 = link.hops.iter().map(|hop| hop.backlog_bytes(now)).sum();
         tl.record(scope, MetricKind::QueueBytes, now, backlog);
         tl.record(scope, MetricKind::QueueDrops, now, link.total_drops());
+        tl.record(scope, MetricKind::ImpairDrops, now, link.impair_drops());
     }
     let interval = obs.interval;
     lab.obs = Some(obs);
@@ -706,6 +716,73 @@ fn tx_dma(lab: &mut Lab, eng: &mut LabEngine, f: usize, src_ep: usize, seg: Segm
     eng.schedule_event_at(t3, Ev::TxWire { f, ep: src_ep, seg });
 }
 
+/// The fate of one frame (and at most one impairment-minted duplicate)
+/// across a whole link route. Fixed-size arrays — the walk allocates
+/// nothing, so un-impaired runs pay only an `is_none` check per hop.
+struct RouteVerdict {
+    /// Copies that reached the far end (original first, then the
+    /// duplicate if one was minted and survived).
+    deliveries: [Option<Delivery>; 2],
+    /// A duplicate copy was minted somewhere along the route.
+    duplicated: bool,
+    /// Copies dropped at some hop, any cause.
+    dropped: u32,
+    /// Of `dropped`, how many were impairment-caused (burst/flap).
+    dropped_impair: u32,
+    /// Total store-and-forward hops on the route.
+    route_hops: usize,
+}
+
+/// Walk `wire` bytes down `route` starting at `start`, carrying at most
+/// two copies (the original plus one impairment duplicate) across the
+/// links. A duplicate minted on one link continues through the rest of
+/// the route like any other frame; corruption and reorder marks stick to
+/// the copy that earned them.
+fn route_walk(links: &mut [PathState], route: &[usize], start: Nanos, wire: u64) -> RouteVerdict {
+    let mut v = RouteVerdict {
+        deliveries: [None, None],
+        duplicated: false,
+        dropped: 0,
+        dropped_impair: 0,
+        route_hops: 0,
+    };
+    let mut cur: [Option<Delivery>; 2] = [
+        Some(Delivery {
+            at: start,
+            corrupted: false,
+            reordered: false,
+        }),
+        None,
+    ];
+    for &lid in route {
+        v.route_hops += links[lid].hops.len();
+        let mut next: [Option<Delivery>; 2] = [None, None];
+        let mut filled = 0usize;
+        for c in cur.into_iter().flatten() {
+            let pv = links[lid].send_verdict(c.at, wire, !v.duplicated);
+            v.duplicated |= pv.duplicated;
+            v.dropped += pv.dropped;
+            v.dropped_impair += pv.dropped_impair;
+            for d in pv.deliveries.into_iter().flatten() {
+                if filled < 2 {
+                    next[filled] = Some(Delivery {
+                        at: d.at,
+                        corrupted: c.corrupted || d.corrupted,
+                        reordered: c.reordered || d.reordered,
+                    });
+                    filled += 1;
+                }
+            }
+        }
+        cur = next;
+        if filled == 0 {
+            break;
+        }
+    }
+    v.deliveries = cur;
+    v
+}
+
 /// Stage 3 of transmit: walk the link route (serialization + queueing
 /// happens inside the hop states).
 fn tx_wire(lab: &mut Lab, eng: &mut LabEngine, f: usize, src_ep: usize, seg: Segment) {
@@ -716,42 +793,80 @@ fn tx_wire(lab: &mut Lab, eng: &mut LabEngine, f: usize, src_ep: usize, seg: Seg
     if let Some(s) = eng.sanitizer_mut() {
         s.inject(wire);
     }
-    let mut t = now;
-    let mut dropped = false;
-    let mut route_hops = 0usize;
-    for &lid in &lab.flows[f].route[src_ep] {
-        route_hops += lab.links[lid].hops.len();
-        match lab.links[lid].send(t, wire) {
-            Some(arr) => t = arr,
-            None => {
-                dropped = true;
-                break;
-            }
+    let v = route_walk(&mut lab.links, &lab.flows[f].route[src_ep], now, wire);
+    if let Some(s) = eng.sanitizer_mut() {
+        if v.duplicated {
+            // The duplicate is a second physical frame on the wire: it
+            // enters the ledger here and retires via its own delivery or
+            // drop, so byte conservation holds per copy.
+            s.inject(wire);
+        }
+        for _ in 0..v.dropped {
+            s.drop_bytes(now, wire);
         }
     }
     let host = &mut lab.hosts[h];
-    if dropped {
-        if let Some(s) = eng.sanitizer_mut() {
-            s.drop_bytes(t, wire);
+    if v.duplicated {
+        host.probe(now, Stage::ImpairDup, seg.seq, wire, Nanos::ZERO);
+    }
+    for _ in 0..v.dropped {
+        host.probe(now, Stage::Drop, seg.seq, seg.len, Nanos::ZERO);
+    }
+    for _ in 0..v.dropped_impair {
+        host.probe(now, Stage::ImpairDrop, seg.seq, seg.len, Nanos::ZERO);
+    }
+    let mut first = true;
+    for d in v.deliveries.into_iter().flatten() {
+        if first {
+            host.probe(now, Stage::Wire, seg.seq, wire, Nanos::ZERO);
+            if v.route_hops > 1 {
+                // The frame traversed at least one store-and-forward stage.
+                host.probe(now, Stage::Switch, seg.seq, wire, Nanos::ZERO);
+            }
+            first = false;
         }
-        host.probe(t, Stage::Drop, seg.seq, seg.len, Nanos::ZERO);
-        return;
+        if d.reordered {
+            host.probe(now, Stage::ImpairReorder, seg.seq, wire, Nanos::ZERO);
+        }
+        eng.schedule_event_at(
+            d.at,
+            Ev::FrameArrival {
+                f,
+                ep: dst_ep,
+                seg,
+                corrupted: d.corrupted,
+            },
+        );
     }
-    host.probe(now, Stage::Wire, seg.seq, wire, Nanos::ZERO);
-    if route_hops > 1 {
-        // The frame traversed at least one store-and-forward stage.
-        host.probe(now, Stage::Switch, seg.seq, wire, Nanos::ZERO);
-    }
-    eng.schedule_event_at(t, Ev::FrameArrival { f, ep: dst_ep, seg });
 }
 
 /// A frame fully arrived at the destination NIC: rx DMA, then coalescing.
-fn frame_arrival(lab: &mut Lab, eng: &mut LabEngine, f: usize, dst_ep: usize, seg: Segment) {
+/// A corrupted frame dies here — the MAC verifies the FCS before posting
+/// the DMA, so a bad frame never touches the bus, the ring, or TCP; the
+/// wire ledger retires its bytes as a drop at arrival time.
+fn frame_arrival(
+    lab: &mut Lab,
+    eng: &mut LabEngine,
+    f: usize,
+    dst_ep: usize,
+    seg: Segment,
+    corrupted: bool,
+) {
     let now = eng.now();
-    if let Some(s) = eng.sanitizer_mut() {
-        s.deliver(now, tengig_ethernet::Mtu::wire_bytes_for(seg.ip_bytes()));
-    }
+    let wire = tengig_ethernet::Mtu::wire_bytes_for(seg.ip_bytes());
     let h = lab.flows[f].host[dst_ep];
+    if corrupted {
+        if let Some(s) = eng.sanitizer_mut() {
+            s.drop_bytes(now, wire);
+        }
+        let host = &mut lab.hosts[h];
+        host.rx_crc_drops += 1;
+        host.probe(now, Stage::ImpairCorrupt, seg.seq, wire, Nanos::ZERO);
+        return;
+    }
+    if let Some(s) = eng.sanitizer_mut() {
+        s.deliver(now, wire);
+    }
     let host = &mut lab.hosts[h];
     let frame = HostRt::frame_bytes(&seg);
     // The DMA's memory-bus traffic happens during the PCI-X transfer; both
@@ -969,29 +1084,38 @@ fn pktgen_tick(lab: &mut Lab, eng: &mut LabEngine, f: usize) {
     host.membus.admit(now, host.rx_dma_bus_time(frame));
     let t3 = adm.done;
     // Wire.
-    let mut t = t3;
-    let mut dropped = false;
-    for &lid in &lab.flows[f].route[0] {
-        match lab.links[lid].send(t, wire) {
-            Some(arr) => t = arr,
-            None => {
-                dropped = true;
-                break;
-            }
+    let v = route_walk(&mut lab.links, &lab.flows[f].route[0], t3, wire);
+    if let Some(s) = eng.sanitizer_mut() {
+        if v.duplicated {
+            s.inject(wire);
+        }
+        for _ in 0..v.dropped {
+            s.drop_bytes(t3, wire);
         }
     }
-    if dropped {
-        if let Some(s) = eng.sanitizer_mut() {
-            s.drop_bytes(t, wire);
-        }
-    } else {
-        // pktgen's sink only counts, so the frame is "delivered" the
-        // moment it clears the wire.
-        if let Some(s) = eng.sanitizer_mut() {
-            s.deliver(t, wire);
-        }
-        if let App::Pktgen(pg) = &mut lab.flows[f].app {
-            pg.on_wire_done(t);
+    let mut t = t3;
+    let mut counted = false;
+    let dst_h = lab.flows[f].host[1];
+    for d in v.deliveries.into_iter().flatten() {
+        t = t.max(d.at);
+        if d.corrupted {
+            // The sink's NIC discards the bad-FCS frame on arrival.
+            if let Some(s) = eng.sanitizer_mut() {
+                s.drop_bytes(d.at, wire);
+            }
+            lab.hosts[dst_h].rx_crc_drops += 1;
+        } else {
+            // pktgen's sink only counts, so the frame is "delivered" the
+            // moment it clears the wire.
+            if let Some(s) = eng.sanitizer_mut() {
+                s.deliver(d.at, wire);
+            }
+            if !counted {
+                if let App::Pktgen(pg) = &mut lab.flows[f].app {
+                    pg.on_wire_done(d.at);
+                }
+                counted = true;
+            }
         }
     }
     // Self-clock: the loop runs ahead until the descriptor ring

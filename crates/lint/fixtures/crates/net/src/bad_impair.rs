@@ -1,0 +1,9 @@
+//! Known-bad fixture: an impairment model with entropy-seeded loss and
+//! printf debugging in the per-frame path.
+
+pub fn dropped(p: f64) -> bool {
+    let mut rng = rand::thread_rng();
+    let hit = rng.gen_bool(p);
+    println!("frame dropped: {hit}");
+    hit
+}

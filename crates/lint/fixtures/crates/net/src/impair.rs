@@ -1,0 +1,17 @@
+//! Clean fixture: an impairment model done right — seeded randomness
+//! only, no prints, and mentions of banned tokens kept safely inside
+//! comments and strings (thread_rng, println!, HashMap).
+
+pub struct Loss {
+    p: f64,
+}
+
+impl Loss {
+    /// Decide a frame's fate from the link's forked `SimRng`.
+    pub fn dropped(&self, rng: &mut SimRng) -> bool {
+        // A real model would note drops in "println-free" counters.
+        let banner = "no println! here, and no thread_rng either";
+        let _ = banner;
+        rng.chance(self.p)
+    }
+}

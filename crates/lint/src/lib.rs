@@ -22,10 +22,12 @@
 //!   (`crates/sim/src/engine.rs`) accumulate rounding error that differs
 //!   across platforms; the calendar stays integer-only (`Nanos`).
 //! * **printf-debug** — `println!` / `eprintln!` (and `print!` /
-//!   `eprint!`) in the simulation hot paths (`crates/sim`, `crates/tcp`)
-//!   outside the observability module (`obs.rs`): ad-hoc printf debugging
-//!   must not leak into the deterministic core — diagnostics flow through
-//!   the tracer, the flight recorder, and the metrics timelines.
+//!   `eprint!`) in the simulation hot paths (`crates/sim`, `crates/tcp`,
+//!   `crates/net` — the wire and impairment models run inside every
+//!   event) outside the observability module (`obs.rs`): ad-hoc printf
+//!   debugging must not leak into the deterministic core — diagnostics
+//!   flow through the tracer, the flight recorder, and the metrics
+//!   timelines.
 //! * **sweep-routing** — every public sweep entry point in
 //!   `crates/core/src/experiments/` must route through `SweepRunner`, so
 //!   parallelism and per-scenario seeding stay centralized.
@@ -54,6 +56,13 @@ pub const DETERMINISM_CRATES: &[&str] = &[
 /// Crates whose `src/` trees must not contain `.unwrap()` / `panic!`
 /// (the simulation hot paths).
 pub const NO_UNWRAP_CRATES: &[&str] = &["sim", "tcp"];
+
+/// Crates whose `src/` trees must stay print-free outside `obs.rs`.
+/// A superset of [`NO_UNWRAP_CRATES`]: the wire and impairment models in
+/// `crates/net` execute inside every link event, so printf debugging
+/// there is just as hot — but `net` keeps `expect()`-with-context
+/// latitude that the innermost loops do not.
+pub const NO_PRINT_CRATES: &[&str] = &["sim", "tcp", "net"];
 
 /// One lint finding, rendered `file:line: [rule] message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,7 +156,7 @@ pub fn lint_file(rel: &Path, krate: &str, content: &str) -> Vec<Diagnostic> {
     // The observability/flight-recorder module is the one sanctioned place
     // that renders output for humans; everything else in the hot-path
     // crates must stay print-free.
-    let no_print = no_unwrap && fname != "obs.rs";
+    let no_print = NO_PRINT_CRATES.contains(&krate) && fname != "obs.rs";
 
     for (idx, line) in code.lines().enumerate() {
         let lineno = idx + 1;

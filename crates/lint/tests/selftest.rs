@@ -83,6 +83,23 @@ fn fixture_tree_trips_every_rule() {
     // rendering lives there by design.
     assert!(diags_for(d, "obs.rs").is_empty(), "{d:?}");
 
+    // The net crate's impairment path is print-scoped too: the bad
+    // fixture trips exactly unseeded-rng (the entropy-seeded loss
+    // process) and printf-debug (the per-frame print), nothing else.
+    let impair = diags_for(d, "bad_impair.rs");
+    assert_eq!(impair.len(), 2, "{impair:?}");
+    assert!(
+        impair.iter().any(|x| x.rule == "unseeded-rng"),
+        "{impair:?}"
+    );
+    assert!(
+        impair.iter().any(|x| x.rule == "printf-debug"),
+        "{impair:?}"
+    );
+    // ...while the seeded, print-free model sails through, banned tokens
+    // in its comments and strings notwithstanding.
+    assert!(diags_for(d, "impair.rs").is_empty(), "{d:?}");
+
     // The tricky-but-clean file (tokens only in comments/strings/chars)
     // and the properly routed sweeps must not fire at all.
     assert!(diags_for(d, "clean_tricky.rs").is_empty(), "{d:?}");
@@ -123,9 +140,9 @@ fn live_tree_is_clean() {
 
 #[test]
 fn no_allow_escapes_in_the_hot_paths() {
-    // Acceptance bar: zero `lint:allow` markers in crates/sim and
-    // crates/tcp — the hot paths meet the rules outright.
-    for krate in ["sim", "tcp"] {
+    // Acceptance bar: zero `lint:allow` markers in crates/sim, crates/tcp
+    // and crates/net — the hot paths meet the rules outright.
+    for krate in ["sim", "tcp", "net"] {
         let src = workspace_root().join("crates").join(krate).join("src");
         for file in rust_files(&src).expect("src readable") {
             let content = std::fs::read_to_string(&file).expect("file readable");

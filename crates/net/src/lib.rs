@@ -2,6 +2,9 @@
 //!
 //! * [`link`] — store-and-forward hops and multi-hop paths with FIFO
 //!   serialization, drop-tail buffers, POS framing, and random loss,
+//! * [`impair`] — deterministic fault injection: Gilbert–Elliott burst
+//!   loss, bounded-jitter reordering, duplication, bit-corruption, and
+//!   time-scripted link flaps, composable per hop,
 //! * [`switch`] — the Foundry FastIron 1500 (480 Gb/s backplane, per-port
 //!   egress queues, ~6 µs forwarding latency),
 //! * [`wan`] — the Sunnyvale → Chicago → Geneva OC-192/OC-48 circuit of the
@@ -10,10 +13,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod impair;
 pub mod link;
 pub mod switch;
 pub mod wan;
 
-pub use link::{Hop, HopState, Path, PathState};
+pub use impair::{
+    DropCause, GilbertElliott, ImpairState, ImpairmentSchedule, Impairments, Reorder, MAX_OUTAGES,
+};
+pub use link::{Delivery, Hop, HopOutcome, HopState, Path, PathState, PathVerdict};
 pub use switch::{PortSpec, Switch, SwitchSpec};
 pub use wan::{pos_payload, WanSpec, OC192_LINE, OC48_LINE, POS_FRAMING};

@@ -7,6 +7,7 @@
 //! SONET-payload capacity is ≈ 2.4 Gb/s — the paper's 2.38 Gb/s record is
 //! "roughly 99% payload efficiency" of that circuit.
 
+use crate::impair::{clamp01, Impairments};
 use crate::link::{Hop, Path};
 use tengig_sim::{Bandwidth, Nanos};
 
@@ -35,6 +36,9 @@ pub struct WanSpec {
     pub bottleneck_buffer: u64,
     /// Random (non-congestion) loss probability per frame.
     pub random_loss: f64,
+    /// Fault-injection spec applied to the bottleneck OC-48 hop (the
+    /// circuit segment where the record run's pathologies would live).
+    pub impair: Impairments,
 }
 
 impl Default for WanSpec {
@@ -55,6 +59,7 @@ impl WanSpec {
             prop_chi_gva: Nanos::from_millis(63),
             bottleneck_buffer: 64 << 20,
             random_loss: 0.0,
+            impair: Impairments::none(),
         }
     }
 
@@ -64,9 +69,16 @@ impl WanSpec {
         self
     }
 
-    /// Add random loss (for Table 1-style recovery studies).
+    /// Add random loss (for Table 1-style recovery studies), clamped
+    /// into `[0, 1]` (NaN maps to 0).
     pub fn with_random_loss(mut self, p: f64) -> Self {
-        self.random_loss = p;
+        self.random_loss = clamp01(p);
+        self
+    }
+
+    /// Attach a fault-injection spec to the bottleneck OC-48 hop.
+    pub fn with_impairments(mut self, impair: Impairments) -> Self {
+        self.impair = impair;
         self
     }
 
@@ -94,7 +106,8 @@ impl WanSpec {
                     .with_framing(POS_FRAMING)
                     .with_fixed(Nanos::from_micros(30))
                     .with_buffer(self.bottleneck_buffer)
-                    .with_random_loss(self.random_loss),
+                    .with_random_loss(self.random_loss)
+                    .with_impairments(self.impair),
                 // Geneva access hop.
                 Hop::wire(
                     "gva-access",
@@ -155,6 +168,31 @@ mod tests {
     fn pos_payload_overhead() {
         assert!((pos_payload(OC48_LINE).gbps() - 2.4).abs() < 0.01);
         assert!((pos_payload(OC192_LINE).gbps() - 9.61).abs() < 0.05);
+    }
+
+    #[test]
+    fn with_random_loss_clamps_and_impairments_reach_the_bottleneck() {
+        use crate::impair::{GilbertElliott, Impairments};
+        // Regression: out-of-range probabilities used to be stored verbatim.
+        assert_eq!(WanSpec::record_run().with_random_loss(2.0).random_loss, 1.0);
+        assert_eq!(
+            WanSpec::record_run().with_random_loss(-1.0).random_loss,
+            0.0
+        );
+        assert_eq!(
+            WanSpec::record_run().with_random_loss(f64::NAN).random_loss,
+            0.0
+        );
+        // The impairment spec lands on the OC-48 hop and nowhere else.
+        let imp = Impairments::none().with_burst(GilbertElliott::bursty(0.01, 4.0));
+        let path = WanSpec::record_run().with_impairments(imp).forward_path();
+        for hop in &path.hops {
+            if hop.name == "oc48-chi-gva" {
+                assert_eq!(hop.impair, imp);
+            } else {
+                assert!(hop.impair.is_none(), "{} impaired", hop.name);
+            }
+        }
     }
 
     #[test]

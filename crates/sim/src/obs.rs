@@ -90,11 +90,15 @@ pub enum MetricKind {
     QueueBytes,
     /// Cumulative drops on the link (overflow + loss model).
     QueueDrops,
+    /// Cumulative impairment-layer drops on the link (burst loss + flaps).
+    ImpairDrops,
+    /// Cumulative corrupted frames discarded by this host's NIC (bad FCS).
+    RxCrcDrops,
 }
 
 impl MetricKind {
     /// Every kind, in serialization order.
-    pub const ALL: [MetricKind; 12] = [
+    pub const ALL: [MetricKind; 14] = [
         MetricKind::Cwnd,
         MetricKind::Ssthresh,
         MetricKind::SrttNanos,
@@ -107,6 +111,8 @@ impl MetricKind {
         MetricKind::CpuPermille,
         MetricKind::QueueBytes,
         MetricKind::QueueDrops,
+        MetricKind::ImpairDrops,
+        MetricKind::RxCrcDrops,
     ];
 
     /// Parse the serialized name back into a kind.
@@ -133,6 +139,8 @@ impl fmt::Display for MetricKind {
             MetricKind::CpuPermille => "cpu_permille",
             MetricKind::QueueBytes => "queue_bytes",
             MetricKind::QueueDrops => "queue_drops",
+            MetricKind::ImpairDrops => "impair_drops",
+            MetricKind::RxCrcDrops => "rx_crc_drops",
         };
         f.write_str(s)
     }

@@ -51,11 +51,19 @@ pub enum Stage {
     TimerRto,
     /// Delayed-ACK timer fired.
     TimerDelack,
+    /// Frame dropped by the impairment layer (burst loss or link flap).
+    ImpairDrop,
+    /// Duplicate frame copy minted by the impairment layer.
+    ImpairDup,
+    /// Frame delayed by the reordering impairment.
+    ImpairReorder,
+    /// Corrupted frame discarded by the receiving NIC (bad FCS).
+    ImpairCorrupt,
 }
 
 impl Stage {
     /// Number of stages (the size of the per-stage stats table).
-    const COUNT: usize = 16;
+    const COUNT: usize = 20;
 
     /// Every stage, in pipeline order — the iteration order of
     /// [`Tracer::stage_stats`].
@@ -76,6 +84,10 @@ impl Stage {
         Stage::Ack,
         Stage::TimerRto,
         Stage::TimerDelack,
+        Stage::ImpairDrop,
+        Stage::ImpairDup,
+        Stage::ImpairReorder,
+        Stage::ImpairCorrupt,
     ];
 
     #[inline]
@@ -103,6 +115,10 @@ impl fmt::Display for Stage {
             Stage::Ack => "ack",
             Stage::TimerRto => "timer-rto",
             Stage::TimerDelack => "timer-delack",
+            Stage::ImpairDrop => "impair-drop",
+            Stage::ImpairDup => "impair-dup",
+            Stage::ImpairReorder => "impair-reorder",
+            Stage::ImpairCorrupt => "impair-corrupt",
         };
         f.write_str(s)
     }

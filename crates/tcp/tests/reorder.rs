@@ -1,0 +1,252 @@
+//! Reordering tolerance: a short reorder (one segment overtaken by its
+//! successor on the wire) must NOT trigger fast retransmit — the
+//! duplicate-ACK threshold of three exists precisely to absorb it — while
+//! a genuine hole with three successors in flight must. This is the TCP
+//! side of the contract behind `tengig_net::impair`'s bounded-jitter
+//! `Reorder` model: jitter below the dup-ACK horizon is free, loss is not.
+//!
+//! The harness mirrors `loss_recovery.rs` but generalizes the per-
+//! transmission drop pattern to a *fate*: deliver on time, drop, or
+//! deliver late by a fixed skew (which is what reordering is on a
+//! FIFO-per-priority wire).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use tengig_sim::Nanos;
+use tengig_tcp::{Action, Segment, Sysctls, TcpConn, TimerKind};
+
+/// What happens to the n-th data segment A transmits.
+#[derive(Debug, Clone, Copy)]
+enum Fate {
+    Deliver,
+    Drop,
+    DelayBy(Nanos),
+}
+
+#[derive(Debug)]
+enum Ev {
+    Deliver {
+        to_a: bool,
+        seg: Segment,
+    },
+    Timer {
+        of_a: bool,
+        kind: TimerKind,
+        gen: u64,
+    },
+}
+
+struct Harness {
+    a: TcpConn,
+    b: TcpConn,
+    now: Nanos,
+    queue: BinaryHeap<Reverse<(Nanos, u64, usize)>>,
+    events: Vec<Option<Ev>>,
+    delivered: u64,
+    one_way: Nanos,
+    /// Fate per data-segment transmission index (default: deliver).
+    fates: Vec<Fate>,
+    tx_index: usize,
+}
+
+impl Harness {
+    fn new(cfg: Sysctls, fates: Vec<Fate>) -> Self {
+        let mss = cfg.mss();
+        Harness {
+            a: TcpConn::new(cfg, mss),
+            b: TcpConn::new(cfg, mss),
+            now: Nanos::from_micros(1),
+            queue: BinaryHeap::new(),
+            events: Vec::new(),
+            delivered: 0,
+            one_way: Nanos::from_micros(50),
+            fates,
+            tx_index: 0,
+        }
+    }
+
+    fn push(&mut self, at: Nanos, ev: Ev) {
+        let id = self.events.len();
+        self.events.push(Some(ev));
+        self.queue.push(Reverse((at, id as u64, id)));
+    }
+
+    fn handle(&mut self, from_a: bool, actions: Vec<Action>) {
+        for act in actions {
+            match act {
+                Action::Send(seg) => {
+                    // Data segments from A are subject to the fate script;
+                    // ACKs and B's traffic always arrive on time.
+                    let fate = if from_a && seg.len > 0 {
+                        let f = self
+                            .fates
+                            .get(self.tx_index)
+                            .copied()
+                            .unwrap_or(Fate::Deliver);
+                        self.tx_index += 1;
+                        f
+                    } else {
+                        Fate::Deliver
+                    };
+                    match fate {
+                        Fate::Drop => {}
+                        Fate::Deliver => {
+                            let at = self.now + self.one_way;
+                            self.push(at, Ev::Deliver { to_a: !from_a, seg });
+                        }
+                        Fate::DelayBy(skew) => {
+                            let at = self.now + self.one_way + skew;
+                            self.push(at, Ev::Deliver { to_a: !from_a, seg });
+                        }
+                    }
+                }
+                Action::SetTimer { kind, at, gen } => {
+                    self.push(
+                        at,
+                        Ev::Timer {
+                            of_a: from_a,
+                            kind,
+                            gen,
+                        },
+                    );
+                }
+                Action::DeliverData { bytes } => {
+                    if !from_a {
+                        self.delivered += bytes;
+                    }
+                }
+                Action::SndBufSpace => {}
+            }
+        }
+    }
+
+    /// Run until the calendar drains or `limit` events execute.
+    fn run(&mut self, limit: usize) {
+        let mut n = 0;
+        while let Some(Reverse((at, _, id))) = self.queue.pop() {
+            n += 1;
+            assert!(n < limit, "harness exceeded {limit} events");
+            self.now = self.now.max(at);
+            let ev = self.events[id].take().expect("event consumed twice");
+            match ev {
+                Ev::Deliver { to_a, seg } => {
+                    let now = self.now;
+                    let acts = if to_a {
+                        self.a.on_segment(now, &seg)
+                    } else {
+                        let mut all = self.b.on_segment(now, &seg);
+                        all.extend(self.b.on_app_read(now, u64::MAX));
+                        all
+                    };
+                    self.handle(to_a, acts);
+                }
+                Ev::Timer { of_a, kind, gen } => {
+                    let now = self.now;
+                    let acts = if of_a {
+                        self.a.on_timer(now, kind, gen)
+                    } else {
+                        self.b.on_timer(now, kind, gen)
+                    };
+                    self.handle(of_a, acts);
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, bytes: u64) -> u64 {
+        let now = self.now;
+        let (acc, acts) = self.a.on_app_write(now, bytes);
+        self.handle(true, acts);
+        acc
+    }
+}
+
+#[test]
+fn short_reorder_does_not_trigger_fast_retransmit() {
+    // The first two segments go out back to back (initial cwnd is 2);
+    // the first is skewed +60 µs past the 50 µs one-way delay, so its
+    // successor overtakes it on the wire — a classic 2-frame swap. The
+    // receiver emits a duplicate ACK for the hole — well short of the
+    // fast-retransmit threshold of three — and the late original fills
+    // it. Nothing is retransmitted.
+    let cfg = Sysctls::linux24_defaults().with_buffers(256 * 1024);
+    let mss = cfg.mss();
+    let mut h = Harness::new(cfg, vec![Fate::DelayBy(Nanos::from_micros(60))]);
+    let total = h.send(3 * mss);
+    assert_eq!(total, 3 * mss);
+    h.run(10_000);
+    assert_eq!(h.delivered, total, "all bytes delivered exactly once");
+    assert_eq!(h.a.snd_una(), total, "sender fully acknowledged");
+    assert!(
+        h.b.stats.dup_acks_out >= 1,
+        "the receiver must actually have seen the swap"
+    );
+    assert_eq!(
+        h.a.cc.fast_retransmits, 0,
+        "a 2-frame reorder must stay below the dup-ACK threshold"
+    );
+    assert_eq!(
+        h.a.stats.retransmits, 0,
+        "reordering is not loss; nothing may be resent"
+    );
+    assert_eq!(h.a.cc.timeouts, 0, "and the RTO must not fire");
+}
+
+#[test]
+fn genuine_loss_with_three_successors_does_trigger_fast_retransmit() {
+    // Same shape, but the second segment is actually lost and enough
+    // data follows the hole for the receiver to emit three duplicate
+    // ACKs (the third rides the delayed-ACK refresh — with an initial
+    // cwnd of 2 the window stalls at three in flight): one fast
+    // retransmit, no RTO, full delivery.
+    let cfg = Sysctls::linux24_defaults().with_buffers(256 * 1024);
+    let mss = cfg.mss();
+    let mut h = Harness::new(cfg, vec![Fate::Deliver, Fate::Drop]);
+    let total = h.send(6 * mss);
+    assert_eq!(total, 6 * mss);
+    h.run(10_000);
+    assert_eq!(h.delivered, total, "the hole must be repaired");
+    assert_eq!(h.a.snd_una(), total);
+    assert_eq!(
+        h.a.cc.fast_retransmits, 1,
+        "three dup ACKs must fire exactly one fast retransmit"
+    );
+    assert_eq!(h.a.cc.timeouts, 0, "fast recovery must beat the RTO");
+    assert!(h.a.stats.retransmits >= 1);
+}
+
+#[test]
+fn long_reorder_is_indistinguishable_from_loss_until_the_original_lands() {
+    // Let slow start open the window first, then skew a mid-stream
+    // segment far enough for three successors to overtake it: the sender
+    // cannot tell this from loss, fast-retransmits, and the wire carries
+    // one duplicate — but delivery stays exactly-once (the receiver
+    // discards the copy) and the stream still completes. This is why
+    // `Reorder::max_skew` in tengig_net::impair is bounded: past the
+    // dup-ACK horizon, "reordering" costs a spurious retransmission.
+    let cfg = Sysctls::linux24_defaults().with_buffers(256 * 1024);
+    let mss = cfg.mss();
+    let mut h = Harness::new(
+        cfg,
+        vec![
+            Fate::Deliver,
+            Fate::Deliver,
+            Fate::Deliver,
+            Fate::Deliver,
+            Fate::DelayBy(Nanos::from_millis(2)),
+        ],
+    );
+    let total = h.send(12 * mss);
+    assert_eq!(total, 12 * mss);
+    h.run(10_000);
+    assert_eq!(
+        h.delivered, total,
+        "exactly-once even with a late duplicate"
+    );
+    assert_eq!(h.a.snd_una(), total);
+    assert_eq!(
+        h.a.cc.fast_retransmits, 1,
+        "a reorder past the dup-ACK horizon is spuriously retransmitted"
+    );
+    assert!(h.a.stats.retransmits >= 1);
+}

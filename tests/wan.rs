@@ -121,8 +121,7 @@ fn recovery_time_validated_by_simulation() {
     let wan = WanSpec {
         prop_svl_chi: Nanos::from_millis(2),
         prop_chi_gva: Nanos::from_millis(3),
-        bottleneck_buffer: 64 << 20,
-        random_loss: 0.0,
+        ..WanSpec::record_run()
     };
     // Clean baseline.
     let clean = record_run(&wan, None, Nanos::from_millis(600), Nanos::from_millis(400));
