@@ -27,7 +27,7 @@ use tengig::LadderRung;
 use tengig_bench::gate::{self, BenchReport, FamilyResult, DEFAULT_TOLERANCE};
 use tengig_ethernet::Mtu;
 use tengig_net::{GilbertElliott, Impairments, WanSpec};
-use tengig_sim::Nanos;
+use tengig_sim::{Calendar, EventId, Nanos};
 use tengig_tools::{NttcpReceiver, NttcpSender, Pktgen};
 
 /// Master seed for every bench workload (the publication year, as used by
@@ -162,6 +162,45 @@ fn wan_burst_loss() -> (u64, u64) {
     (eng.executed(), received(&lab) - b0)
 }
 
+/// Iterations of the raw arm/cancel churn benchmark. Sized so the
+/// *wheel* variant still runs long enough for a stable wall-clock read.
+const CHURN_ITERS: u64 = 8_000_000;
+
+/// The timer-dominated hot path, isolated on a raw `Calendar`: each
+/// iteration pops one near event (the "segment"), cancels the previous
+/// retransmission timer (the "ACK" killed it) and arms a fresh one
+/// 200 ms out — exactly the arm-then-cancel churn TCP generates per
+/// acknowledged segment, where virtually no timer ever fires. The
+/// `_slab` variant routes timers through the binary heap (`schedule`),
+/// the `_wheel` variant through the timing wheel (`schedule_timer`); the
+/// pop stream is identical by construction (the wheel's ordering
+/// contract), so the family pair prices the wheel lane directly: heap
+/// churn drags ~200 ms of tombstones through every sift, the wheel
+/// tombstones them in buckets and reaps in bulk.
+fn timer_churn(wheel: bool) -> (u64, u64) {
+    let mut cal: Calendar<u64> = Calendar::new();
+    let mut pending: Option<EventId> = None;
+    let mut popped = 0u64;
+    for i in 0..CHURN_ITERS {
+        if let Some(id) = pending.take() {
+            cal.cancel(id);
+        }
+        let rto = cal.now() + Nanos::from_millis(200);
+        pending = Some(if wheel {
+            cal.schedule_timer(rto, i)
+        } else {
+            cal.schedule(rto, i)
+        });
+        cal.schedule(cal.now() + Nanos::from_micros(1), i);
+        cal.pop();
+        popped += 1;
+    }
+    while cal.pop().is_some() {
+        popped += 1;
+    }
+    (popped, 0)
+}
+
 /// §3.5.2 packet generator: single-copy TCP-bypass blast.
 fn pktgen() -> (u64, u64) {
     let cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
@@ -218,6 +257,8 @@ fn main() {
             time("wan_record", wan_record),
             time("wan_burst_loss", wan_burst_loss),
             time("pktgen", pktgen),
+            time("timer_churn_slab", || timer_churn(false)),
+            time("timer_churn_wheel", || timer_churn(true)),
         ],
         peak_rss_kb: gate::peak_rss_kb(),
     };

@@ -54,7 +54,21 @@ pub fn scaled_wan(rtt: Nanos, bottleneck_buffer: u64) -> WanSpec {
 /// (data) direction only — the reverse (ACK) path is clean, so measured
 /// degradation is attributable to the data-path impairment under study.
 pub fn faults_lab(wan: &WanSpec, buffer: Option<u64>, seed: u64) -> (Lab, LabEngine) {
-    let cfg = wan_host(wan, buffer);
+    faults_lab_tuned(wan, buffer, seed, &|s| s)
+}
+
+/// [`faults_lab`] with a sysctl override hook, applied to the WAN-tuned
+/// defaults on both hosts. Tests use it to pin down which knob caused a
+/// behavioral change (e.g. the RTO ceiling) by re-running an experiment
+/// with exactly one knob moved.
+pub fn faults_lab_tuned(
+    wan: &WanSpec,
+    buffer: Option<u64>,
+    seed: u64,
+    tweak: &dyn Fn(Sysctls) -> Sysctls,
+) -> (Lab, LabEngine) {
+    let mut cfg = wan_host(wan, buffer);
+    cfg.sysctls = tweak(cfg.sysctls);
     let clean = WanSpec {
         impair: Impairments::none(),
         ..*wan
@@ -279,6 +293,18 @@ pub fn flap_recovery_sweep_report(
 }
 
 fn flap_recovery_run(rtt: Nanos, seed: u64) -> FlapRecovery {
+    flap_recovery_run_tuned(rtt, seed, &|s| s)
+}
+
+/// One flap-recovery point with a sysctl override hook (see
+/// [`faults_lab_tuned`]). The sweep always runs the stock WAN tuning;
+/// tests use this to show the ladder is invariant to knobs that are not
+/// supposed to bind on it — notably the 60 s RTO ceiling.
+pub fn flap_recovery_run_tuned(
+    rtt: Nanos,
+    seed: u64,
+    tweak: &dyn Fn(Sysctls) -> Sysctls,
+) -> FlapRecovery {
     // 256 KB socket buffer: a fixed ~21-frame window at every RTT, so
     // each scenario loses the *same* amount of in-flight data to the
     // outage and the recovery clock — RTO estimate plus the per-hole
@@ -291,7 +317,7 @@ fn flap_recovery_run(rtt: Nanos, seed: u64) -> FlapRecovery {
     let outage_len = rtt * 2 + Nanos::from_millis(50);
     let sched = ImpairmentSchedule::none().with_outage(warmup, outage_len);
     let wan = scaled_wan(rtt, 64 << 20).with_impairments(Impairments::none().with_schedule(sched));
-    let (mut lab, mut eng) = faults_lab(&wan, buffer, seed);
+    let (mut lab, mut eng) = faults_lab_tuned(&wan, buffer, seed, tweak);
     lab::kick(&mut lab, &mut eng);
     let flap_end = warmup + outage_len;
     eng.advance_to(&mut lab, flap_end);

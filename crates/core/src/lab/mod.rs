@@ -659,7 +659,11 @@ pub fn process_actions(
                 if let Some(old) = lab.flows[f].timer_ids[ep][slot].take() {
                     eng.cancel(old);
                 }
-                let id = eng.schedule_event_at(at, Ev::ConnTimer { f, ep, kind, gen });
+                // RTO/delack timers are armed far out and almost always
+                // cancelled right here on the next arm: the calendar's
+                // timing-wheel lane makes that churn O(1) with identical
+                // pop order.
+                let id = eng.schedule_timer_at(at, Ev::ConnTimer { f, ep, kind, gen });
                 lab.flows[f].timer_ids[ep][slot] = Some(id);
             }
             Action::DeliverData { bytes } => schedule_app_read(lab, eng, f, ep, bytes),

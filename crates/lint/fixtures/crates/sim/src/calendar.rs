@@ -1,0 +1,11 @@
+//! Known-bad fixture: float time in the calendar's timing wheel.
+
+pub struct Wheel {
+    horizon: f64,
+}
+
+impl Wheel {
+    pub fn park(&mut self, at: f32) {
+        self.horizon = at as f64;
+    }
+}

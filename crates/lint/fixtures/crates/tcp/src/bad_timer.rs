@@ -1,0 +1,26 @@
+//! Mixed fixture for the timer-scoped float rule: floats inside timer
+//! entry points (RTO backoff, RTT estimation) must fire, while the same
+//! `f64` in ordinary window math must not — the rule is scoped to the
+//! retransmission-clock functions, not the whole crate.
+
+pub struct Conn {
+    rto_ns: u64,
+    backoff: u32,
+    srtt_ns: u64,
+}
+
+impl Conn {
+    pub fn arm_rto(&mut self) -> u64 {
+        // The classic bug: float scaling of the backed-off RTO.
+        (self.rto_ns as f64 * (1u64 << self.backoff) as f64) as u64
+    }
+
+    fn rtt_sample(&mut self, sample_ns: u64) {
+        self.srtt_ns = ((self.srtt_ns as f64) * 0.875 + (sample_ns as f64) * 0.125) as u64;
+    }
+
+    pub fn window_fraction(&self) -> f64 {
+        // Floats outside the timer machinery are fine.
+        1.0 - 1.0 / 4.0
+    }
+}

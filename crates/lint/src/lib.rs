@@ -18,9 +18,15 @@
 //! * **unwrap** — `.unwrap()` / `panic!` in the simulation hot paths
 //!   (`crates/sim`, `crates/tcp`) abort without context. Use `expect()`
 //!   with a message that says what invariant broke, or return an error.
-//! * **float-event-loop** — `f32` / `f64` in the engine's calendar
-//!   (`crates/sim/src/engine.rs`) accumulate rounding error that differs
-//!   across platforms; the calendar stays integer-only (`Nanos`).
+//! * **float-event-loop** — `f32` / `f64` in the engine's event loop
+//!   (`crates/sim/src/engine.rs`), the calendar and its timing wheel
+//!   (`crates/sim/src/calendar.rs`), or a TCP timer entry point (any
+//!   `crates/tcp` function whose name mentions `timer`/`rto`/`rtt`/
+//!   `delack` — RTO arming, backoff, RTT estimation, delayed ACKs)
+//!   accumulate rounding error that differs across platforms; the event
+//!   loop and the retransmission clock stay integer-only (`Nanos`).
+//!   Elsewhere in `crates/tcp` floats are fine (window fractions,
+//!   goodput math) — the scope is the timer machinery, not the crate.
 //! * **printf-debug** — `println!` / `eprintln!` (and `print!` /
 //!   `eprint!`) in the simulation hot paths (`crates/sim`, `crates/tcp`,
 //!   `crates/net` — the wire and impairment models run inside every
@@ -151,7 +157,7 @@ pub fn lint_file(rel: &Path, krate: &str, content: &str) -> Vec<Diagnostic> {
     let in_experiments = krate == "core"
         && rel.components().any(|c| c.as_os_str() == "experiments")
         && fname != "mod.rs";
-    let is_engine = krate == "sim" && fname == "engine.rs";
+    let is_event_loop = krate == "sim" && (fname == "engine.rs" || fname == "calendar.rs");
     let no_unwrap = NO_UNWRAP_CRATES.contains(&krate);
     // The observability/flight-recorder module is the one sanctioned place
     // that renders output for humans; everything else in the hot-path
@@ -224,7 +230,7 @@ pub fn lint_file(rel: &Path, krate: &str, content: &str) -> Vec<Diagnostic> {
                     .to_string(),
             );
         }
-        if is_engine && (has_ident(line, "f32") || has_ident(line, "f64")) {
+        if is_event_loop && (has_ident(line, "f32") || has_ident(line, "f64")) {
             push(
                 "float-event-loop",
                 "float arithmetic in the event loop drifts across platforms; \
@@ -236,6 +242,9 @@ pub fn lint_file(rel: &Path, krate: &str, content: &str) -> Vec<Diagnostic> {
 
     if in_experiments {
         diags.extend(check_sweep_routing(rel, &code, &allows));
+    }
+    if krate == "tcp" {
+        diags.extend(check_timer_floats(rel, &code, &allows));
     }
 
     diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
@@ -272,24 +281,72 @@ fn check_sweep_routing(rel: &Path, code: &str, allows: &[(usize, String)]) -> Ve
     diags
 }
 
-/// A public function found by the lightweight parser.
+/// Function-name substrings marking a `crates/tcp` function as part of
+/// the retransmission-clock machinery: RTO arming and backoff, RTT
+/// estimation (which feeds the RTO), timer dispatch, delayed ACKs.
+const TIMER_FN_MARKERS: &[&str] = &["timer", "rto", "rtt", "delack"];
+
+/// The timer entry points of the TCP stack must compute deadlines in
+/// integer `Nanos` — a float-scaled backoff rounds differently across
+/// platforms *and* silently saturates its mantissa long before `u64`
+/// does. Scoped to functions (by name), not the whole crate: window
+/// fractions and goodput math legitimately use `f64`.
+fn check_timer_floats(rel: &Path, code: &str, allows: &[(usize, String)]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in fn_items(code, "fn ") {
+        if !TIMER_FN_MARKERS.iter().any(|m| f.name.contains(m)) {
+            continue;
+        }
+        for (k, line) in f.text.lines().enumerate() {
+            if !(has_ident(line, "f32") || has_ident(line, "f64")) {
+                continue;
+            }
+            let lineno = f.line + k;
+            let allowed = allows
+                .iter()
+                .any(|(l, r)| r == "float-event-loop" && (*l == lineno || *l + 1 == lineno));
+            if !allowed {
+                diags.push(Diagnostic {
+                    path: rel.to_path_buf(),
+                    line: lineno,
+                    rule: "float-event-loop",
+                    message: format!(
+                        "float arithmetic in timer entry point `{}`; the \
+                         retransmission clock is integer nanoseconds only",
+                        f.name
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// A function item found by the lightweight parser.
 struct PubFn {
     name: String,
-    /// 1-based line of the `pub fn`.
+    /// 1-based line of the `fn` keyword.
     line: usize,
     /// Signature + body text (comments/strings already stripped).
     text: String,
 }
 
-/// Find `pub fn` items in stripped source text. Good enough for lint:
-/// no const-generic braces appear in this workspace's signatures.
+/// Find `pub fn` items in stripped source text.
 fn public_fns(code: &str) -> Vec<PubFn> {
+    fn_items(code, "pub fn ")
+}
+
+/// Find function items introduced by `needle` (`"pub fn "` or `"fn "` —
+/// the latter matches every visibility, since `pub fn` contains `fn ` at
+/// a word boundary). Good enough for lint: no const-generic braces
+/// appear in this workspace's signatures.
+fn fn_items(code: &str, needle: &str) -> Vec<PubFn> {
     let bytes = code.as_bytes();
     let mut fns = Vec::new();
     let mut search = 0;
-    while let Some(off) = code[search..].find("pub fn ") {
+    while let Some(off) = code[search..].find(needle) {
         let start = search + off;
-        search = start + "pub fn ".len();
+        search = start + needle.len();
         // Word boundary before `pub`.
         if start > 0 && is_ident_byte(bytes[start - 1]) {
             continue;
@@ -701,7 +758,30 @@ mod tests {
         let d = lint_file(Path::new("crates/sim/src/engine.rs"), "sim", code);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, "float-event-loop");
+        let d = lint_file(Path::new("crates/sim/src/calendar.rs"), "sim", code);
+        assert_eq!(d.len(), 1, "the calendar is float-banned too: {d:?}");
         let d = lint_file(Path::new("crates/sim/src/stats.rs"), "sim", code);
         assert!(d.is_empty(), "floats are fine outside the calendar: {d:?}");
+    }
+
+    #[test]
+    fn float_rule_scopes_to_tcp_timer_functions() {
+        // A float inside a timer-named fn fires; the same float in
+        // ordinary window math does not — any visibility, not just pub.
+        let bad = "fn backed_off_rto(x: u64) -> u64 {\n    (x as f64 * 2.0) as u64\n}\n";
+        let d = lint_file(Path::new("crates/tcp/src/conn.rs"), "tcp", bad);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "float-event-loop");
+        assert_eq!(d[0].line, 2);
+        assert!(d[0].message.contains("backed_off_rto"));
+
+        let fine =
+            "pub fn window_fraction(s: u32) -> f64 {\n    1.0 - 1.0 / (1u64 << s) as f64\n}\n";
+        let d = lint_file(Path::new("crates/tcp/src/conn.rs"), "tcp", fine);
+        assert!(d.is_empty(), "non-timer floats are fine in tcp: {d:?}");
+
+        // The same timer fn outside crates/tcp is not in scope.
+        let d = lint_file(Path::new("crates/core/src/lab/mod.rs"), "core", bad);
+        assert!(d.is_empty(), "{d:?}");
     }
 }

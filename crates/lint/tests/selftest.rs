@@ -46,12 +46,39 @@ fn fixture_tree_trips_every_rule() {
     assert!(unwrap.iter().any(|x| x.line == 4), "{unwrap:?}");
     assert!(unwrap.iter().any(|x| x.line == 8), "{unwrap:?}");
 
-    // float-event-loop: only inside the fixture engine.rs.
+    // float-event-loop: inside the fixture engine.rs and calendar.rs.
     let float = diags_for(d, "engine.rs");
     assert!(!float.is_empty());
     assert!(
         float.iter().all(|x| x.rule == "float-event-loop"),
         "{float:?}"
+    );
+    let wheel = diags_for(d, "calendar.rs");
+    assert_eq!(wheel.len(), 3, "{wheel:?}");
+    assert!(
+        wheel.iter().all(|x| x.rule == "float-event-loop"),
+        "{wheel:?}"
+    );
+
+    // ...and in the TCP timer entry points — but only there: the float
+    // in `window_fraction` (line 22) is legitimate window math.
+    let timer = diags_for(d, "bad_timer.rs");
+    assert_eq!(timer.len(), 2, "{timer:?}");
+    assert!(
+        timer.iter().all(|x| x.rule == "float-event-loop"),
+        "{timer:?}"
+    );
+    assert!(
+        timer
+            .iter()
+            .any(|x| x.line == 15 && x.message.contains("arm_rto")),
+        "{timer:?}"
+    );
+    assert!(
+        timer
+            .iter()
+            .any(|x| x.line == 19 && x.message.contains("rtt_sample")),
+        "{timer:?}"
     );
 
     // unseeded-rng: rand::thread_rng() — one diagnostic for the line.

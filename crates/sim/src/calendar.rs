@@ -17,14 +17,28 @@
 //!   pattern, plus past-clamped events) bypasses the heap into a FIFO
 //!   lane. Draining the lane costs no comparisons, and the keys never
 //!   pay sift-up/sift-down traffic.
+//! * **A hierarchical timing wheel for far timers.** Protocol timers
+//!   (RTO, delayed ACK) are armed hundreds of milliseconds out and almost
+//!   always cancelled before they fire; parking their keys in the heap
+//!   makes every such tombstone pay an O(log n) sift when it finally
+//!   surfaces. [`Calendar::schedule_timer`] parks the key in a
+//!   power-of-two-span bucket instead — O(1) insert, O(1) cancel, and a
+//!   cancelled key is reaped in bulk when its bucket expires, never
+//!   touching the heap at all. Buckets cascade toward the heap as the
+//!   clock approaches (see `surface`), so by the time an instant is
+//!   popped every timer key for it has been merged into the heap and the
+//!   observable order is unchanged.
 //!
 //! The observable order is **exactly** the strict `(time, seq)` order of
 //! the original queue. The lane is sound because a key only enters it
 //! while the clock already sits at its timestamp, so every heap key with
 //! the same timestamp was scheduled earlier and holds a smaller `seq`:
 //! draining heap keys at `now` before lane keys reproduces the global
-//! sequence order. The equivalence (including cancellation) is pinned by
-//! a property test against a reference heap in
+//! sequence order. The wheel is sound because a bucket is flushed into
+//! the heap no later than its span's start time, and the heap orders
+//! flushed keys by `(time, seq)` regardless of when they arrive. The
+//! equivalence (including cancellation and cascade boundaries) is pinned
+//! by property tests against a reference heap in
 //! `crates/sim/tests/calendar_equivalence.rs`.
 
 use crate::time::Nanos;
@@ -70,6 +84,23 @@ enum Slot<T> {
 /// Freelist terminator.
 const NIL: u32 = u32::MAX;
 
+// ---- timing-wheel geometry ----
+//
+// Level-0 ticks are `2^WHEEL_SHIFT` ns (≈65.5 µs) and every level packs
+// `WHEEL_SLOTS` slots of the level below into one slot, so slot spans grow
+// by powers of two: level 0 covers 4.2 ms, level 1 covers 268 ms (delayed
+// ACKs), level 2 covers 17 s (RTOs), level 5 covers 52 days. Timers beyond
+// the top level park in the farthest top slot and re-park when it expires.
+
+/// log2 of the level-0 tick length in nanoseconds.
+const WHEEL_SHIFT: u32 = 16;
+/// log2 of the slots per level (64 slots ↔ one `u64` occupancy bitmap).
+const WHEEL_LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const WHEEL_SLOTS: usize = 1 << WHEEL_LEVEL_BITS;
+/// Number of levels.
+const WHEEL_LEVELS: usize = 6;
+
 /// A deterministic event calendar: a slab of payloads indexed by a binary
 /// min-heap of `(time, seq)` keys, with a FIFO fast lane for events at the
 /// current instant and O(1) tombstone cancellation.
@@ -84,6 +115,21 @@ pub struct Calendar<T> {
     seq: u64,
     /// Scheduled-and-not-cancelled events (tombstones excluded).
     live: usize,
+    /// Timing-wheel buckets, flat-indexed `level * WHEEL_SLOTS + bucket`.
+    /// Empty until the first [`Calendar::schedule_timer`] call, so purely
+    /// frame-clocked workloads never pay for the wheel.
+    wheel: Vec<Vec<Key>>,
+    /// Per-level occupancy bitmaps: bit `b` set ⇔ bucket `b` holds keys.
+    wheel_occupied: [u64; WHEEL_LEVELS],
+    /// Keys currently parked in wheel buckets, tombstones included.
+    wheel_items: usize,
+    /// Level-0 tick up to which wheel slots have been surfaced: no parked
+    /// key's tick is `<=` this, and it only moves forward through expiry
+    /// (or snaps under the clock while the wheel is empty).
+    wheel_horizon: u64,
+    /// Lower bound on the earliest parked key's timestamp (`u64::MAX`
+    /// when the wheel is empty); lets `surface` bail in one compare.
+    wheel_next_start: Nanos,
 }
 
 impl<T> Default for Calendar<T> {
@@ -103,6 +149,11 @@ impl<T> Calendar<T> {
             now: Nanos::ZERO,
             seq: 0,
             live: 0,
+            wheel: Vec::new(),
+            wheel_occupied: [0; WHEEL_LEVELS],
+            wheel_items: 0,
+            wheel_horizon: 0,
+            wheel_next_start: Nanos(u64::MAX),
         }
     }
 
@@ -145,6 +196,38 @@ impl<T> Calendar<T> {
         EventId { slot, gen }
     }
 
+    /// Schedule `payload` at absolute time `at` through the timing-wheel
+    /// lane. Semantically identical to [`Calendar::schedule`] — same
+    /// `(time, seq)` pop order, same handle, same [`Calendar::cancel`] —
+    /// but tuned for far-future timers that are usually cancelled before
+    /// they fire: the key parks in a wheel bucket (O(1)) and a cancelled
+    /// key is reaped when its bucket expires instead of paying heap
+    /// sift traffic. Events at or near the current tick fall back to the
+    /// heap/lane path.
+    pub fn schedule_timer(&mut self, at: Nanos, payload: T) -> EventId {
+        debug_assert!(at >= self.now, "calendar caller must clamp to now");
+        let at = at.max(self.now);
+        if self.wheel_items == 0 {
+            // No parked key depends on the cursor: snap it under the
+            // clock so level selection sees true distances.
+            self.wheel_horizon = self.now.as_nanos() >> WHEEL_SHIFT;
+        }
+        let tick = at.as_nanos() >> WHEEL_SHIFT;
+        if at == self.now || tick <= self.wheel_horizon {
+            // Same-instant events must take the FIFO lane (a key parked
+            // now would surface into the heap *after* older lane keys and
+            // jump them), and the already-surfaced region may not re-park;
+            // the heap/lane path is exact for both.
+            return self.schedule(at, payload);
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        let (slot, gen) = self.insert(payload);
+        self.wheel_park(Key { at, seq, slot, gen });
+        self.live += 1;
+        EventId { slot, gen }
+    }
+
     /// Cancel a scheduled event, returning its payload if the handle was
     /// still live. The payload is freed now; the key left in the heap (or
     /// lane) becomes a tombstone discarded lazily on pop.
@@ -163,6 +246,7 @@ impl<T> Calendar<T> {
     /// Tombstones encountered on the way are discarded.
     pub fn peek_time(&mut self) -> Option<Nanos> {
         loop {
+            self.surface();
             if let Some(&top) = self.heap.first() {
                 if top.at == self.now {
                     if self.is_live(top) {
@@ -191,6 +275,9 @@ impl<T> Calendar<T> {
     /// advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Nanos, T)> {
         loop {
+            // Wheel keys that could pop next must be in the heap first;
+            // one branch when no timers are parked.
+            self.surface();
             // Heap keys at the current instant precede the lane: they
             // were scheduled before the clock reached `now`, so their
             // seqs are smaller than any lane key's.
@@ -231,6 +318,140 @@ impl<T> Calendar<T> {
         if at > self.now {
             self.now = at;
         }
+    }
+
+    // ---- the timing wheel ----
+
+    /// Park a key in the bucket whose span covers its distance from the
+    /// horizon. Caller guarantees `tick(key.at) > wheel_horizon`.
+    fn wheel_park(&mut self, key: Key) {
+        if self.wheel.is_empty() {
+            self.wheel = (0..WHEEL_LEVELS * WHEEL_SLOTS)
+                .map(|_| Vec::new())
+                .collect();
+        }
+        let tick = key.at.as_nanos() >> WHEEL_SHIFT;
+        debug_assert!(tick > self.wheel_horizon, "parking under the horizon");
+        let dist = tick - self.wheel_horizon;
+        let mask = WHEEL_SLOTS as u64 - 1;
+        // floor(log2(dist)) / bits picks the level whose spans cover the
+        // distance; beyond the top level, park in the farthest top slot
+        // (the key re-parks strictly closer each time that slot expires).
+        let mut level = ((63 - dist.leading_zeros()) / WHEEL_LEVEL_BITS) as usize;
+        // An unaligned horizon can put the natural level's slot index a
+        // full ring ahead of the cursor, where it would alias the cursor
+        // bucket; one level up the slot distance is exactly 1.
+        if level < WHEEL_LEVELS {
+            let shift = WHEEL_LEVEL_BITS * level as u32;
+            if (tick >> shift) - (self.wheel_horizon >> shift) >= WHEEL_SLOTS as u64 {
+                level += 1;
+            }
+        }
+        let (level, bucket, start_tick) = if level < WHEEL_LEVELS {
+            let shift = WHEEL_LEVEL_BITS * level as u32;
+            let slot_abs = tick >> shift;
+            (level, (slot_abs & mask) as usize, slot_abs << shift)
+        } else {
+            let top = WHEEL_LEVELS - 1;
+            let shift = WHEEL_LEVEL_BITS * top as u32;
+            let slot_abs = (self.wheel_horizon >> shift) + mask;
+            (top, (slot_abs & mask) as usize, slot_abs << shift)
+        };
+        self.wheel[level * WHEEL_SLOTS + bucket].push(key);
+        self.wheel_occupied[level] |= 1u64 << bucket;
+        self.wheel_items += 1;
+        // Slot starts are lower bounds on their keys' timestamps, so the
+        // cache stays a sound lower bound.
+        let start = Nanos(start_tick << WHEEL_SHIFT);
+        if start < self.wheel_next_start {
+            self.wheel_next_start = start;
+        }
+    }
+
+    /// The occupied slot with the earliest span start, as
+    /// `(level, bucket, start_tick)`. Starts are computed cursor-relative
+    /// per level, which can only *under*estimate a stale slot's true
+    /// start — flushing early is harmless, flushing late never happens.
+    fn earliest_wheel_slot(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64)> = None;
+        let mask = WHEEL_SLOTS as u64 - 1;
+        for level in 0..WHEEL_LEVELS {
+            let bits = self.wheel_occupied[level];
+            if bits == 0 {
+                continue;
+            }
+            let shift = WHEEL_LEVEL_BITS * level as u32;
+            let cur = self.wheel_horizon >> shift;
+            let dist = bits.rotate_right((cur & mask) as u32).trailing_zeros() as u64;
+            let slot_abs = cur + dist;
+            if best.map_or(true, |(_, _, s)| (slot_abs << shift) < s) {
+                best = Some((level, (slot_abs & mask) as usize, slot_abs << shift));
+            }
+        }
+        best
+    }
+
+    /// Merge every wheel key that could precede the next heap/lane pop
+    /// into the heap: expire occupied slots in span-start order until the
+    /// earliest remaining span starts after the heap/lane front. Level-0
+    /// slots flush straight to the heap; higher slots cascade their keys
+    /// down a level (tombstones are reaped on the way, never sifted).
+    #[inline]
+    fn surface(&mut self) {
+        if self.wheel_items > 0 {
+            self.surface_slow();
+        }
+    }
+
+    fn surface_slow(&mut self) {
+        while self.wheel_items > 0 {
+            // Wheel keys are strictly beyond `now`, so a non-empty lane
+            // (keys *at* `now`) already bounds them out; otherwise the
+            // heap top (even a tombstone — the loop in pop/peek clears it
+            // and surfaces again) bounds the next pop time.
+            let bound = if !self.lane.is_empty() {
+                Some(self.now)
+            } else {
+                self.heap.first().map(|k| k.at)
+            };
+            if let Some(b) = bound {
+                if self.wheel_next_start > b {
+                    return;
+                }
+            }
+            let Some((level, bucket, start_tick)) = self.earliest_wheel_slot() else {
+                unreachable!("wheel_items > 0 with all bitmaps empty")
+            };
+            let start = Nanos(start_tick << WHEEL_SHIFT);
+            self.wheel_next_start = start;
+            if let Some(b) = bound {
+                if start > b {
+                    return;
+                }
+            }
+            self.wheel_occupied[level] &= !(1u64 << bucket);
+            let mut keys = std::mem::take(&mut self.wheel[level * WHEEL_SLOTS + bucket]);
+            self.wheel_items -= keys.len();
+            if start_tick > self.wheel_horizon {
+                self.wheel_horizon = start_tick;
+            }
+            for key in keys.drain(..) {
+                if !self.is_live(key) {
+                    continue; // cancelled while parked: reaped in bulk
+                }
+                if key.at.as_nanos() >> WHEEL_SHIFT <= self.wheel_horizon {
+                    self.heap_push(key);
+                } else {
+                    self.wheel_park(key);
+                }
+            }
+            // Hand the drained vec back so the bucket keeps its capacity
+            // (unless a cascading key re-parked into this very bucket).
+            if self.wheel[level * WHEEL_SLOTS + bucket].is_empty() {
+                self.wheel[level * WHEEL_SLOTS + bucket] = keys;
+            }
+        }
+        self.wheel_next_start = Nanos(u64::MAX);
     }
 
     #[inline]
@@ -406,6 +627,82 @@ mod tests {
         let _b = c.schedule(Nanos(20), 2);
         assert_eq!(c.cancel(a), None, "old handle must be inert");
         assert_eq!(c.pop().map(|(_, p)| p), Some(2));
+    }
+
+    /// One level-0 tick in nanoseconds, for boundary arithmetic below.
+    const TICK: u64 = 1 << WHEEL_SHIFT;
+
+    #[test]
+    fn wheel_timers_pop_in_global_time_seq_order() {
+        let mut c: Calendar<u32> = Calendar::new();
+        // Interleave slab events and wheel timers across cascade
+        // boundaries: one tick, a level-0 wrap, a level-1 wrap, and a
+        // same-timestamp collision between the two lanes.
+        c.schedule(Nanos(3 * TICK), 1);
+        c.schedule_timer(Nanos(3 * TICK), 2); // same instant, later seq
+        c.schedule_timer(Nanos(TICK + 5), 3);
+        c.schedule_timer(Nanos(64 * TICK), 4); // level-1 territory
+        c.schedule_timer(Nanos(64 * 64 * TICK + 9), 5); // level-2 territory
+        c.schedule(Nanos(2), 0);
+        let got: Vec<u32> = std::iter::from_fn(|| c.pop().map(|(_, p)| p)).collect();
+        assert_eq!(got, vec![0, 3, 1, 2, 4, 5]);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn cancelled_wheel_timer_rearmed_at_the_same_tick_preserves_fifo() {
+        let mut c: Calendar<u32> = Calendar::new();
+        let at = Nanos(7 * TICK + 3);
+        c.schedule(at, 10); // slab event, seq 0
+        let t = c.schedule_timer(at, 11); // timer, seq 1
+        assert_eq!(c.cancel(t), Some(11));
+        // Re-armed at the same tick: the fresh seq must order it after
+        // the slab event and before anything scheduled later.
+        c.schedule_timer(at, 12); // seq 2
+        c.schedule(at, 13); // slab event, seq 3
+        let got: Vec<u32> = std::iter::from_fn(|| c.pop().map(|(_, p)| p)).collect();
+        assert_eq!(got, vec![10, 12, 13]);
+    }
+
+    #[test]
+    fn cancel_after_cascade_still_returns_the_payload() {
+        let mut c: Calendar<u32> = Calendar::new();
+        // A timer two level-1 slots out, and a slab event between here
+        // and there: popping the slab event forces the wheel to cascade
+        // the timer's level-1 slot down to level 0 / the heap.
+        let t = c.schedule_timer(Nanos(130 * TICK), 1);
+        c.schedule(Nanos(129 * TICK), 2);
+        assert_eq!(c.pop(), Some((Nanos(129 * TICK), 2)));
+        assert_eq!(c.cancel(t), Some(1), "handle must survive the cascade");
+        assert_eq!(c.pop(), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn timers_beyond_the_top_level_span_repark_and_still_fire_exactly() {
+        let mut c: Calendar<u32> = Calendar::new();
+        // ~104 days out: past the 52-day top-level span, so the key parks
+        // in the farthest top slot and re-parks as the clock approaches.
+        let far = Nanos(1 << 53);
+        c.schedule_timer(far, 1);
+        assert_eq!(c.peek_time(), Some(far));
+        assert_eq!(c.pop(), Some((far, 1)));
+        assert_eq!(c.now(), far);
+    }
+
+    #[test]
+    fn cancelled_timers_never_reach_the_heap() {
+        let mut c: Calendar<u32> = Calendar::new();
+        // Arm-then-cancel churn, the RTO pattern: the heap must stay
+        // empty the whole time — that is the point of the wheel lane.
+        for i in 0..1000u32 {
+            let id = c.schedule_timer(Nanos(3_000_000 + u64::from(i)), i);
+            assert_eq!(c.cancel(id), Some(i));
+        }
+        assert!(c.heap.is_empty(), "parked tombstones must not hit the heap");
+        assert!(c.is_empty());
+        assert_eq!(c.pop(), None);
+        assert_eq!(c.wheel_items, 0, "drain must reap every tombstone");
     }
 
     #[test]

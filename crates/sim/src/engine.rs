@@ -146,6 +146,30 @@ impl<W, E: EventFire<W>> Engine<W, E> {
         self.schedule_event_at(at, ev)
     }
 
+    /// Schedule `ev` at absolute time `at` through the calendar's
+    /// timing-wheel lane ([`crate::Calendar::schedule_timer`]): identical
+    /// semantics to [`Engine::schedule_event_at`] — same pop order, same
+    /// handle, same past-scheduling policing — but O(1) arm/cancel for
+    /// far-future, usually-cancelled protocol timers (RTO, delayed ACK).
+    pub fn schedule_timer_at(&mut self, at: Nanos, ev: E) -> EventId {
+        let now = self.calendar.now();
+        if at < now {
+            if let Some(s) = self.sanitizer.as_mut() {
+                let detail = format!("handler armed a timer at {} with the clock at {}", at, now);
+                s.record(ViolationKind::Causality, now, detail);
+            } else {
+                debug_assert!(at >= now, "timer armed in the past: {} < {}", at, now);
+            }
+        }
+        self.calendar.schedule_timer(at.max(now), ev)
+    }
+
+    /// Schedule `ev` on the timer lane `delay` after the current time.
+    pub fn schedule_timer_in(&mut self, delay: Nanos, ev: E) -> EventId {
+        let at = self.calendar.now().saturating_add(delay);
+        self.schedule_timer_at(at, ev)
+    }
+
     /// Schedule `ev` to fire "immediately" (at the current time, after all
     /// events already queued for this instant).
     pub fn schedule_event_now(&mut self, ev: E) -> EventId {

@@ -91,6 +91,14 @@ impl Nanos {
         Nanos(self.0.saturating_add(rhs.0))
     }
 
+    /// Saturating multiplication by a dimensionless integer factor,
+    /// pinned at [`Nanos::MAX`]. Exact where [`Nanos::scale`] only
+    /// happens to be; timer paths must use this, never the float.
+    #[inline]
+    pub fn saturating_mul(self, factor: u64) -> Nanos {
+        Nanos(self.0.saturating_mul(factor))
+    }
+
     /// Checked subtraction.
     #[inline]
     pub fn checked_sub(self, rhs: Nanos) -> Option<Nanos> {

@@ -75,23 +75,39 @@ impl ReferenceQueue {
     }
 }
 
-/// One step of a random trace, decoded from a `(kind, offset, pick)`
-/// tuple: kinds 0-3 schedule at `now + offset` (tiny offsets force heavy
-/// timestamp collisions; offset 0 exercises the same-instant FIFO lane),
-/// kind 4 cancels the `pick`-th id issued so far (live, popped, or
-/// already cancelled — all three outcomes must agree across queues), and
-/// kinds 5-7 pop the earliest live event from both queues.
+/// One step of a random trace, decoded from a `(kind, offset, pick,
+/// timer_offset)` tuple: kinds 0-1 schedule at `now + offset` (tiny
+/// offsets force heavy timestamp collisions; offset 0 exercises the
+/// same-instant FIFO lane), kind 2 schedules at a medium offset (the
+/// clock jumps whole wheel slots ahead of parked timers, so the wheel's
+/// horizon goes stale and same-instant/near-tick fallbacks get hit),
+/// kind 3 arms a wheel timer at `now + timer_offset` (offsets up to
+/// 2^30 ns span several wheel levels, so cascade boundaries and
+/// cancel-after-cascade get exercised), kind 4 arms a wheel timer at the
+/// tiny offset (the near-tick fallback path, colliding with slab events
+/// on the same instant), kind 5 cancels the `pick`-th id issued so far
+/// (live, popped, or already cancelled — all three outcomes must agree
+/// across queues), and kinds 6-9 pop the earliest live event from both
+/// queues.
 #[derive(Debug, Clone, Copy)]
 enum Op {
     Schedule { offset: u64 },
+    ScheduleTimer { offset: u64 },
     Cancel { pick: usize },
     Pop,
 }
 
-fn decode(kind: u8, offset: u64, pick: usize) -> Op {
+fn decode(kind: u8, offset: u64, pick: usize, timer_offset: u64) -> Op {
     match kind {
-        0..=3 => Op::Schedule { offset },
-        4 => Op::Cancel { pick },
+        0..=1 => Op::Schedule { offset },
+        2 => Op::Schedule {
+            offset: timer_offset >> 4,
+        },
+        3 => Op::ScheduleTimer {
+            offset: timer_offset,
+        },
+        4 => Op::ScheduleTimer { offset },
+        5 => Op::Cancel { pick },
         _ => Op::Pop,
     }
 }
@@ -101,20 +117,31 @@ proptest! {
 
     /// Identical pop order (FIFO-stable at equal timestamps), identical
     /// cancellation results, identical live counts — across arbitrary
-    /// interleavings of schedule, cancel, and pop.
+    /// interleavings of schedule, timer-lane schedule, cancel, and pop.
+    /// The reference queue has no wheel: this is the proof that the wheel
+    /// lane is observationally identical to plain heap scheduling.
     #[test]
     fn slab_calendar_matches_the_reference_binary_heap(
-        ops in proptest::collection::vec((0u8..8, 0u64..6, 0usize..64), 1..400)
+        ops in proptest::collection::vec(
+            (0u8..10, 0u64..6, 0usize..64, 0u64..(1u64 << 30)),
+            1..400,
+        )
     ) {
         let mut cal: Calendar<u32> = Calendar::new();
         let mut reference = ReferenceQueue::new();
         let mut ids: Vec<(EventId, u32)> = Vec::new();
-        for (kind, offset, pick) in ops {
-            match decode(kind, offset, pick) {
+        for (kind, offset, pick, timer_offset) in ops {
+            match decode(kind, offset, pick, timer_offset) {
                 Op::Schedule { offset } => {
                     let at = cal.now() + Nanos(offset);
                     let tag = reference.schedule(at);
                     let id = cal.schedule(at, tag);
+                    ids.push((id, tag));
+                }
+                Op::ScheduleTimer { offset } => {
+                    let at = cal.now() + Nanos(offset);
+                    let tag = reference.schedule(at);
+                    let id = cal.schedule_timer(at, tag);
                     ids.push((id, tag));
                 }
                 Op::Cancel { pick } if !ids.is_empty() => {

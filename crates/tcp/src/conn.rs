@@ -38,6 +38,12 @@ use tengig_ethernet::{ETH_FCS, ETH_HEADER};
 use tengig_hw::BlockAllocator;
 use tengig_sim::Nanos;
 
+/// Ceiling on the RTO backoff counter. With the 200 ms `rto_min` floor,
+/// shift 9 already puts the backed-off RTO past the 60 s `rto_max`
+/// clamp; 16 leaves generous headroom for unusual sysctl combinations
+/// while keeping `1 << backoff` far from overflow.
+const MAX_RTO_BACKOFF: u32 = 16;
+
 /// Timers a connection can arm. The engine cannot cancel events, so each
 /// timer carries a generation; stale generations are ignored on expiry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -473,12 +479,21 @@ impl TcpConn {
     fn arm_rto(&mut self, now: Nanos, out: &mut Vec<Action>) {
         self.rto_gen += 1;
         self.rto_armed = true;
-        let at = now + self.rto.scale((1u64 << self.backoff.min(16)) as f64);
         out.push(Action::SetTimer {
             kind: TimerKind::Rto,
-            at,
+            at: now + self.backed_off_rto(),
             gen: self.rto_gen,
         });
+    }
+
+    /// The RTO with exponential backoff applied, clamped to the RFC 6298
+    /// §5.5 ceiling (`rto_max_ms`). Integer shift only — the timer path
+    /// does no float arithmetic — and `backoff` itself is capped (in
+    /// [`TcpConn::on_timer_into`]) rather than the shift silently pinned.
+    fn backed_off_rto(&self) -> Nanos {
+        self.rto
+            .saturating_mul(1u64 << self.backoff)
+            .min(Nanos::from_millis(self.cfg.rto_max_ms))
     }
 
     // ------------------------------------------------------------------
@@ -718,9 +733,12 @@ impl TcpConn {
         }
         // Linux-style RTO: srtt plus the variance term floored at rto_min,
         // so a long-RTT path with low jitter (the WAN) never times out
-        // spuriously on delayed ACKs.
+        // spuriously on delayed ACKs — and ceilinged at rto_max, so a
+        // pathological rttvar spike cannot outrun the RFC 6298 clamp that
+        // `backed_off_rto` enforces on the armed timer.
         let var_term = (self.rttvar * 4).max(Nanos::from_millis(self.cfg.rto_min_ms));
-        self.rto = self.srtt.expect("just set") + var_term;
+        self.rto =
+            (self.srtt.expect("just set") + var_term).min(Nanos::from_millis(self.cfg.rto_max_ms));
     }
 
     /// A timer fired. Pass back the generation from the `SetTimer` action;
@@ -744,7 +762,10 @@ impl TcpConn {
                     return;
                 }
                 self.cc.on_timeout(self.inflight_segs());
-                self.backoff += 1;
+                // Cap the counter itself: past MAX_RTO_BACKOFF the clamp
+                // in `backed_off_rto` binds anyway, and an unbounded
+                // counter would eventually overflow the shift.
+                self.backoff = (self.backoff + 1).min(MAX_RTO_BACKOFF);
                 self.retransmit_first(now, out);
                 self.arm_rto(now, out);
             }
@@ -1278,6 +1299,76 @@ mod tests {
             let fin = b.on_segment(at + Nanos::from_micros(10), s);
             assert_eq!(drain_delivered(&fin), 1448);
         }
+    }
+
+    #[test]
+    fn backed_off_rto_never_exceeds_rto_max() {
+        // A long flap: the only segment is lost over and over, every RTO
+        // fires, and the backed-off delay must double (RFC 6298 §5.5)
+        // until the 60 s ceiling binds — then pin there, so recovery time
+        // stops growing with outage length instead of heading for the
+        // 2^16 × base ≈ hours-long timers the unclamped code produced.
+        let cfg = Sysctls::default();
+        let (mut a, _b) = lan_pair(cfg);
+        let mut now = Nanos::from_micros(1);
+        let (_, acts) = a.on_app_write(now, 1448);
+        let find_rto = |acts: &[Action]| {
+            acts.iter().find_map(|x| match x {
+                Action::SetTimer {
+                    kind: TimerKind::Rto,
+                    at,
+                    gen,
+                } => Some((*at, *gen)),
+                _ => None,
+            })
+        };
+        let mut timer = find_rto(&acts).expect("RTO armed with data in flight");
+        let rto_max = Nanos::from_millis(cfg.rto_max_ms);
+        let mut delays: Vec<Nanos> = Vec::new();
+        for _ in 0..20 {
+            let (at, gen) = timer;
+            delays.push(at - now);
+            now = at;
+            let out = a.on_timer(now, TimerKind::Rto, gen);
+            timer = find_rto(&out).expect("RTO re-armed after firing");
+        }
+        for (i, w) in delays.windows(2).enumerate() {
+            assert!(
+                w[1] == w[0].saturating_mul(2) || w[1] == rto_max,
+                "delay {} must double or sit at the cap: {} then {}",
+                i,
+                w[0],
+                w[1]
+            );
+            assert!(w[1] >= w[0], "backoff must never shrink mid-flap");
+        }
+        for (i, d) in delays.iter().enumerate() {
+            assert!(*d <= rto_max, "delay {i} exceeds rto_max: {d}");
+        }
+        // The ladder actually reached and stayed at the ceiling.
+        assert_eq!(delays.last(), Some(&rto_max));
+        let capped = delays.iter().filter(|d| **d == rto_max).count();
+        assert!(
+            capped >= 10,
+            "20 flap rounds must spend most of them pinned at 60 s, got {capped}"
+        );
+        assert_eq!(a.backoff, MAX_RTO_BACKOFF, "the counter itself is capped");
+    }
+
+    #[test]
+    fn pathological_rtt_sample_cannot_exceed_rto_max() {
+        // `rtt_sample` recomputes the RTO outside `backed_off_rto`; the
+        // same ceiling must bind there, or one absurd variance spike
+        // would arm a timer past the clamp.
+        let cfg = Sysctls::default();
+        let (mut a, _b) = lan_pair(cfg);
+        a.rtt_sample(Nanos::from_secs(90));
+        assert_eq!(a.rto, Nanos::from_millis(cfg.rto_max_ms));
+        // And an enormous ceiling really is respected as a ceiling, not
+        // re-derived from constants.
+        let (mut c, _d) = lan_pair(Sysctls::default().with_rto_max_ms(3_600_000));
+        c.rtt_sample(Nanos::from_secs(90));
+        assert!(c.rto > Nanos::from_secs(100), "huge sample, huge rto_max");
     }
 
     #[test]

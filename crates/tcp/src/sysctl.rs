@@ -42,6 +42,10 @@ pub struct Sysctls {
     pub delack_timeout_ms: u64,
     /// Minimum retransmission timeout (Linux: 200 ms).
     pub rto_min_ms: u64,
+    /// Maximum retransmission timeout, the RFC 6298 §5.5 ceiling on the
+    /// backed-off RTO (the RFC names 60 s; without it, exponential
+    /// backoff can park a flow behind an hours-long timer).
+    pub rto_max_ms: u64,
     /// The "New API" for network processing (§3.3): softirq packet
     /// processing scheduled outside the interrupt context. Not present in
     /// the 2.4 kernels the paper measured ("which we have yet to test").
@@ -81,6 +85,7 @@ impl Sysctls {
             delack_segs: 2,
             delack_timeout_ms: 40,
             rto_min_ms: 200,
+            rto_max_ms: 60_000,
             napi: false,
             nodelay: true,
         }
@@ -134,6 +139,13 @@ impl Sysctls {
     /// Change the device transmit queue length.
     pub fn with_txqueuelen(mut self, len: u64) -> Self {
         self.txqueuelen = len;
+        self
+    }
+
+    /// Change the RTO ceiling (tests use a large value to demonstrate
+    /// what unclamped backoff would do).
+    pub fn with_rto_max_ms(mut self, ms: u64) -> Self {
+        self.rto_max_ms = ms;
         self
     }
 

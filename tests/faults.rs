@@ -3,8 +3,8 @@
 //! seed-reproduction contract.
 
 use tengig::experiments::faults::{
-    burst_sweep_report, chaos_campaign, chaos_run, faults_lab, flap_recovery_sweep_report,
-    scaled_wan, BURST_LENGTHS, FLAP_RTTS,
+    burst_sweep_report, chaos_campaign, chaos_run, faults_lab, flap_recovery_run_tuned,
+    flap_recovery_sweep_report, scaled_wan, BURST_LENGTHS, FLAP_RTTS,
 };
 use tengig::sweep::SweepRunner;
 use tengig_net::Impairments;
@@ -70,6 +70,41 @@ fn flap_recovery_time_grows_with_rtt() {
             w[1].recovery
         );
     }
+}
+
+#[test]
+fn flap_ladder_is_invariant_to_the_rto_ceiling() {
+    // The RFC 6298 §5.5 ceiling (rto_max_ms, default 60 s) exists for
+    // wedged flows whose backoff would otherwise run away; on the flap
+    // ladder the outage is over within a few backoff doublings, so the
+    // cap must bind nowhere. Proof: raising the ceiling to an hour
+    // changes nothing, at any rung — the ladder's goldens are untouched
+    // by the clamp's introduction.
+    for &rtt in &FLAP_RTTS {
+        let stock = flap_recovery_run_tuned(rtt, 2003, &|s| s);
+        let sky = flap_recovery_run_tuned(rtt, 2003, &|s| s.with_rto_max_ms(3_600_000));
+        assert_eq!(
+            (
+                stock.recovery,
+                stock.timeouts,
+                stock.retransmits,
+                stock.flap_drops
+            ),
+            (sky.recovery, sky.timeouts, sky.retransmits, sky.flap_drops),
+            "the 60 s cap must not bind at rtt={rtt}"
+        );
+    }
+    // Positive control: the knob really is plumbed through. Pinching the
+    // ceiling down to the 200 ms RTO floor disables backoff entirely, so
+    // the outage's retransmission clock speeds up and the run visibly
+    // changes — the invariance above is meaningful, not vacuous.
+    let stock = flap_recovery_run_tuned(FLAP_RTTS[0], 2003, &|s| s);
+    let pinched = flap_recovery_run_tuned(FLAP_RTTS[0], 2003, &|s| s.with_rto_max_ms(200));
+    assert_ne!(
+        (stock.recovery, stock.timeouts, stock.retransmits),
+        (pinched.recovery, pinched.timeouts, pinched.retransmits),
+        "a 200 ms ceiling must change the retransmission clock"
+    );
 }
 
 #[test]
