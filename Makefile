@@ -1,8 +1,16 @@
 # Development targets. `make ci` is the gate every change must pass.
+#
+# `ci` ordering: cheap structural gates first (build, test, fmt, clippy),
+# then the compile-only bench check, then the determinism gates in
+# increasing cost — lint (static: runs its own selftests, then lints the
+# live tree and byte-compares the JSON report against
+# goldens/lint_baseline.json) before obs-check and faults-check (dynamic:
+# full pinned-seed sweeps). A static violation fails in seconds instead
+# of after a minute of simulation.
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt clippy benches-check lint obs-check faults-check bench bench-gate
+.PHONY: ci build test fmt clippy benches-check lint lint-selftest obs-check faults-check bench bench-gate
 
 ci: build test fmt clippy benches-check lint obs-check faults-check
 
@@ -25,11 +33,22 @@ clippy:
 benches-check:
 	$(CARGO) check --benches --release
 
-# Determinism lint: forbids wall-clock time, unseeded RNGs, hash-map
-# iteration, unwrap/panic in hot paths, floats in the event loop, and
-# sweeps that bypass SweepRunner. See crates/lint.
-lint:
-	$(CARGO) run --release -q -p tengig-lint
+# Determinism lint: lexes and parses every workspace source, forbids
+# wall-clock time, unseeded RNGs, hash-map iteration, unwrap/panic and
+# prints in hot paths, floats and lossy casts in the event loop, sweeps
+# that bypass SweepRunner — and proves, over the call graph, that no
+# hot-path root reaches a nondeterminism source. The JSON report lands in
+# target/lint.json and must byte-match goldens/lint_baseline.json (zero
+# findings). Runs the lint crate's own selftests first: a linter that
+# no longer fires on its known-bad fixtures is a green light worth
+# nothing. See crates/lint.
+lint: lint-selftest
+	mkdir -p target
+	$(CARGO) run --release -q -p tengig-lint -- --json . > target/lint.json
+	$(CARGO) run --release -q -p tengig-lint -- --baseline goldens/lint_baseline.json .
+
+lint-selftest:
+	$(CARGO) test -q -p tengig-lint
 
 # Observability determinism gate: runs the pinned-seed throughput sweep
 # with metrics enabled on 1 and 4 worker threads (timeline sidecars must

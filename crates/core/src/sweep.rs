@@ -96,6 +96,7 @@ pub struct SweepRunner {
 
 impl Default for SweepRunner {
     /// One worker per available CPU.
+    // lint:trusted(pool sizing only: results are index-keyed and provably thread-count independent)
     fn default() -> Self {
         let threads = thread::available_parallelism()
             .map(|n| n.get())

@@ -1,0 +1,12 @@
+//! Fixture helper crate: a thread-identity read two calls below the
+//! public surface. `thread_tag` itself looks innocent — the source is
+//! one layer further down.
+
+pub fn thread_tag() -> u64 {
+    thread_seed()
+}
+
+fn thread_seed() -> u64 {
+    let _ = std::thread::current();
+    7
+}

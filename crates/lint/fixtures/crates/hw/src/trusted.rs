@@ -1,0 +1,16 @@
+//! Clean fixture: a reviewed nondeterminism boundary. The environment
+//! read below would taint every caller, but the `lint:trusted` marker
+//! declares it reviewed — taint stops here and callers stay provable.
+
+// lint:trusted(build banner only; the value never reaches simulation state)
+pub fn build_banner() -> u64 {
+    if std::env::var_os("TENGIG_BANNER").is_some() {
+        1
+    } else {
+        0
+    }
+}
+
+pub fn banner_caller() -> u64 {
+    build_banner() + 1
+}

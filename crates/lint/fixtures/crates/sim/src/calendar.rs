@@ -1,4 +1,5 @@
-//! Known-bad fixture: float time in the calendar's timing wheel.
+//! Known-bad fixture: float time in the calendar's timing wheel, plus a
+//! truncating slot-index cast for the lossy-cast rule.
 
 pub struct Wheel {
     horizon: f64,
@@ -7,5 +8,9 @@ pub struct Wheel {
 impl Wheel {
     pub fn park(&mut self, at: f32) {
         self.horizon = at as f64;
+    }
+
+    pub fn slot_of(&self, expiry: u64) -> usize {
+        expiry as usize
     }
 }

@@ -1,4 +1,6 @@
-//! Known-bad fixture: a float-keyed event calendar.
+//! Known-bad fixture: a float-keyed event calendar — plus a clean
+//! `Engine::run` hot-path root whose only nondeterminism sits behind a
+//! `lint:trusted` boundary, so the taint pass can prove it.
 
 pub struct Calendar {
     now: f64,
@@ -7,5 +9,25 @@ pub struct Calendar {
 impl Calendar {
     pub fn advance(&mut self, dt: f32) {
         self.now += dt as f64;
+    }
+}
+
+pub struct Engine {
+    ticks: u64,
+}
+
+impl Engine {
+    pub fn run(&mut self) -> u64 {
+        self.ticks += build_tag();
+        self.ticks
+    }
+}
+
+// lint:trusted(build-channel tag; constant per build, reviewed 2026-08)
+fn build_tag() -> u64 {
+    if std::env::var_os("TENGIG_BUILD_CHANNEL").is_some() {
+        1
+    } else {
+        0
     }
 }

@@ -1,0 +1,13 @@
+//! Mixed fixture: printf-debug exemption is module-scoped, not
+//! file-name-scoped. The inline `mod obs` renders freely; the stray
+//! print outside it fires.
+
+pub mod obs {
+    pub fn render(count: u64) {
+        println!("{count} events");
+    }
+}
+
+pub fn stray(count: u64) {
+    println!("{count} events");
+}

@@ -1,0 +1,7 @@
+//! Clean fixture for the lossy-cast rule: a truncating conversion that
+//! is justified with a comment and suppressed with `lint:allow`.
+
+pub fn to_slot(expiry: u64) -> usize {
+    // Bounded: masked to the 6-bit slot index before converting.
+    (expiry & 63) as usize // lint:allow(lossy-cast)
+}

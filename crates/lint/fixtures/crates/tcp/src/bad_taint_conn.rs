@@ -1,0 +1,19 @@
+//! Known-bad fixture: a hot-path root that reaches a thread-identity
+//! read two calls deep, through a helper crate (`hw/src/clocked.rs`).
+//! No single line here trips a per-line rule — only the transitive
+//! taint pass can see the path.
+
+pub struct TcpConn {
+    shard: u64,
+}
+
+impl TcpConn {
+    pub fn on_segment(&mut self, seq: u64) -> u64 {
+        self.shard = shard_hint();
+        seq.wrapping_add(self.shard)
+    }
+}
+
+fn shard_hint() -> u64 {
+    thread_tag()
+}

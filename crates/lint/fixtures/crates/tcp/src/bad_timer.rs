@@ -1,7 +1,8 @@
 //! Mixed fixture for the timer-scoped float rule: floats inside timer
-//! entry points (RTO backoff, RTT estimation) must fire, while the same
-//! `f64` in ordinary window math must not — the rule is scoped to the
-//! retransmission-clock functions, not the whole crate.
+//! entry points (RTT estimation) and inside private helpers reachable
+//! only from timer entry points (the dominator closure) must fire,
+//! while the same `f64` in ordinary window math must not — the scope is
+//! true function extents, not name-substring matching.
 
 pub struct Conn {
     rto_ns: u64,
@@ -11,8 +12,7 @@ pub struct Conn {
 
 impl Conn {
     pub fn arm_rto(&mut self) -> u64 {
-        // The classic bug: float scaling of the backed-off RTO.
-        (self.rto_ns as f64 * (1u64 << self.backoff) as f64) as u64
+        backoff_scale(self.rto_ns, self.backoff)
     }
 
     fn rtt_sample(&mut self, sample_ns: u64) {
@@ -23,4 +23,11 @@ impl Conn {
         // Floats outside the timer machinery are fine.
         1.0 - 1.0 / 4.0
     }
+}
+
+/// Only `arm_rto` calls this, so the dominator closure pulls it into the
+/// timer set — no timer-ish substring in its name required.
+fn backoff_scale(rto_ns: u64, backoff: u32) -> u64 {
+    // The classic bug: float scaling of the backed-off RTO.
+    (rto_ns as f64 * (1u64 << backoff) as f64) as u64
 }

@@ -1,0 +1,628 @@
+//! A hand-rolled Rust lexer with exact byte spans.
+//!
+//! The linter's rules all operate on *code*, never on comments or string
+//! contents, and the taint pass needs to know which function a token sits
+//! in. Both demands are served here: [`lex`] turns a source file into a
+//! flat token stream where every token carries its byte range, 1-based
+//! line, and 1-based column, while comments and literals are consumed
+//! whole (a `"HashMap"` string is one [`TokKind::Str`] token whose
+//! contents no rule ever inspects).
+//!
+//! The lexer is total: any `&str` input produces a token stream without
+//! panicking, and every token's `[start, end)` range lies on character
+//! boundaries of the input (pinned by the property test in
+//! `tests/lex_props.rs`). Malformed input (an unterminated string, a
+//! stray quote) degrades to a best-effort tokenization — the linter never
+//! rejects a file for syntax, it just lints what it can see.
+//!
+//! Suppression and trust markers (`lint:allow(rule)`,
+//! `lint:trusted(reason)`) live inside comments, so they are collected
+//! here, during comment consumption, rather than by a separate raw-text
+//! pass.
+
+/// What a token is. Only the distinctions the rules need are drawn:
+/// identifiers (including keywords — `as` and `fn` lex as [`TokKind::Ident`]),
+/// the four literal families, lifetimes, and single-character punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`fn`, `as`, `Instant`, `thread_rng`).
+    Ident,
+    /// An integer literal (`42`, `0x1F`, `1_000u64`).
+    Int,
+    /// A float literal (`0.875`, `1e9`, `1.5e-3`).
+    Float,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A character or byte literal (`'x'`, `'\n'`, `b'q'`).
+    Char,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+    /// A single punctuation character (`.`, `:`, `{`, `!`, …). Multi-char
+    /// operators arrive as adjacent tokens; adjacency is recoverable from
+    /// the byte ranges.
+    Punct(char),
+}
+
+/// One lexed token with its exact location in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// Byte offset of the first byte (inclusive), on a char boundary.
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive), on a char boundary.
+    pub end: usize,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based byte column of the token's first character within its line.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's text, sliced from the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, src: &str, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text(src) == word
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A linter control marker found inside a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// `lint:allow(rule)` — suppress `rule` on this line or the next.
+    Allow(String),
+    /// `lint:trusted(reason)` — declare the next function a reviewed
+    /// nondeterminism boundary; the taint pass stops there.
+    Trusted(String),
+}
+
+/// A marker with the 1-based line it appears on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Marker {
+    /// 1-based line of the marker text itself.
+    pub line: usize,
+    /// Which marker, with its parenthesized argument.
+    pub kind: MarkerKind,
+}
+
+/// The output of [`lex`]: the token stream plus every comment marker.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order, byte ranges strictly increasing.
+    pub tokens: Vec<Token>,
+    /// `lint:allow` / `lint:trusted` markers in source order.
+    pub markers: Vec<Marker>,
+}
+
+/// Can `c` start an identifier?
+fn ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+/// Can `c` continue an identifier?
+fn ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Collect `lint:allow(...)` / `lint:trusted(...)` markers from a
+/// comment's text. `start_line` is the line of `text`'s first character;
+/// occurrences on later lines of a block comment are attributed to their
+/// own line. The argument runs to the first `)` (so it must not contain
+/// one) and has its whitespace normalized.
+fn scan_markers(text: &str, start_line: usize, out: &mut Vec<Marker>) {
+    for (needle, is_trusted) in [("lint:allow(", false), ("lint:trusted(", true)] {
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(needle) {
+            let abs = from + pos;
+            let after = &text[abs + needle.len()..];
+            let Some(close) = after.find(')') else { break };
+            let arg = after[..close]
+                .split_whitespace()
+                .collect::<Vec<_>>()
+                .join(" ");
+            let line = start_line + text[..abs].bytes().filter(|&b| b == b'\n').count();
+            let kind = if is_trusted {
+                MarkerKind::Trusted(arg)
+            } else {
+                MarkerKind::Allow(arg)
+            };
+            out.push(Marker { line, kind });
+            from = abs + needle.len() + close;
+        }
+    }
+    // Keep markers in line order even though the two needles were scanned
+    // in separate passes.
+    out.sort_by_key(|m| m.line);
+}
+
+/// Lex `src` into tokens and comment markers. Total: never panics, for
+/// any input. See the module docs for the guarantees.
+pub fn lex(src: &str) -> Lexed {
+    let cs: Vec<(usize, char)> = src.char_indices().collect();
+    let n = cs.len();
+    let total = src.len();
+    // Byte offset just past character index `i` (start of the next char).
+    let end_of = |i: usize| -> usize {
+        if i + 1 < n {
+            cs[i + 1].0
+        } else {
+            total
+        }
+    };
+
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut line_start = 0usize; // byte offset of the current line's start
+
+    // Push a token spanning char indices [from, to] inclusive.
+    macro_rules! push {
+        ($kind:expr, $from:expr, $to:expr, $line:expr, $col:expr) => {
+            out.tokens.push(Token {
+                kind: $kind,
+                start: cs[$from].0,
+                end: end_of($to),
+                line: $line,
+                col: cs[$from].0 - $col + 1,
+            })
+        };
+    }
+
+    while i < n {
+        let (b, c) = cs[i];
+        // Newlines and other whitespace.
+        if c == '\n' {
+            line += 1;
+            line_start = b + 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Line comment.
+        if c == '/' && i + 1 < n && cs[i + 1].1 == '/' {
+            let start = i;
+            while i < n && cs[i].1 != '\n' {
+                i += 1;
+            }
+            scan_markers(
+                &src[cs[start].0..end_of(i.saturating_sub(1))],
+                line,
+                &mut out.markers,
+            );
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && cs[i + 1].1 == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                let ch = cs[i].1;
+                if ch == '/' && i + 1 < n && cs[i + 1].1 == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if ch == '*' && i + 1 < n && cs[i + 1].1 == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if ch == '\n' {
+                        line += 1;
+                        line_start = cs[i].0 + 1;
+                    }
+                    i += 1;
+                }
+            }
+            let end = if i > 0 { end_of(i - 1) } else { total };
+            scan_markers(&src[cs[start].0..end], start_line, &mut out.markers);
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            let start = i;
+            let tline = line;
+            let tcol = line_start;
+            i += 1;
+            while i < n {
+                let ch = cs[i].1;
+                if ch == '\\' {
+                    i += 2;
+                } else if ch == '"' {
+                    i += 1;
+                    break;
+                } else {
+                    if ch == '\n' {
+                        line += 1;
+                        line_start = cs[i].0 + 1;
+                    }
+                    i += 1;
+                }
+            }
+            let to = i.min(n).saturating_sub(1).max(start);
+            push!(TokKind::Str, start, to, tline, tcol);
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            let start = i;
+            let tline = line;
+            let tcol = line_start;
+            if i + 1 < n && cs[i + 1].1 == '\\' {
+                // Escaped char literal: scan to the closing quote.
+                i += 2;
+                while i < n && cs[i].1 != '\'' {
+                    if cs[i].1 == '\n' {
+                        line += 1;
+                        line_start = cs[i].0 + 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 1).min(n);
+                push!(TokKind::Char, start, i - 1, tline, tcol);
+            } else if i + 2 < n && cs[i + 2].1 == '\'' && cs[i + 1].1 != '\'' {
+                // One-character literal, e.g. 'x', '"', 'λ'.
+                i += 3;
+                push!(TokKind::Char, start, i - 1, tline, tcol);
+            } else {
+                // Lifetime: consume the tick plus identifier characters.
+                i += 1;
+                while i < n && ident_continue(cs[i].1) {
+                    i += 1;
+                }
+                push!(
+                    TokKind::Lifetime,
+                    start,
+                    i.saturating_sub(1).max(start),
+                    tline,
+                    tcol
+                );
+            }
+            continue;
+        }
+
+        // Number literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            let tline = line;
+            let tcol = line_start;
+            let radix_prefixed =
+                c == '0' && i + 1 < n && matches!(cs[i + 1].1, 'x' | 'X' | 'o' | 'O' | 'b' | 'B');
+            let mut is_float = false;
+            while i < n && ident_continue(cs[i].1) {
+                i += 1;
+            }
+            // Fractional part: a dot followed by a digit (so `0..10` and
+            // tuple access stay separate tokens).
+            if !radix_prefixed && i + 1 < n && cs[i].1 == '.' && cs[i + 1].1.is_ascii_digit() {
+                is_float = true;
+                i += 1;
+                while i < n && ident_continue(cs[i].1) {
+                    i += 1;
+                }
+            }
+            // Signed exponent (`1e-9`): the alnum scan stops at the sign.
+            if !radix_prefixed
+                && i > start
+                && matches!(cs[i - 1].1, 'e' | 'E')
+                && i + 1 < n
+                && matches!(cs[i].1, '+' | '-')
+                && cs[i + 1].1.is_ascii_digit()
+            {
+                is_float = true;
+                i += 1;
+                while i < n && ident_continue(cs[i].1) {
+                    i += 1;
+                }
+            }
+            if !is_float && !radix_prefixed {
+                let text = &src[cs[start].0..end_of(i - 1)];
+                is_float = text.contains(['e', 'E']);
+            }
+            let kind = if is_float {
+                TokKind::Float
+            } else {
+                TokKind::Int
+            };
+            push!(kind, start, i - 1, tline, tcol);
+            continue;
+        }
+
+        // Identifier — possibly a raw/byte string or byte-char prefix.
+        if ident_start(c) {
+            let start = i;
+            let tline = line;
+            let tcol = line_start;
+            while i < n && ident_continue(cs[i].1) {
+                i += 1;
+            }
+            let text = &src[b..end_of(i - 1)];
+            let is_str_prefix = matches!(text, "r" | "b" | "br");
+            if is_str_prefix && i < n {
+                // Raw string: optional hashes then a quote.
+                let mut j = i;
+                let mut hashes = 0usize;
+                while j < n && cs[j].1 == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                let raw_allowed = text != "b" || hashes > 0 || (j < n && cs[j].1 == '"');
+                if j < n && cs[j].1 == '"' && raw_allowed && (hashes > 0 || text != "b") {
+                    // r"…", r#"…"#, br#"…"#, etc. (no escapes inside).
+                    i = j + 1;
+                    'raw: while i < n {
+                        if cs[i].1 == '"' {
+                            let mut k = 0;
+                            while k < hashes && i + 1 + k < n && cs[i + 1 + k].1 == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        if cs[i].1 == '\n' {
+                            line += 1;
+                            line_start = cs[i].0 + 1;
+                        }
+                        i += 1;
+                    }
+                    push!(
+                        TokKind::Str,
+                        start,
+                        i.saturating_sub(1).max(start),
+                        tline,
+                        tcol
+                    );
+                    continue;
+                }
+                if text == "b" && hashes == 0 && j < n && cs[j].1 == '"' {
+                    // b"…" with ordinary escape rules: rejoin the plain
+                    // string path by treating the quote as the start.
+                    i = j + 1;
+                    while i < n {
+                        let ch = cs[i].1;
+                        if ch == '\\' {
+                            i += 2;
+                        } else if ch == '"' {
+                            i += 1;
+                            break;
+                        } else {
+                            if ch == '\n' {
+                                line += 1;
+                                line_start = cs[i].0 + 1;
+                            }
+                            i += 1;
+                        }
+                    }
+                    push!(
+                        TokKind::Str,
+                        start,
+                        i.min(n).saturating_sub(1).max(start),
+                        tline,
+                        tcol
+                    );
+                    continue;
+                }
+                if text == "b" && i < n && cs[i].1 == '\'' {
+                    // Byte-char literal b'x' / b'\n'.
+                    i += 1;
+                    if i < n && cs[i].1 == '\\' {
+                        i += 1;
+                        while i < n && cs[i].1 != '\'' {
+                            i += 1;
+                        }
+                        i = (i + 1).min(n);
+                    } else if i + 1 < n && cs[i + 1].1 == '\'' {
+                        i += 2;
+                    }
+                    push!(
+                        TokKind::Char,
+                        start,
+                        i.saturating_sub(1).max(start),
+                        tline,
+                        tcol
+                    );
+                    continue;
+                }
+            }
+            push!(TokKind::Ident, start, i - 1, tline, tcol);
+            continue;
+        }
+
+        // Anything else: one punctuation character.
+        push!(TokKind::Punct(c), i, i, line, line_start);
+        i += 1;
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let ks = kinds("fn add(a: u32) -> u32 { a + 0x1F + 1_000u64 }");
+        assert_eq!(ks[0], (TokKind::Ident, "fn".to_string()));
+        assert_eq!(ks[1], (TokKind::Ident, "add".to_string()));
+        assert!(ks.iter().any(|k| k == &(TokKind::Int, "0x1F".to_string())));
+        assert!(ks
+            .iter()
+            .any(|k| k == &(TokKind::Int, "1_000u64".to_string())));
+    }
+
+    #[test]
+    fn floats_are_distinguished_from_ranges_and_tuple_access() {
+        let ks = kinds("0.875 1e9 1.5e-3 0..10 x.0");
+        assert_eq!(ks[0], (TokKind::Float, "0.875".to_string()));
+        assert_eq!(ks[1], (TokKind::Float, "1e9".to_string()));
+        assert_eq!(ks[2], (TokKind::Float, "1.5e-3".to_string()));
+        assert!(ks.contains(&(TokKind::Int, "0".to_string())));
+        assert!(ks.contains(&(TokKind::Int, "10".to_string())));
+        assert!(ks.contains(&(TokKind::Ident, "x".to_string())));
+    }
+
+    #[test]
+    fn hex_with_e_digits_is_not_a_float() {
+        let ks = kinds("0x1e 0x1e-5");
+        assert_eq!(ks[0], (TokKind::Int, "0x1e".to_string()));
+        assert_eq!(ks[1], (TokKind::Int, "0x1e".to_string()));
+        assert_eq!(ks[2], (TokKind::Punct('-'), "-".to_string()));
+    }
+
+    #[test]
+    fn comments_produce_no_tokens_but_yield_markers() {
+        let lexed = lex("let x = 1; // Instant::now() lint:allow(wall-clock)\nlet y;");
+        assert!(!lexed.tokens.iter().any(|t| t.kind == TokKind::Ident
+            && t.text("let x = 1; // Instant::now() lint:allow(wall-clock)\nlet y;") == "Instant"));
+        assert_eq!(
+            lexed.markers,
+            vec![Marker {
+                line: 1,
+                kind: MarkerKind::Allow("wall-clock".to_string())
+            }]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_attribute_markers_to_their_line() {
+        let src = "a /* outer /* inner */\n lint:trusted(reviewed once) */ b";
+        let lexed = lex(src);
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text(src)).collect();
+        assert_eq!(texts, vec!["a", "b"]);
+        assert_eq!(
+            lexed.markers,
+            vec![Marker {
+                line: 2,
+                kind: MarkerKind::Trusted("reviewed once".to_string())
+            }]
+        );
+    }
+
+    #[test]
+    fn strings_are_single_tokens_and_hide_their_contents() {
+        let src = "let s = \"HashMap\\\" still\"; let r = r#\"thread_rng \"q\" x\"#; f64";
+        let lexed = lex(src);
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert!(!idents.contains(&"HashMap"));
+        assert!(!idents.contains(&"thread_rng"));
+        assert!(idents.contains(&"f64"), "{idents:?}");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Str)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let src = "b\"bytes\" b'q' b'\\n' br#\"raw\"# x";
+        let lexed = lex(src);
+        let mut kinds: Vec<TokKind> = lexed.tokens.iter().map(|t| t.kind).collect();
+        let last = kinds.pop();
+        assert_eq!(
+            kinds,
+            vec![TokKind::Str, TokKind::Char, TokKind::Char, TokKind::Str]
+        );
+        assert_eq!(last, Some(TokKind::Ident));
+    }
+
+    #[test]
+    fn char_literal_quote_does_not_open_a_string() {
+        let src = "let c = '\"'; let x = Instant;";
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident(src, "Instant")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x }";
+        let lexed = lex(src);
+        let lifetimes: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+    }
+
+    #[test]
+    fn r_and_b_as_plain_identifiers_stay_identifiers() {
+        let src = "let r = 1; let b = 2; let brb = 3; r \"s\"";
+        let lexed = lex(src);
+        let idents: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert!(idents.contains(&"r"));
+        assert!(idents.contains(&"b"));
+        assert!(idents.contains(&"brb"));
+    }
+
+    #[test]
+    fn lines_and_columns_are_one_based_and_accurate() {
+        let src = "ab\n  cd = 1;\n\"two\nline\" ef";
+        let lexed = lex(src);
+        let cd = lexed.tokens.iter().find(|t| t.text(src) == "cd").unwrap();
+        assert_eq!((cd.line, cd.col), (2, 3));
+        let ef = lexed.tokens.iter().find(|t| t.text(src) == "ef").unwrap();
+        assert_eq!(ef.line, 4, "newline inside a string advances the line");
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in [
+            "\"open", "r#\"open", "'", "/* open", "b'", "'\\", "0.", "r#",
+        ] {
+            let _ = lex(src);
+        }
+    }
+
+    #[test]
+    fn token_ranges_are_monotonic_and_on_char_boundaries() {
+        let src = "λ → \"日本語\" ident; 'λ' 0.5";
+        let lexed = lex(src);
+        let mut prev = 0;
+        for t in &lexed.tokens {
+            assert!(t.start >= prev && t.end > t.start && t.end <= src.len());
+            assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+            prev = t.end;
+        }
+    }
+}

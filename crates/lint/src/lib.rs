@@ -18,43 +18,68 @@
 //! * **unwrap** — `.unwrap()` / `panic!` in the simulation hot paths
 //!   (`crates/sim`, `crates/tcp`) abort without context. Use `expect()`
 //!   with a message that says what invariant broke, or return an error.
-//! * **float-event-loop** — `f32` / `f64` in the engine's event loop
-//!   (`crates/sim/src/engine.rs`), the calendar and its timing wheel
-//!   (`crates/sim/src/calendar.rs`), or a TCP timer entry point (any
-//!   `crates/tcp` function whose name mentions `timer`/`rto`/`rtt`/
-//!   `delack` — RTO arming, backoff, RTT estimation, delayed ACKs)
-//!   accumulate rounding error that differs across platforms; the event
-//!   loop and the retransmission clock stay integer-only (`Nanos`).
-//!   Elsewhere in `crates/tcp` floats are fine (window fractions,
-//!   goodput math) — the scope is the timer machinery, not the crate.
+//! * **float-event-loop** — `f32` / `f64` (or a float literal) in the
+//!   engine's event loop (`crates/sim/src/engine.rs`), the calendar and
+//!   its timing wheel (`crates/sim/src/calendar.rs`), or the TCP timer
+//!   machinery accumulates rounding error that differs across platforms;
+//!   the event loop and the retransmission clock stay integer-only
+//!   (`Nanos`). The TCP scope is *function extents*, not name matching:
+//!   the declared timer entry points ([`TIMER_ENTRY_FNS`]) plus their
+//!   dominator closure — any `crates/tcp` function whose every caller is
+//!   already in the timer set. Window fractions and goodput math
+//!   elsewhere in `crates/tcp` legitimately use `f64`.
+//! * **lossy-cast** — a truncating `as` cast to an integer type inside
+//!   the event-loop files (`engine.rs`, `calendar.rs`, `time.rs` in
+//!   `crates/sim`) can silently wrap slot indices or nanosecond counts.
+//!   Use `try_from`/`from` conversions, or justify with a comment plus
+//!   `lint:allow(lossy-cast)`.
 //! * **printf-debug** — `println!` / `eprintln!` (and `print!` /
 //!   `eprint!`) in the simulation hot paths (`crates/sim`, `crates/tcp`,
-//!   `crates/net` — the wire and impairment models run inside every
-//!   event) outside the observability module (`obs.rs`): ad-hoc printf
-//!   debugging must not leak into the deterministic core — diagnostics
-//!   flow through the tracer, the flight recorder, and the metrics
-//!   timelines.
+//!   `crates/net`) outside an observability module (a file or inline
+//!   `mod` named `obs`): ad-hoc printf debugging must not leak into the
+//!   deterministic core — diagnostics flow through the tracer, the
+//!   flight recorder, and the metrics timelines.
 //! * **sweep-routing** — every public sweep entry point in
 //!   `crates/core/src/experiments/` must route through `SweepRunner`, so
 //!   parallelism and per-scenario seeding stay centralized.
+//! * **taint** — the transitive pass: no declared hot-path root
+//!   ([`taint::HOT_PATH_ROOTS`]) may *reach* a nondeterminism source
+//!   (wall clocks, OS entropy, hash-order iteration, env/fs/thread-id
+//!   reads) through any chain of workspace calls. A
+//!   `// lint:trusted(reason)` comment on a function declares a reviewed
+//!   boundary that taint does not cross.
 //!
-//! A finding can be suppressed with `// lint:allow(rule-name)` on the
-//! same line or the line above. The linter is pure `std` (no syn, no
-//! regex): it strips comments, strings, and char literals with a small
-//! state machine, then matches identifiers on word boundaries.
+//! A per-line finding can be suppressed with `// lint:allow(rule-name)`
+//! on the same line or the line above. The linter is pure `std` (no
+//! `syn`, no `regex`): [`lex`] hand-rolls a total Rust lexer with exact
+//! byte spans, [`parse`] recovers `fn`/`impl`/`mod` item boundaries,
+//! [`callgraph`] extracts per-function call edges and source hits, and
+//! [`taint`] propagates reachability over the result.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod lex;
+pub mod parse;
+pub mod taint;
+
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use callgraph::{extract, CallSite};
+use lex::{lex, Lexed, MarkerKind, TokKind, Token};
+use parse::{parse_items, FnItem};
+use taint::FnNode;
+
 /// Crates whose `src/` trees are subject to the determinism rules
-/// (wall-clock, unseeded-rng, map-iteration). The vendored `criterion`
-/// and `proptest` shims are excluded: a benchmark harness legitimately
-/// reads wall-clock time, and neither runs inside a simulation.
+/// (wall-clock, unseeded-rng, map-iteration) and contribute nodes to the
+/// taint call graph. The vendored `criterion` and `proptest` shims are
+/// excluded: a benchmark harness legitimately reads wall-clock time, and
+/// neither runs inside a simulation.
 pub const DETERMINISM_CRATES: &[&str] = &[
     "sim", "hw", "ethernet", "nic", "tcp", "net", "tools", "core",
 ];
@@ -63,33 +88,71 @@ pub const DETERMINISM_CRATES: &[&str] = &[
 /// (the simulation hot paths).
 pub const NO_UNWRAP_CRATES: &[&str] = &["sim", "tcp"];
 
-/// Crates whose `src/` trees must stay print-free outside `obs.rs`.
-/// A superset of [`NO_UNWRAP_CRATES`]: the wire and impairment models in
-/// `crates/net` execute inside every link event, so printf debugging
-/// there is just as hot — but `net` keeps `expect()`-with-context
-/// latitude that the innermost loops do not.
+/// Crates whose `src/` trees must stay print-free outside an `obs`
+/// module. A superset of [`NO_UNWRAP_CRATES`]: the wire and impairment
+/// models in `crates/net` execute inside every link event, so printf
+/// debugging there is just as hot — but `net` keeps `expect()`-with-
+/// context latitude that the innermost loops do not.
 pub const NO_PRINT_CRATES: &[&str] = &["sim", "tcp", "net"];
 
-/// One lint finding, rendered `file:line: [rule] message`.
+/// The declared TCP timer entry points: the seed of the timer-float set.
+/// The set then grows by dominator closure — a `crates/tcp` function
+/// joins when every one of its callers (at least one) is already in the
+/// set — so private helpers reachable only from the retransmission clock
+/// are covered without any name heuristics.
+pub const TIMER_ENTRY_FNS: &[&str] = &[
+    "on_timer",
+    "on_timer_into",
+    "arm_rto",
+    "backed_off_rto",
+    "rtt_sample",
+];
+
+/// Every rule name the linter can emit (the tokens accepted by
+/// `lint:allow(...)` and `--rule`).
+pub const RULES: &[&str] = &[
+    "wall-clock",
+    "unseeded-rng",
+    "map-iteration",
+    "unwrap",
+    "printf-debug",
+    "float-event-loop",
+    "lossy-cast",
+    "sweep-routing",
+    "taint",
+];
+
+/// Integer destination types of a lossy `as` cast.
+const INT_CAST_TARGETS: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// One lint finding, rendered `file:line:col: [rule] message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// Path of the offending file, relative to the linted root.
     pub path: PathBuf,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based byte column of the offending token.
+    pub column: usize,
     /// Rule name (the token accepted by `lint:allow(...)`).
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// For taint findings: the call chain from the hot-path root down to
+    /// the nondeterminism source. Empty for per-line findings.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}:{}: [{}] {}",
+            "{}:{}:{}: [{}] {}",
             self.path.display(),
             self.line,
+            self.column,
             self.rule,
             self.message
         )
@@ -99,16 +162,125 @@ impl fmt::Display for Diagnostic {
 /// The result of linting a tree.
 #[derive(Debug, Default)]
 pub struct LintReport {
-    /// All findings, in (path, line) order.
+    /// All findings, in (path, line, column, rule) order.
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Hot-path roots found in the tree and proven source-free.
+    pub roots_proven: Vec<String>,
+    /// Declared roots not found in the tree (stale root list or rename).
+    pub roots_missing: Vec<String>,
+}
+
+impl LintReport {
+    /// Full machine-readable report: version, scan stats, the
+    /// reachability proof, and every finding.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"version\": 1,\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!(
+            "  \"roots_proven\": {},\n",
+            json_string_array(&self.roots_proven)
+        ));
+        s.push_str(&format!(
+            "  \"roots_missing\": {},\n",
+            json_string_array(&self.roots_missing)
+        ));
+        s.push_str(&format!(
+            "  \"findings\": {}\n",
+            self.findings_json_value(2)
+        ));
+        s.push('}');
+        s.push('\n');
+        s
+    }
+
+    /// Canonical findings-only document, for diffing against the
+    /// committed baseline (`goldens/lint_baseline.json`). Byte-stable for
+    /// a given tree: file order, line order, and JSON shape are all
+    /// deterministic.
+    pub fn findings_json(&self) -> String {
+        format!("{{\n  \"findings\": {}\n}}\n", self.findings_json_value(2))
+    }
+
+    fn findings_json_value(&self, indent: usize) -> String {
+        if self.diagnostics.is_empty() {
+            return "[]".to_string();
+        }
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 2);
+        let rows: Vec<String> = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                format!(
+                    "{inner}{{\"path\": {}, \"line\": {}, \"column\": {}, \"rule\": {}, \
+                     \"message\": {}, \"chain\": {}}}",
+                    json_string(&d.path.display().to_string()),
+                    d.line,
+                    d.column,
+                    json_string(d.rule),
+                    json_string(&d.message),
+                    json_string_array(&d.chain),
+                )
+            })
+            .collect();
+        format!("[\n{}\n{pad}]", rows.join(",\n"))
+    }
+}
+
+/// Escape a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a `["a", "b"]`-style JSON array of strings.
+fn json_string_array(items: &[String]) -> String {
+    let rows: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", rows.join(", "))
+}
+
+/// One scanned file with its lexed and parsed form, kept around for the
+/// cross-file passes.
+struct FileData {
+    rel: PathBuf,
+    krate: String,
+    content: String,
+    lexed: Lexed,
+    items: Vec<FnItem>,
 }
 
 /// Lint the workspace rooted at `root` (the directory containing
-/// `crates/`). Returns a report with deterministic file ordering.
+/// `crates/`). Runs the per-line rules on every file, then the
+/// cross-file passes (timer-float dominator closure, determinism taint)
+/// over the whole call graph. Returns a report with deterministic
+/// ordering.
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    if !root.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} is not a directory", root.display()),
+        ));
+    }
     let mut report = LintReport::default();
+    let mut files: Vec<FileData> = Vec::new();
+
     for krate in DETERMINISM_CRATES {
         let src = root.join("crates").join(krate).join("src");
         if !src.is_dir() {
@@ -117,10 +289,61 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
         for file in rust_files(&src)? {
             let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
             let content = fs::read_to_string(&file)?;
+            let lexed = lex(&content);
+            let stem = rel
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("")
+                .to_string();
+            let items = parse_items(&content, &lexed, &stem);
             report.files_scanned += 1;
-            report.diagnostics.extend(lint_file(&rel, krate, &content));
+            files.push(FileData {
+                rel,
+                krate: (*krate).to_string(),
+                content,
+                lexed,
+                items,
+            });
         }
     }
+
+    // Per-file rules.
+    for f in &files {
+        report
+            .diagnostics
+            .extend(file_diags(&f.rel, &f.krate, &f.content, &f.lexed, &f.items));
+    }
+
+    // Cross-file passes share one call graph over all workspace functions.
+    let mut nodes: Vec<FnNode> = Vec::new();
+    let mut node_loc: Vec<(usize, usize)> = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        for (ii, item) in f.items.iter().enumerate() {
+            let (calls, hits) = extract(&f.content, &f.lexed.tokens, item, &f.items);
+            nodes.push(FnNode {
+                path: f.rel.clone(),
+                crate_name: f.krate.clone(),
+                item: item.clone(),
+                calls,
+                hits,
+            });
+            node_loc.push((fi, ii));
+        }
+    }
+    let callers = taint::build_callers(&nodes);
+
+    report
+        .diagnostics
+        .extend(check_timer_floats(&files, &nodes, &node_loc, &callers));
+
+    let taint_out = taint::analyze(&nodes, &callers);
+    report.diagnostics.extend(taint_out.findings);
+    report.roots_proven = taint_out.roots_proven;
+    report.roots_missing = taint_out.roots_missing;
+
+    report.diagnostics.sort_by(|a, b| {
+        (&a.path, a.line, a.column, a.rule).cmp(&(&b.path, b.line, b.column, b.rule))
+    });
     Ok(report)
 }
 
@@ -146,556 +369,367 @@ pub fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lint a single file's contents. `krate` is the crate directory name
-/// (used for rule scoping); `rel` is the path reported in diagnostics.
+/// Lint a single file's contents with the per-line rules and the
+/// per-file sweep-routing check. The cross-file passes (timer-float
+/// closure, taint) need the whole workspace and run only in
+/// [`lint_workspace`]. `krate` is the crate directory name (used for
+/// rule scoping); `rel` is the path reported in diagnostics.
 pub fn lint_file(rel: &Path, krate: &str, content: &str) -> Vec<Diagnostic> {
-    let allows = allow_markers(content);
-    let code = strip_non_code(content);
-    let mut diags = Vec::new();
+    let lexed = lex(content);
+    let stem = rel.file_stem().and_then(|s| s.to_str()).unwrap_or("");
+    let items = parse_items(content, &lexed, stem);
+    file_diags(rel, krate, content, &lexed, &items)
+}
+
+/// `lint:allow(rule)` markers as `(line, rule)` pairs.
+fn allows_of(lexed: &Lexed) -> Vec<(usize, String)> {
+    lexed
+        .markers
+        .iter()
+        .filter_map(|m| match &m.kind {
+            MarkerKind::Allow(rule) => Some((m.line, rule.clone())),
+            MarkerKind::Trusted(_) => None,
+        })
+        .collect()
+}
+
+/// Is a finding of `rule` at `line` suppressed by an allow marker on the
+/// same line or the line above?
+fn allowed(allows: &[(usize, String)], rule: &str, line: usize) -> bool {
+    allows
+        .iter()
+        .any(|(l, r)| r == rule && (*l == line || *l + 1 == line))
+}
+
+/// The per-line and per-file rules for one file.
+fn file_diags(
+    rel: &Path,
+    krate: &str,
+    content: &str,
+    lexed: &Lexed,
+    items: &[FnItem],
+) -> Vec<Diagnostic> {
+    let allows = allows_of(lexed);
+    let toks = &lexed.tokens;
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut seen: BTreeSet<(usize, &'static str)> = BTreeSet::new();
 
     let fname = rel.file_name().and_then(|f| f.to_str()).unwrap_or("");
     let in_experiments = krate == "core"
         && rel.components().any(|c| c.as_os_str() == "experiments")
         && fname != "mod.rs";
     let is_event_loop = krate == "sim" && (fname == "engine.rs" || fname == "calendar.rs");
+    let cast_scope = krate == "sim" && matches!(fname, "engine.rs" | "calendar.rs" | "time.rs");
     let no_unwrap = NO_UNWRAP_CRATES.contains(&krate);
-    // The observability/flight-recorder module is the one sanctioned place
-    // that renders output for humans; everything else in the hot-path
-    // crates must stay print-free.
-    let no_print = NO_PRINT_CRATES.contains(&krate) && fname != "obs.rs";
+    let no_print = NO_PRINT_CRATES.contains(&krate);
 
-    for (idx, line) in code.lines().enumerate() {
-        let lineno = idx + 1;
-        let mut push = |rule: &'static str, message: String| {
-            if !allows
-                .iter()
-                .any(|(l, r)| r == rule && (*l == lineno || *l + 1 == lineno))
-            {
-                diags.push(Diagnostic {
-                    path: rel.to_path_buf(),
-                    line: lineno,
-                    rule,
-                    message,
-                });
-            }
-        };
+    let push = |diags: &mut Vec<Diagnostic>,
+                seen: &mut BTreeSet<(usize, &'static str)>,
+                tok: &Token,
+                rule: &'static str,
+                message: String| {
+        if allowed(&allows, rule, tok.line) || !seen.insert((tok.line, rule)) {
+            return;
+        }
+        diags.push(Diagnostic {
+            path: rel.to_path_buf(),
+            line: tok.line,
+            column: tok.col,
+            rule,
+            message,
+            chain: Vec::new(),
+        });
+    };
 
-        if has_ident(line, "Instant") || has_ident(line, "SystemTime") {
+    for (k, t) in toks.iter().enumerate() {
+        // Float literals are relevant even though they are not idents.
+        if is_event_loop && t.kind == TokKind::Float {
             push(
-                "wall-clock",
-                "wall-clock time source breaks determinism; use the engine's \
-                 virtual clock (Nanos)"
-                    .to_string(),
-            );
-        }
-        if has_ident(line, "thread_rng")
-            || has_ident(line, "ThreadRng")
-            || has_ident(line, "OsRng")
-            || has_ident(line, "from_entropy")
-            || has_rand_path(line)
-        {
-            push(
-                "unseeded-rng",
-                "unseeded or external randomness; draw from SimRng with an \
-                 explicit seed"
-                    .to_string(),
-            );
-        }
-        if has_ident(line, "HashMap") || has_ident(line, "HashSet") {
-            push(
-                "map-iteration",
-                "hash-map iteration order is randomized per process; use \
-                 BTreeMap/BTreeSet or an index-keyed Vec"
-                    .to_string(),
-            );
-        }
-        if no_unwrap && (line.contains(".unwrap()") || has_macro(line, "panic")) {
-            push(
-                "unwrap",
-                "unwrap()/panic! in a simulation hot path; use expect() with \
-                 context or return an error"
-                    .to_string(),
-            );
-        }
-        if no_print
-            && (has_macro(line, "println")
-                || has_macro(line, "eprintln")
-                || has_macro(line, "print")
-                || has_macro(line, "eprint"))
-        {
-            push(
-                "printf-debug",
-                "print macro in a simulation hot path; diagnostics go through \
-                 the tracer / obs module, not stdout"
-                    .to_string(),
-            );
-        }
-        if is_event_loop && (has_ident(line, "f32") || has_ident(line, "f64")) {
-            push(
+                &mut diags,
+                &mut seen,
+                t,
                 "float-event-loop",
                 "float arithmetic in the event loop drifts across platforms; \
                  the calendar is integer nanoseconds only"
                     .to_string(),
             );
         }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let word = t.text(content);
+        let next_adjacent =
+            |c: char| k + 1 < toks.len() && toks[k + 1].is_punct(c) && toks[k + 1].start == t.end;
+
+        match word {
+            "Instant" | "SystemTime" => push(
+                &mut diags,
+                &mut seen,
+                t,
+                "wall-clock",
+                "wall-clock time source breaks determinism; use the engine's \
+                 virtual clock (Nanos)"
+                    .to_string(),
+            ),
+            "thread_rng" | "ThreadRng" | "OsRng" | "from_entropy" => push(
+                &mut diags,
+                &mut seen,
+                t,
+                "unseeded-rng",
+                "unseeded or external randomness; draw from SimRng with an \
+                 explicit seed"
+                    .to_string(),
+            ),
+            "rand" if next_adjacent(':') => push(
+                &mut diags,
+                &mut seen,
+                t,
+                "unseeded-rng",
+                "unseeded or external randomness; draw from SimRng with an \
+                 explicit seed"
+                    .to_string(),
+            ),
+            "HashMap" | "HashSet" => push(
+                &mut diags,
+                &mut seen,
+                t,
+                "map-iteration",
+                "hash-map iteration order is randomized per process; use \
+                 BTreeMap/BTreeSet or an index-keyed Vec"
+                    .to_string(),
+            ),
+            "unwrap"
+                if no_unwrap
+                    && k > 0
+                    && toks[k - 1].is_punct('.')
+                    && k + 1 < toks.len()
+                    && toks[k + 1].is_punct('(') =>
+            {
+                push(
+                    &mut diags,
+                    &mut seen,
+                    t,
+                    "unwrap",
+                    "unwrap()/panic! in a simulation hot path; use expect() with \
+                     context or return an error"
+                        .to_string(),
+                )
+            }
+            "panic" if no_unwrap && next_adjacent('!') => push(
+                &mut diags,
+                &mut seen,
+                t,
+                "unwrap",
+                "unwrap()/panic! in a simulation hot path; use expect() with \
+                 context or return an error"
+                    .to_string(),
+            ),
+            "println" | "eprintln" | "print" | "eprint"
+                if no_print && next_adjacent('!') && !in_obs_module(items, k, fname) =>
+            {
+                push(
+                    &mut diags,
+                    &mut seen,
+                    t,
+                    "printf-debug",
+                    "print macro in a simulation hot path; diagnostics go through \
+                     the tracer / obs module, not stdout"
+                        .to_string(),
+                )
+            }
+            "f32" | "f64" if is_event_loop => push(
+                &mut diags,
+                &mut seen,
+                t,
+                "float-event-loop",
+                "float arithmetic in the event loop drifts across platforms; \
+                 the calendar is integer nanoseconds only"
+                    .to_string(),
+            ),
+            "as" if cast_scope
+                && k + 1 < toks.len()
+                && toks[k + 1].kind == TokKind::Ident
+                && INT_CAST_TARGETS.contains(&toks[k + 1].text(content)) =>
+            {
+                push(
+                    &mut diags,
+                    &mut seen,
+                    t,
+                    "lossy-cast",
+                    format!(
+                        "`as {}` silently truncates in an event-loop file; use \
+                         try_from/from, or justify with a comment and \
+                         lint:allow(lossy-cast)",
+                        toks[k + 1].text(content)
+                    ),
+                )
+            }
+            _ => {}
+        }
     }
 
     if in_experiments {
-        diags.extend(check_sweep_routing(rel, &code, &allows));
-    }
-    if krate == "tcp" {
-        diags.extend(check_timer_floats(rel, &code, &allows));
+        diags.extend(check_sweep_routing(rel, content, lexed, items, &allows));
     }
 
-    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags.sort_by(|a, b| (a.line, a.column, a.rule).cmp(&(b.line, b.column, b.rule)));
     diags
+}
+
+/// Is the token at index `k` inside an observability module? True when
+/// the file itself is `obs.rs` or the enclosing function's module path
+/// (file stem + inline `mod` names) contains `obs`.
+fn in_obs_module(items: &[FnItem], k: usize, fname: &str) -> bool {
+    if fname == "obs.rs" {
+        return true;
+    }
+    // Innermost function whose body token range contains k.
+    items
+        .iter()
+        .filter(|it| it.body.is_some_and(|(open, close)| k > open && k < close))
+        .max_by_key(|it| it.tok_start)
+        .is_some_and(|it| it.module.iter().any(|m| m == "obs"))
 }
 
 /// Every public sweep entry point (a `pub fn` whose name contains
 /// `sweep` or `ladder`) must route through the deterministic runner:
 /// its signature or body must mention `SweepRunner`, or it must call
 /// another `*sweep*` function that does.
-fn check_sweep_routing(rel: &Path, code: &str, allows: &[(usize, String)]) -> Vec<Diagnostic> {
+fn check_sweep_routing(
+    rel: &Path,
+    content: &str,
+    lexed: &Lexed,
+    items: &[FnItem],
+    allows: &[(usize, String)],
+) -> Vec<Diagnostic> {
+    let toks = &lexed.tokens;
     let mut diags = Vec::new();
-    for f in public_fns(code) {
-        if !(f.name.contains("sweep") || f.name.contains("ladder")) {
+    for item in items {
+        if !item.is_pub || !(item.name.contains("sweep") || item.name.contains("ladder")) {
             continue;
         }
-        let routed = has_ident(&f.text, "SweepRunner") || calls_other_sweep(&f.text, &f.name);
-        let allowed = allows
+        let span_end = item.body.map(|(_, close)| close).unwrap_or(item.tok_start);
+        let mentions_runner = toks[item.tok_start..=span_end.min(toks.len() - 1)]
             .iter()
-            .any(|(l, r)| r == "sweep-routing" && (*l == f.line || *l + 1 == f.line));
-        if !routed && !allowed {
+            .any(|t| t.is_ident(content, "SweepRunner"));
+        let (calls, _) = extract(content, toks, item, items);
+        let delegates = calls
+            .iter()
+            .any(|c: &CallSite| c.name.contains("sweep") && c.name != item.name);
+        if mentions_runner || delegates || allowed(allows, "sweep-routing", item.line) {
+            continue;
+        }
+        diags.push(Diagnostic {
+            path: rel.to_path_buf(),
+            line: item.line,
+            column: toks[item.tok_start].col,
+            rule: "sweep-routing",
+            message: format!(
+                "pub fn {} does not route through SweepRunner; all sweeps \
+                 go through the deterministic runner",
+                item.name
+            ),
+            chain: Vec::new(),
+        });
+    }
+    diags
+}
+
+/// The timer-float pass: compute the timer set (declared entry points
+/// plus dominator closure over `crates/tcp`) and flag any float type or
+/// literal inside a member function's extent.
+fn check_timer_floats(
+    files: &[FileData],
+    nodes: &[FnNode],
+    node_loc: &[(usize, usize)],
+    callers: &[Vec<usize>],
+) -> Vec<Diagnostic> {
+    let mut in_set: Vec<bool> = nodes
+        .iter()
+        .map(|n| n.crate_name == "tcp" && TIMER_ENTRY_FNS.contains(&n.item.name.as_str()))
+        .collect();
+
+    // Dominator closure: a tcp function with at least one caller, all of
+    // whose callers are already timer functions, is itself part of the
+    // retransmission clock — whatever its name.
+    loop {
+        let mut changed = false;
+        for (id, node) in nodes.iter().enumerate() {
+            if in_set[id] || node.crate_name != "tcp" {
+                continue;
+            }
+            let cs = &callers[id];
+            if !cs.is_empty() && cs.iter().all(|&c| in_set[c]) {
+                in_set[id] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut diags = Vec::new();
+    for (id, node) in nodes.iter().enumerate() {
+        if !in_set[id] {
+            continue;
+        }
+        let Some((_, close)) = node.item.body else {
+            continue;
+        };
+        let (fi, _) = node_loc[id];
+        let f = &files[fi];
+        let toks = &f.lexed.tokens;
+        let allows = allows_of(&f.lexed);
+        // Skip tokens belonging to items nested inside this function —
+        // they are graph nodes of their own.
+        let nested: Vec<(usize, usize)> = f
+            .items
+            .iter()
+            .filter(|it| it.tok_start > node.item.tok_start && it.tok_start < close)
+            .map(|it| {
+                (
+                    it.tok_start,
+                    it.body.map(|(_, c)| c).unwrap_or(it.tok_start),
+                )
+            })
+            .collect();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let end = close.min(toks.len() - 1);
+        for (k, &t) in toks
+            .iter()
+            .enumerate()
+            .take(end + 1)
+            .skip(node.item.tok_start)
+        {
+            if nested.iter().any(|&(s, e)| k >= s && k <= e) {
+                continue;
+            }
+            let is_float = t.kind == TokKind::Float
+                || (t.kind == TokKind::Ident && matches!(t.text(&f.content), "f32" | "f64"));
+            if !is_float || allowed(&allows, "float-event-loop", t.line) || !seen.insert(t.line) {
+                continue;
+            }
             diags.push(Diagnostic {
-                path: rel.to_path_buf(),
-                line: f.line,
-                rule: "sweep-routing",
+                path: f.rel.clone(),
+                line: t.line,
+                column: t.col,
+                rule: "float-event-loop",
                 message: format!(
-                    "pub fn {} does not route through SweepRunner; all sweeps \
-                     go through the deterministic runner",
-                    f.name
+                    "float arithmetic in timer entry point `{}`; the \
+                     retransmission clock is integer nanoseconds only",
+                    node.item.name
                 ),
+                chain: Vec::new(),
             });
         }
     }
     diags
 }
 
-/// Function-name substrings marking a `crates/tcp` function as part of
-/// the retransmission-clock machinery: RTO arming and backoff, RTT
-/// estimation (which feeds the RTO), timer dispatch, delayed ACKs.
-const TIMER_FN_MARKERS: &[&str] = &["timer", "rto", "rtt", "delack"];
-
-/// The timer entry points of the TCP stack must compute deadlines in
-/// integer `Nanos` — a float-scaled backoff rounds differently across
-/// platforms *and* silently saturates its mantissa long before `u64`
-/// does. Scoped to functions (by name), not the whole crate: window
-/// fractions and goodput math legitimately use `f64`.
-fn check_timer_floats(rel: &Path, code: &str, allows: &[(usize, String)]) -> Vec<Diagnostic> {
-    let mut diags = Vec::new();
-    for f in fn_items(code, "fn ") {
-        if !TIMER_FN_MARKERS.iter().any(|m| f.name.contains(m)) {
-            continue;
-        }
-        for (k, line) in f.text.lines().enumerate() {
-            if !(has_ident(line, "f32") || has_ident(line, "f64")) {
-                continue;
-            }
-            let lineno = f.line + k;
-            let allowed = allows
-                .iter()
-                .any(|(l, r)| r == "float-event-loop" && (*l == lineno || *l + 1 == lineno));
-            if !allowed {
-                diags.push(Diagnostic {
-                    path: rel.to_path_buf(),
-                    line: lineno,
-                    rule: "float-event-loop",
-                    message: format!(
-                        "float arithmetic in timer entry point `{}`; the \
-                         retransmission clock is integer nanoseconds only",
-                        f.name
-                    ),
-                });
-            }
-        }
-    }
-    diags
-}
-
-/// A function item found by the lightweight parser.
-struct PubFn {
-    name: String,
-    /// 1-based line of the `fn` keyword.
-    line: usize,
-    /// Signature + body text (comments/strings already stripped).
-    text: String,
-}
-
-/// Find `pub fn` items in stripped source text.
-fn public_fns(code: &str) -> Vec<PubFn> {
-    fn_items(code, "pub fn ")
-}
-
-/// Find function items introduced by `needle` (`"pub fn "` or `"fn "` —
-/// the latter matches every visibility, since `pub fn` contains `fn ` at
-/// a word boundary). Good enough for lint: no const-generic braces
-/// appear in this workspace's signatures.
-fn fn_items(code: &str, needle: &str) -> Vec<PubFn> {
-    let bytes = code.as_bytes();
-    let mut fns = Vec::new();
-    let mut search = 0;
-    while let Some(off) = code[search..].find(needle) {
-        let start = search + off;
-        search = start + needle.len();
-        // Word boundary before `pub`.
-        if start > 0 && is_ident_byte(bytes[start - 1]) {
-            continue;
-        }
-        let name: String = code[search..]
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-            .collect();
-        if name.is_empty() {
-            continue;
-        }
-        let Some(body_off) = code[start..].find('{') else {
-            continue;
-        };
-        let open = start + body_off;
-        let mut depth = 0usize;
-        let mut end = open;
-        for (i, b) in code[open..].bytes().enumerate() {
-            match b {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        end = open + i + 1;
-                        break;
-                    }
-                }
-                _ => {}
-            }
-        }
-        let line = code[..start].bytes().filter(|&b| b == b'\n').count() + 1;
-        fns.push(PubFn {
-            name,
-            line,
-            text: code[start..end].to_string(),
-        });
-    }
-    fns
-}
-
-/// Does `text` call some *other* function whose name contains `sweep`?
-fn calls_other_sweep(text: &str, own_name: &str) -> bool {
-    let bytes = text.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if !is_ident_byte(bytes[i]) {
-            i += 1;
-            continue;
-        }
-        let start = i;
-        while i < bytes.len() && is_ident_byte(bytes[i]) {
-            i += 1;
-        }
-        let ident = &text[start..i];
-        if ident.contains("sweep") && ident != own_name {
-            // Followed (modulo whitespace) by `(` → it's a call.
-            let rest = text[i..].trim_start();
-            if rest.starts_with('(') {
-                return true;
-            }
-        }
-    }
-    false
-}
-
-/// Collect `lint:allow(rule)` markers: `(line, rule)` pairs, 1-based.
-/// Parsed from the raw source (the markers live inside comments, which
-/// the stripper removes).
-pub fn allow_markers(content: &str) -> Vec<(usize, String)> {
-    let mut out = Vec::new();
-    for (idx, line) in content.lines().enumerate() {
-        let mut rest = line;
-        while let Some(pos) = rest.find("lint:allow(") {
-            let after = &rest[pos + "lint:allow(".len()..];
-            if let Some(close) = after.find(')') {
-                out.push((idx + 1, after[..close].trim().to_string()));
-                rest = &after[close + 1..];
-            } else {
-                break;
-            }
-        }
-    }
-    out
-}
-
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Word-boundary identifier match.
-fn has_ident(line: &str, word: &str) -> bool {
-    find_ident(line, word).is_some()
-}
-
-/// Byte offset of a word-boundary occurrence of `word` in `line`.
-fn find_ident(line: &str, word: &str) -> Option<usize> {
-    let bytes = line.as_bytes();
-    for (pos, _) in line.match_indices(word) {
-        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
-        let after = pos + word.len();
-        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
-        if before_ok && after_ok {
-            return Some(pos);
-        }
-    }
-    None
-}
-
-/// `rand::` as a path root (`rand` followed by `::`), which would pull in
-/// the external crate rather than the vendored `SimRng`.
-fn has_rand_path(line: &str) -> bool {
-    let bytes = line.as_bytes();
-    for (pos, _) in line.match_indices("rand") {
-        let before_ok = pos == 0 || !is_ident_byte(bytes[pos - 1]);
-        let after = pos + "rand".len();
-        if before_ok && line[after..].starts_with("::") {
-            return true;
-        }
-    }
-    false
-}
-
-/// `name!` macro invocation on a word boundary.
-fn has_macro(line: &str, name: &str) -> bool {
-    if let Some(pos) = find_ident(line, name) {
-        return line[pos + name.len()..].starts_with('!');
-    }
-    false
-}
-
-/// Strip comments, string literals, and char literals from Rust source,
-/// preserving line structure (stripped characters become spaces, so
-/// identifiers never merge across removed regions and line numbers are
-/// unchanged). Handles `//`, nested `/* */`, `"..."` with escapes across
-/// lines, raw strings `r#"..."#` with any hash count, byte strings, char
-/// literals (including `'"'` and escapes), and lifetimes.
-pub fn strip_non_code(content: &str) -> String {
-    let chars: Vec<char> = content.chars().collect();
-    let mut out = String::with_capacity(content.len());
-    let mut i = 0;
-    let n = chars.len();
-
-    #[derive(PartialEq)]
-    enum Mode {
-        Code,
-        Block(usize),
-        Str,
-        Raw(usize),
-    }
-    let mut mode = Mode::Code;
-    // Previous non-stripped char in Code mode, for raw-string detection
-    // (`r` must not be the tail of an identifier like `attr`).
-    let mut prev_code: Option<char> = None;
-
-    while i < n {
-        let c = chars[i];
-        match mode {
-            Mode::Code => {
-                if c == '/' && i + 1 < n && chars[i + 1] == '/' {
-                    while i < n && chars[i] != '\n' {
-                        i += 1;
-                    }
-                } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
-                    mode = Mode::Block(1);
-                    out.push_str("  ");
-                    i += 2;
-                } else if c == '"' {
-                    mode = Mode::Str;
-                    out.push(' ');
-                    i += 1;
-                } else if (c == 'r' || c == 'b')
-                    && !prev_code.is_some_and(|p| p.is_alphanumeric() || p == '_')
-                {
-                    // Possible raw / byte / byte-raw string prefix.
-                    let mut j = i + 1;
-                    if c == 'b' && j < n && chars[j] == 'r' {
-                        j += 1;
-                    }
-                    if c == 'b' && j == i + 1 && j < n && chars[j] == '"' {
-                        // b"..." — ordinary escape rules.
-                        mode = Mode::Str;
-                        out.push(' ');
-                        out.push(' ');
-                        i = j + 1;
-                        continue;
-                    }
-                    let mut hashes = 0;
-                    while j < n && chars[j] == '#' {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if (c == 'r' || j > i + 1) && j < n && chars[j] == '"' {
-                        mode = Mode::Raw(hashes);
-                        for _ in i..=j {
-                            out.push(' ');
-                        }
-                        i = j + 1;
-                    } else {
-                        out.push(c);
-                        prev_code = Some(c);
-                        i += 1;
-                    }
-                } else if c == '\'' {
-                    // Char literal vs lifetime.
-                    if i + 1 < n && chars[i + 1] == '\\' {
-                        // Escaped char literal: skip to the closing quote.
-                        i += 2;
-                        while i < n && chars[i] != '\'' {
-                            i += 1;
-                        }
-                        i += 1; // closing quote
-                        out.push(' ');
-                    } else if i + 2 < n && chars[i + 2] == '\'' {
-                        // One-char literal, e.g. 'x' or '"'.
-                        out.push(' ');
-                        i += 3;
-                    } else {
-                        // Lifetime: keep the tick, code continues.
-                        out.push('\'');
-                        i += 1;
-                    }
-                    prev_code = Some('\'');
-                } else {
-                    out.push(c);
-                    if !c.is_whitespace() {
-                        prev_code = Some(c);
-                    }
-                    i += 1;
-                }
-            }
-            Mode::Block(depth) => {
-                if c == '/' && i + 1 < n && chars[i + 1] == '*' {
-                    mode = Mode::Block(depth + 1);
-                    i += 2;
-                } else if c == '*' && i + 1 < n && chars[i + 1] == '/' {
-                    mode = if depth == 1 {
-                        Mode::Code
-                    } else {
-                        Mode::Block(depth - 1)
-                    };
-                    i += 2;
-                } else {
-                    if c == '\n' {
-                        out.push('\n');
-                    }
-                    i += 1;
-                }
-            }
-            Mode::Str => {
-                if c == '\\' {
-                    i += 2; // skip the escaped char
-                } else if c == '"' {
-                    mode = Mode::Code;
-                    out.push(' ');
-                    i += 1;
-                } else {
-                    if c == '\n' {
-                        out.push('\n');
-                    }
-                    i += 1;
-                }
-            }
-            Mode::Raw(hashes) => {
-                if c == '"' {
-                    let close = (1..=hashes).all(|k| i + k < n && chars[i + k] == '#');
-                    if close {
-                        mode = Mode::Code;
-                        i += 1 + hashes;
-                    } else {
-                        i += 1;
-                    }
-                } else {
-                    if c == '\n' {
-                        out.push('\n');
-                    }
-                    i += 1;
-                }
-            }
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn line_comments_are_stripped() {
-        let s = strip_non_code("let x = 1; // Instant::now()\nlet y = 2;");
-        assert!(!s.contains("Instant"));
-        assert!(s.contains("let y = 2;"));
-    }
-
-    #[test]
-    fn nested_block_comments_are_stripped() {
-        let s = strip_non_code("a /* outer /* SystemTime */ still comment */ b");
-        assert!(!s.contains("SystemTime"));
-        assert!(s.contains('a') && s.contains('b'));
-    }
-
-    #[test]
-    fn strings_are_stripped_but_lines_survive() {
-        let s = strip_non_code("let s = \"HashMap\\\" still string\";\nlet t = 3;");
-        assert!(!s.contains("HashMap"));
-        assert_eq!(s.lines().count(), 2);
-    }
-
-    #[test]
-    fn raw_strings_with_hashes_are_stripped() {
-        let s = strip_non_code("let s = r#\"thread_rng \"quoted\" more\"#; f64");
-        assert!(!s.contains("thread_rng"));
-        assert!(
-            s.contains("f64"),
-            "code after the raw string must survive: {s}"
-        );
-    }
-
-    #[test]
-    fn char_literal_quote_does_not_open_a_string() {
-        let s = strip_non_code("let c = '\"'; let x = Instant;");
-        assert!(s.contains("Instant"), "code after '\"' must stay code: {s}");
-    }
-
-    #[test]
-    fn lifetimes_are_not_char_literals() {
-        let s = strip_non_code("fn f<'a>(x: &'a str) -> &'a str { x }");
-        assert!(s.contains("str"));
-    }
-
-    #[test]
-    fn ident_matching_respects_word_boundaries() {
-        assert!(!has_ident("/// Instantiate runtime state.", "Instant"));
-        assert!(has_ident("use std::time::Instant;", "Instant"));
-        assert!(!has_ident("my_rand::next()", "rand"));
-        assert!(has_rand_path("rand::thread_rng()"));
-        assert!(!has_rand_path("my_rand::thread_rng()"));
-        assert!(has_macro("panic!(\"boom\")", "panic"));
-        assert!(!has_macro("deterministic_panic_free()", "panic"));
-    }
-
-    #[test]
-    fn allow_markers_are_parsed() {
-        let m = allow_markers("x // lint:allow(unwrap)\ny // lint:allow(wall-clock)\n");
-        assert_eq!(
-            m,
-            vec![(1, "unwrap".to_string()), (2, "wall-clock".to_string())]
-        );
-    }
 
     #[test]
     fn unwrap_rule_scopes_to_hot_path_crates() {
@@ -714,6 +748,85 @@ mod tests {
     fn allow_on_preceding_line_suppresses() {
         let code = "// lint:allow(unwrap)\npub fn f(v: &[u8]) -> u8 { *v.first().unwrap() }\n";
         let d = lint_file(Path::new("crates/sim/src/x.rs"), "sim", code);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn banned_tokens_in_comments_and_strings_do_not_fire() {
+        let code = "// Instant::now() HashMap\nfn f() { let s = \"SystemTime\"; }\n";
+        let d = lint_file(Path::new("crates/sim/src/x.rs"), "sim", code);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn columns_point_at_the_offending_token() {
+        let code = "fn f() { let t = Instant::now(); }\n";
+        let d = lint_file(Path::new("crates/sim/src/x.rs"), "sim", code);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[0].column, 18);
+        let s = d[0].to_string();
+        assert!(s.contains("x.rs:1:18: [wall-clock]"), "{s}");
+    }
+
+    #[test]
+    fn float_rule_fires_in_the_event_loop_files_only() {
+        let code = "pub struct S { t: f64 }\nconst K: u64 = 1;\nfn f() -> u64 { 2 }\n";
+        let d = lint_file(Path::new("crates/sim/src/engine.rs"), "sim", code);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "float-event-loop");
+        let d = lint_file(Path::new("crates/sim/src/calendar.rs"), "sim", code);
+        assert_eq!(d.len(), 1, "the calendar is float-banned too: {d:?}");
+        let d = lint_file(Path::new("crates/sim/src/stats.rs"), "sim", code);
+        assert!(d.is_empty(), "floats are fine outside the calendar: {d:?}");
+    }
+
+    #[test]
+    fn float_literals_count_as_floats_in_the_event_loop() {
+        let code = "fn f() -> u64 { let x = 0.875; 1 }\n";
+        let d = lint_file(Path::new("crates/sim/src/engine.rs"), "sim", code);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "float-event-loop");
+    }
+
+    #[test]
+    fn lossy_cast_fires_on_int_targets_in_event_loop_files() {
+        let code = "fn f(x: u64) -> usize { x as usize }\n";
+        for file in ["engine.rs", "calendar.rs", "time.rs"] {
+            let d = lint_file(Path::new(&format!("crates/sim/src/{file}")), "sim", code);
+            assert!(d.iter().any(|x| x.rule == "lossy-cast"), "{file}: {d:?}");
+        }
+        // Not in scope: other sim files, other crates, float targets.
+        let d = lint_file(Path::new("crates/sim/src/stats.rs"), "sim", code);
+        assert!(d.is_empty(), "{d:?}");
+        let float = "fn f(x: u64) -> f64 { x as f64 }\n";
+        let d = lint_file(Path::new("crates/sim/src/time.rs"), "sim", float);
+        assert!(
+            d.is_empty(),
+            "float-destination casts are not lossy-cast: {d:?}"
+        );
+    }
+
+    #[test]
+    fn lossy_cast_respects_allow_with_justification() {
+        let code = "fn f(x: u64) -> usize {\n    // bounded by the wheel mask\n    \
+                    x as usize // lint:allow(lossy-cast)\n}\n";
+        let d = lint_file(Path::new("crates/sim/src/calendar.rs"), "sim", code);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn printf_exemption_is_module_scoped_not_file_named() {
+        // An inline `mod obs` exempts its functions; code outside it in
+        // the same file still fires.
+        let code = "pub mod obs {\n    pub fn dump() { println!(\"ok\"); }\n}\n\
+                    pub fn stray() { println!(\"bad\"); }\n";
+        let d = lint_file(Path::new("crates/net/src/telemetry.rs"), "net", code);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "printf-debug");
+        assert_eq!(d[0].line, 4);
+        // A file named obs.rs is exempt wholesale.
+        let d = lint_file(Path::new("crates/net/src/obs.rs"), "net", code);
         assert!(d.is_empty(), "{d:?}");
     }
 
@@ -753,35 +866,29 @@ mod tests {
     }
 
     #[test]
-    fn float_rule_fires_only_in_the_engine() {
-        let code = "pub struct S { t: f64 }\n";
-        let d = lint_file(Path::new("crates/sim/src/engine.rs"), "sim", code);
-        assert_eq!(d.len(), 1);
-        assert_eq!(d[0].rule, "float-event-loop");
-        let d = lint_file(Path::new("crates/sim/src/calendar.rs"), "sim", code);
-        assert_eq!(d.len(), 1, "the calendar is float-banned too: {d:?}");
-        let d = lint_file(Path::new("crates/sim/src/stats.rs"), "sim", code);
-        assert!(d.is_empty(), "floats are fine outside the calendar: {d:?}");
+    fn json_escaping_is_sound() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(
+            json_string_array(&["x".to_string(), "y\"z".to_string()]),
+            "[\"x\", \"y\\\"z\"]"
+        );
     }
 
     #[test]
-    fn float_rule_scopes_to_tcp_timer_functions() {
-        // A float inside a timer-named fn fires; the same float in
-        // ordinary window math does not — any visibility, not just pub.
-        let bad = "fn backed_off_rto(x: u64) -> u64 {\n    (x as f64 * 2.0) as u64\n}\n";
-        let d = lint_file(Path::new("crates/tcp/src/conn.rs"), "tcp", bad);
-        assert_eq!(d.len(), 1, "{d:?}");
-        assert_eq!(d[0].rule, "float-event-loop");
-        assert_eq!(d[0].line, 2);
-        assert!(d[0].message.contains("backed_off_rto"));
-
-        let fine =
-            "pub fn window_fraction(s: u32) -> f64 {\n    1.0 - 1.0 / (1u64 << s) as f64\n}\n";
-        let d = lint_file(Path::new("crates/tcp/src/conn.rs"), "tcp", fine);
-        assert!(d.is_empty(), "non-timer floats are fine in tcp: {d:?}");
-
-        // The same timer fn outside crates/tcp is not in scope.
-        let d = lint_file(Path::new("crates/core/src/lab/mod.rs"), "core", bad);
-        assert!(d.is_empty(), "{d:?}");
+    fn findings_json_shape_is_stable() {
+        let mut report = LintReport::default();
+        assert_eq!(report.findings_json(), "{\n  \"findings\": []\n}\n");
+        report.diagnostics.push(Diagnostic {
+            path: PathBuf::from("crates/sim/src/x.rs"),
+            line: 3,
+            column: 7,
+            rule: "wall-clock",
+            message: "msg".to_string(),
+            chain: vec!["a".to_string(), "b".to_string()],
+        });
+        let j = report.findings_json();
+        assert!(j.contains("\"path\": \"crates/sim/src/x.rs\""), "{j}");
+        assert!(j.contains("\"line\": 3"), "{j}");
+        assert!(j.contains("\"chain\": [\"a\", \"b\"]"), "{j}");
     }
 }

@@ -1,26 +1,129 @@
 //! `tengig-lint`: walk the workspace and enforce the determinism rules.
 //!
-//! Usage: `tengig-lint [ROOT]` (default `.`). Exits 1 if any rule fires.
+//! Usage: `tengig-lint [ROOT] [--json] [--rule NAME] [--baseline FILE]`
+//! (default root `.`).
+//!
+//! * `--json` — print the full machine-readable report instead of the
+//!   human `file:line:col: [rule] message` lines.
+//! * `--rule NAME` — only report findings of one rule (local iteration).
+//! * `--baseline FILE` — compare the canonical findings document against
+//!   a committed baseline; the run passes iff they are byte-identical.
+//!
+//! Exit codes: `0` clean (or matching the baseline), `1` findings (or a
+//! baseline mismatch), `2` usage or I/O error — so CI can distinguish
+//! "the tree is dirty" from "the linter could not run".
 
 #![forbid(unsafe_code)]
 
 use std::path::Path;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: tengig-lint [ROOT] [--json] [--rule NAME] [--baseline FILE]";
+
+struct Args {
+    root: String,
+    json: bool,
+    rule: Option<String>,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: ".".to_string(),
+        json: false,
+        rule: None,
+        baseline: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut root_seen = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--rule" => {
+                let name = it.next().ok_or("--rule needs a rule name")?;
+                if !tengig_lint::RULES.contains(&name.as_str()) {
+                    return Err(format!(
+                        "unknown rule `{name}` (known: {})",
+                        tengig_lint::RULES.join(", ")
+                    ));
+                }
+                args.rule = Some(name);
+            }
+            "--baseline" => {
+                args.baseline = Some(it.next().ok_or("--baseline needs a file path")?);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            root => {
+                if root_seen {
+                    return Err(format!("unexpected extra argument `{root}`"));
+                }
+                args.root = root.to_string();
+                root_seen = true;
+            }
+        }
+    }
+    Ok(args)
+}
+
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
-    let report = match tengig_lint::lint_workspace(Path::new(&root)) {
-        Ok(r) => r,
+    let args = match parse_args() {
+        Ok(a) => a,
         Err(e) => {
-            eprintln!("tengig-lint: cannot read {root}: {e}");
-            return ExitCode::FAILURE;
+            eprintln!("tengig-lint: {e}\n{USAGE}");
+            return ExitCode::from(2);
         }
     };
-    for d in &report.diagnostics {
-        println!("{d}");
+
+    let mut report = match tengig_lint::lint_workspace(Path::new(&args.root)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tengig-lint: cannot read {}: {e}", args.root);
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(rule) = &args.rule {
+        report.diagnostics.retain(|d| d.rule == rule);
     }
+
+    if args.json {
+        print!("{}", report.to_json());
+    } else {
+        for d in &report.diagnostics {
+            println!("{d}");
+        }
+    }
+
+    if let Some(path) = &args.baseline {
+        let expected = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tengig-lint: cannot read baseline {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let actual = report.findings_json();
+        if actual == expected {
+            eprintln!(
+                "tengig-lint: findings match baseline {path} ({} finding(s), {} roots proven)",
+                report.diagnostics.len(),
+                report.roots_proven.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        eprintln!(
+            "tengig-lint: findings diverge from baseline {path}; \
+             regenerate it deliberately if the change is intended"
+        );
+        return ExitCode::FAILURE;
+    }
+
     if report.diagnostics.is_empty() {
-        eprintln!("tengig-lint: {} files clean", report.files_scanned);
+        eprintln!(
+            "tengig-lint: {} files clean, {} hot-path roots proven source-free",
+            report.files_scanned,
+            report.roots_proven.len()
+        );
         ExitCode::SUCCESS
     } else {
         eprintln!(

@@ -1,0 +1,443 @@
+//! Item-level parsing: recover `fn` / `impl` / `mod` boundaries from the
+//! token stream.
+//!
+//! This is not a Rust parser — it only tracks the three structures the
+//! linter needs: which function a token belongs to (for span-scoped
+//! rules), which type a method is attached to (for qualified names like
+//! `Engine::run`), and which inline module a function sits in (for the
+//! observability exemption). Everything else — expressions, generics,
+//! where clauses — is skipped by depth counting.
+//!
+//! The parser is as total as the lexer: arbitrary token streams produce a
+//! best-effort item list without panicking. Unbalanced braces simply
+//! truncate the innermost open items at end-of-file.
+
+use crate::lex::{Lexed, MarkerKind, TokKind, Token};
+
+/// One function item recovered from a source file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The bare function name (`run`, `arm_rto`).
+    pub name: String,
+    /// Qualified name: `Type::name` when declared inside `impl Type` /
+    /// `impl Trait for Type` / `trait Type`, else just `name`.
+    pub qname: String,
+    /// Whether the declaration carries a `pub` modifier.
+    pub is_pub: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// 1-based line of the body's closing brace (or the declaration line
+    /// for bodyless signatures).
+    pub end_line: usize,
+    /// Module path within the file: the file stem plus any enclosing
+    /// inline `mod` names, outermost first.
+    pub module: Vec<String>,
+    /// Token index of the `fn` keyword.
+    pub tok_start: usize,
+    /// Token indices of the body's `{` and matching `}`, if the function
+    /// has a body.
+    pub body: Option<(usize, usize)>,
+    /// `lint:trusted(reason)` from a comment within three lines above the
+    /// declaration, if present.
+    pub trusted: Option<String>,
+}
+
+/// What kind of scope a brace opened.
+#[derive(Debug)]
+enum ScopeKind {
+    /// `mod name {` — contributes to the module path.
+    Mod(String),
+    /// `impl Type {`, `impl Trait for Type {`, or `trait Type {` —
+    /// contributes the type name for qualified fn names.
+    Impl(String),
+}
+
+struct Scope {
+    kind: ScopeKind,
+    /// Brace depth *after* this scope's `{` was consumed; the scope pops
+    /// when depth returns below this value.
+    depth: usize,
+}
+
+/// Parse a lexed file into its function items. `file_stem` seeds the
+/// module path (e.g. `"engine"` for `engine.rs`).
+pub fn parse_items(src: &str, lexed: &Lexed, file_stem: &str) -> Vec<FnItem> {
+    let toks = &lexed.tokens;
+    let n = toks.len();
+    let mut items: Vec<FnItem> = Vec::new();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+
+    while i < n {
+        let t = toks[i];
+        match t.kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while scopes.last().is_some_and(|s| s.depth > depth) {
+                    scopes.pop();
+                }
+                i += 1;
+            }
+            TokKind::Ident => {
+                let word = t.text(src);
+                match word {
+                    "mod" => {
+                        // `mod name {` opens a module scope; `mod name;`
+                        // is an out-of-line declaration we ignore.
+                        if i + 2 < n
+                            && toks[i + 1].kind == TokKind::Ident
+                            && toks[i + 2].is_punct('{')
+                        {
+                            let name = toks[i + 1].text(src).to_string();
+                            depth += 1;
+                            scopes.push(Scope {
+                                kind: ScopeKind::Mod(name),
+                                depth,
+                            });
+                            i += 3;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    "impl" | "trait" => {
+                        if let Some((name, body_open)) = scan_impl_header(src, toks, i) {
+                            depth += 1;
+                            scopes.push(Scope {
+                                kind: ScopeKind::Impl(name),
+                                depth,
+                            });
+                            i = body_open + 1;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    "fn" => {
+                        if i + 1 < n && toks[i + 1].kind == TokKind::Ident {
+                            let (item, next) = scan_fn(src, lexed, toks, i, &scopes, file_stem);
+                            if let Some((open, _)) = item.body {
+                                // Resume inside the body so nested items
+                                // (closures' inner fns) are still seen,
+                                // but the signature — where `impl Trait`
+                                // return types and `fn(..)` pointer types
+                                // live — is skipped.
+                                depth += 1;
+                                i = open + 1;
+                            } else {
+                                i = next;
+                            }
+                            items.push(item);
+                        } else {
+                            // `fn(` — a function-pointer type, not an item.
+                            i += 1;
+                        }
+                    }
+                    _ => i += 1,
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    items
+}
+
+/// Scan an `impl`/`trait` header starting at token `at` (the keyword).
+/// Returns the subject type name and the token index of the body `{`.
+/// Returns `None` for bodyless forms (`impl Trait for T;` doesn't exist,
+/// but truncated files do) or when the header runs off the end.
+fn scan_impl_header(src: &str, toks: &[Token], at: usize) -> Option<(String, usize)> {
+    let n = toks.len();
+    let mut angle = 0i32;
+    let mut last_ident: Option<&str> = None;
+    let mut after_for: Option<&str> = None;
+    let mut seen_for = false;
+    let mut seen_where = false;
+    let mut j = at + 1;
+    while j < n {
+        let t = toks[j];
+        match t.kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => {
+                // `->` in e.g. `impl Fn(u32) -> u32` must not close an
+                // angle bracket: the `-` token is byte-adjacent.
+                let arrow = j > 0 && toks[j - 1].is_punct('-') && toks[j - 1].end == t.start;
+                if !arrow {
+                    angle -= 1;
+                }
+            }
+            TokKind::Punct('{') if angle <= 0 => {
+                let name = after_for.or(last_ident)?;
+                return Some((name.to_string(), j));
+            }
+            TokKind::Punct(';') if angle <= 0 => return None,
+            TokKind::Ident if angle <= 0 => {
+                let w = t.text(src);
+                if w == "where" {
+                    // Type name is settled; keep scanning for the `{`
+                    // without letting bound types overwrite it.
+                    seen_where = true;
+                } else if seen_where {
+                } else if w == "for" {
+                    seen_for = true;
+                } else if seen_for && after_for.is_none() {
+                    after_for = Some(w);
+                } else if !seen_for {
+                    last_ident = Some(w);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Scan a `fn` item starting at token `at` (the `fn` keyword, with an
+/// identifier following). Returns the item and the token index to resume
+/// scanning from when the item has no body.
+fn scan_fn(
+    src: &str,
+    lexed: &Lexed,
+    toks: &[Token],
+    at: usize,
+    scopes: &[Scope],
+    file_stem: &str,
+) -> (FnItem, usize) {
+    let n = toks.len();
+    let name_tok = toks[at + 1];
+    let name = name_tok.text(src).to_string();
+
+    // Visibility: look back a few tokens for `pub` among modifiers
+    // (`pub const unsafe extern "C" fn`). Stop at obvious statement
+    // boundaries.
+    let mut is_pub = false;
+    for k in (at.saturating_sub(6)..at).rev() {
+        match toks[k].kind {
+            TokKind::Ident => {
+                let w = toks[k].text(src);
+                if w == "pub" {
+                    is_pub = true;
+                    break;
+                }
+                if !matches!(w, "const" | "unsafe" | "extern" | "async" | "default") {
+                    break;
+                }
+            }
+            TokKind::Str => {}        // the ABI string in `extern "C"`
+            TokKind::Punct(')') => {} // `pub(crate)` — keep looking for `pub`
+            TokKind::Punct('(') => {}
+            _ => break,
+        }
+    }
+
+    // Signature: scan forward for the body `{` at zero paren/bracket/angle
+    // depth, or a `;` (trait method signatures, extern decls).
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut angle = 0i32;
+    let mut j = at + 2;
+    let mut body: Option<(usize, usize)> = None;
+    let mut resume = at + 2;
+    while j < n {
+        let t = toks[j];
+        match t.kind {
+            TokKind::Punct('(') => paren += 1,
+            TokKind::Punct(')') => paren -= 1,
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket -= 1,
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => {
+                let arrow = toks[j - 1].is_punct('-') && toks[j - 1].end == t.start;
+                if !arrow {
+                    angle -= 1;
+                }
+            }
+            TokKind::Punct('{') if paren <= 0 && bracket <= 0 && angle <= 0 => {
+                // Found the body; match braces to find its close.
+                let mut d = 1i32;
+                let mut k = j + 1;
+                while k < n && d > 0 {
+                    match toks[k].kind {
+                        TokKind::Punct('{') => d += 1,
+                        TokKind::Punct('}') => d -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                body = Some((j, k.saturating_sub(1)));
+                resume = j + 1;
+                break;
+            }
+            TokKind::Punct(';') if paren <= 0 && bracket <= 0 && angle <= 0 => {
+                resume = j + 1;
+                break;
+            }
+            _ => {}
+        }
+        j += 1;
+        resume = j;
+    }
+
+    // Qualified name from the innermost impl/trait scope.
+    let impl_name = scopes.iter().rev().find_map(|s| match &s.kind {
+        ScopeKind::Impl(t) => Some(t.clone()),
+        _ => None,
+    });
+    let qname = match &impl_name {
+        Some(t) => format!("{t}::{name}"),
+        None => name.clone(),
+    };
+
+    // Module path: file stem plus inline mod names, outermost first.
+    let mut module = vec![file_stem.to_string()];
+    for s in scopes {
+        if let ScopeKind::Mod(m) = &s.kind {
+            module.push(m.clone());
+        }
+    }
+
+    // Trusted marker: a lint:trusted within three lines above (or on) the
+    // declaration line binds to this function.
+    let line = toks[at].line;
+    let trusted = lexed.markers.iter().rev().find_map(|m| {
+        if let MarkerKind::Trusted(reason) = &m.kind {
+            if m.line <= line && line.saturating_sub(m.line) <= 3 {
+                return Some(reason.clone());
+            }
+        }
+        None
+    });
+
+    let end_line = body
+        .map(|(_, close)| toks[close.min(n - 1)].line)
+        .unwrap_or(line);
+
+    (
+        FnItem {
+            name,
+            qname,
+            is_pub,
+            line,
+            end_line,
+            module,
+            tok_start: at,
+            body,
+            trusted,
+        },
+        resume,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn parse(src: &str) -> Vec<FnItem> {
+        let lexed = lex(src);
+        parse_items(src, &lexed, "test")
+    }
+
+    #[test]
+    fn free_and_method_fns_get_qualified_names() {
+        let src = "fn free() {}\nimpl Engine { pub fn run(&mut self) {} }\n";
+        let items = parse(src);
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].qname, "free");
+        assert!(!items[0].is_pub);
+        assert_eq!(items[1].qname, "Engine::run");
+        assert!(items[1].is_pub);
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type() {
+        let src = "impl Default for SweepRunner { fn default() -> Self { x } }";
+        let items = parse(src);
+        assert_eq!(items[0].qname, "SweepRunner::default");
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_type() {
+        let src = "impl<W, E: EventFire<W>> Engine<W, E> { fn step(&mut self) {} }";
+        let items = parse(src);
+        assert_eq!(items[0].qname, "Engine::step");
+    }
+
+    #[test]
+    fn return_position_impl_trait_is_not_an_item() {
+        let src = "fn make() -> impl Iterator<Item = u32> { (0..3).map(|x| x) }\nfn after() {}";
+        let items = parse(src);
+        let qnames: Vec<&str> = items.iter().map(|i| i.qname.as_str()).collect();
+        assert_eq!(qnames, vec!["make", "after"]);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let src = "fn takes(f: fn(u32) -> u32) -> u32 { f(1) }";
+        let items = parse(src);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "takes");
+    }
+
+    #[test]
+    fn inline_mods_extend_the_module_path() {
+        let src = "mod obs { pub fn dump() {} }\nfn outer() {}";
+        let items = parse(src);
+        assert_eq!(items[0].module, vec!["test", "obs"]);
+        assert_eq!(items[1].module, vec!["test"]);
+    }
+
+    #[test]
+    fn where_clauses_and_arrows_do_not_break_header_scan() {
+        let src = "impl<F> Runner<F> where F: Fn(u32) -> u32 { fn go(&self) {} }";
+        let items = parse(src);
+        assert_eq!(items[0].qname, "Runner::go");
+    }
+
+    #[test]
+    fn body_spans_cover_the_whole_function() {
+        let src = "fn a() {\n    let x = 1;\n}\nfn b() {}\n";
+        let items = parse(src);
+        assert_eq!(items[0].line, 1);
+        assert_eq!(items[0].end_line, 3);
+        assert_eq!(items[1].line, 4);
+    }
+
+    #[test]
+    fn trusted_marker_binds_to_the_next_fn_only() {
+        let src = "// lint:trusted(pool sizing only)\nfn sized() {}\n\n\n\nfn far() {}";
+        let items = parse(src);
+        assert_eq!(items[0].trusted.as_deref(), Some("pool sizing only"));
+        assert_eq!(items[1].trusted, None);
+    }
+
+    #[test]
+    fn trait_method_signatures_without_bodies_are_recorded() {
+        let src = "trait Fire { fn fire(&mut self, at: u64); fn named(&self) -> u32 { 1 } }";
+        let items = parse(src);
+        assert_eq!(items[0].qname, "Fire::fire");
+        assert!(items[0].body.is_none());
+        assert_eq!(items[1].qname, "Fire::named");
+        assert!(items[1].body.is_some());
+    }
+
+    #[test]
+    fn nested_fns_are_attributed_to_the_file() {
+        let src = "fn outer() { fn inner() {} inner(); }";
+        let items = parse(src);
+        let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn unbalanced_input_does_not_panic() {
+        for src in ["fn a() {", "impl X {", "mod m { fn q(", "fn", "impl"] {
+            let _ = parse(src);
+        }
+    }
+}

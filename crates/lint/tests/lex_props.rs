@@ -1,0 +1,158 @@
+//! Property tests for the hand-rolled lexer: totality and span
+//! integrity on adversarial inputs.
+//!
+//! Two generators attack from different angles. The fragment generator
+//! splices Rust-ish shards — unterminated strings, raw-string prefixes
+//! with mismatched hashes, lifetimes next to char literals, multibyte
+//! identifiers — into dense pathological files. The codepoint generator
+//! throws arbitrary Unicode scalar values, so byte offsets and char
+//! boundaries are exercised on text no grammar would produce. In both
+//! cases the lexer must return (never panic), and every token's byte
+//! range must be in-bounds, strictly ordered, and on char boundaries of
+//! the input — the properties the span-scoped rules and the taint
+//! anchors depend on.
+
+use proptest::prelude::*;
+use tengig_lint::lex::{lex, TokKind};
+
+/// Rust-ish shards, multibyte-adversarial on purpose: `λ`, `日本語`,
+/// and `é` sit next to quotes, hashes, and escapes so that any
+/// byte-indexed (rather than char-indexed) scan slices mid-character.
+const FRAGS: &[&str] = &[
+    "fn ",
+    "impl ",
+    "mod ",
+    "{",
+    "}",
+    "(",
+    ")",
+    "<",
+    ">",
+    "->",
+    "::",
+    ".",
+    ";",
+    "//x",
+    "/*",
+    "*/",
+    "\"",
+    "\\\"",
+    "r#\"",
+    "\"#",
+    "r\"",
+    "b\"",
+    "b'",
+    "br#\"",
+    "'a",
+    "'x'",
+    "'\\n'",
+    "'",
+    "\\",
+    "#",
+    "!",
+    "0.5",
+    "1e9",
+    "0x1F",
+    "0",
+    "_",
+    "λ",
+    "日本語",
+    "é",
+    "\n",
+    " ",
+    "ident",
+    "r",
+    "b",
+    "br",
+    "e",
+    "lint:allow(",
+    ")",
+    "lint:trusted(",
+    "Instant",
+    "as",
+    "u64",
+];
+
+/// Join picked fragments into one source string.
+fn assemble(picks: &[u8]) -> String {
+    picks
+        .iter()
+        .map(|&b| FRAGS[b as usize % FRAGS.len()])
+        .collect()
+}
+
+/// The invariants every lex result must satisfy for its input.
+fn check_spans(src: &str) -> Result<(), String> {
+    let lexed = lex(src); // must not panic, whatever src is
+    let mut prev_end = 0usize;
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.start < prev_end {
+            return Err(format!("token {i} overlaps its predecessor: {t:?}"));
+        }
+        if t.end <= t.start || t.end > src.len() {
+            return Err(format!("token {i} has a degenerate range: {t:?}"));
+        }
+        if !src.is_char_boundary(t.start) || !src.is_char_boundary(t.end) {
+            return Err(format!("token {i} splits a character: {t:?}"));
+        }
+        if t.line == 0 || t.col == 0 {
+            return Err(format!("token {i} has 0-based position: {t:?}"));
+        }
+        // An ident token's text must round-trip through the slice the
+        // span claims (i.e. the span really is the token).
+        if t.kind == TokKind::Ident && t.text(src).is_empty() {
+            return Err(format!("token {i} claims an empty ident: {t:?}"));
+        }
+        prev_end = t.end;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Dense Rust-ish shard soup: the lexer returns and all spans hold.
+    #[test]
+    fn lexer_is_total_on_fragment_soup(
+        picks in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        let src = assemble(&picks);
+        if let Err(msg) = check_spans(&src) {
+            prop_assert!(false, "{msg}\nsource: {src:?}");
+        }
+    }
+
+    /// Arbitrary Unicode scalar values: spans stay on char boundaries.
+    #[test]
+    fn lexer_is_total_on_arbitrary_codepoints(
+        points in proptest::collection::vec(0u32..0x11_0000, 0..48)
+    ) {
+        let src: String = points.iter().filter_map(|&p| char::from_u32(p)).collect();
+        if let Err(msg) = check_spans(&src) {
+            prop_assert!(false, "{msg}\nsource: {src:?}");
+        }
+    }
+
+    /// Lexing a valid prefix plus garbage never disturbs earlier spans:
+    /// every token of the combined input that ends inside the prefix
+    /// must lie on the prefix's char boundaries too (offset preservation
+    /// under truncation — what the selftests' line anchoring relies on).
+    #[test]
+    fn prefix_tokens_stay_within_the_prefix(
+        picks in proptest::collection::vec(any::<u8>(), 0..24),
+        tail in proptest::collection::vec(0u32..0x11_0000, 0..16)
+    ) {
+        let prefix = assemble(&picks);
+        let garbage: String = tail.iter().filter_map(|&p| char::from_u32(p)).collect();
+        let combined = format!("{prefix}{garbage}");
+        let lexed = lex(&combined);
+        for t in &lexed.tokens {
+            if t.end <= prefix.len() {
+                prop_assert!(
+                    prefix.is_char_boundary(t.start) && prefix.is_char_boundary(t.end),
+                    "token {t:?} crosses the prefix boundary\nprefix: {prefix:?}"
+                );
+            }
+        }
+    }
+}

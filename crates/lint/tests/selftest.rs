@@ -1,9 +1,10 @@
 //! Self-test: the linter fires on a fixture tree of known-bad snippets
-//! and stays silent on the live workspace.
+//! and stays silent on the live workspace — where the taint pass must
+//! also prove every declared hot-path root source-free.
 
 use std::path::{Path, PathBuf};
 
-use tengig_lint::{lint_workspace, rust_files, Diagnostic};
+use tengig_lint::{lint_workspace, rust_files, taint, Diagnostic};
 
 fn fixtures_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
@@ -46,22 +47,35 @@ fn fixture_tree_trips_every_rule() {
     assert!(unwrap.iter().any(|x| x.line == 4), "{unwrap:?}");
     assert!(unwrap.iter().any(|x| x.line == 8), "{unwrap:?}");
 
-    // float-event-loop: inside the fixture engine.rs and calendar.rs.
+    // float-event-loop: file-scoped in the fixture engine.rs and
+    // calendar.rs (struct fields, params, casts — one per line).
     let float = diags_for(d, "engine.rs");
-    assert!(!float.is_empty());
+    assert_eq!(float.len(), 3, "{float:?}");
     assert!(
         float.iter().all(|x| x.rule == "float-event-loop"),
         "{float:?}"
     );
-    let wheel = diags_for(d, "calendar.rs");
+    let wheel: Vec<_> = diags_for(d, "calendar.rs")
+        .into_iter()
+        .filter(|x| x.rule == "float-event-loop")
+        .collect();
     assert_eq!(wheel.len(), 3, "{wheel:?}");
-    assert!(
-        wheel.iter().all(|x| x.rule == "float-event-loop"),
-        "{wheel:?}"
-    );
 
-    // ...and in the TCP timer entry points — but only there: the float
-    // in `window_fraction` (line 22) is legitimate window math.
+    // lossy-cast: the truncating slot index in calendar.rs fires; the
+    // justified + allowed one in time.rs does not.
+    let cast: Vec<_> = diags_for(d, "calendar.rs")
+        .into_iter()
+        .filter(|x| x.rule == "lossy-cast")
+        .collect();
+    assert_eq!(cast.len(), 1, "{cast:?}");
+    assert_eq!(cast[0].line, 14);
+    assert!(cast[0].message.contains("as usize"), "{cast:?}");
+    assert!(diags_for(d, "time.rs").is_empty(), "{d:?}");
+
+    // ...and in the TCP timer machinery — by function extent, not name:
+    // `rtt_sample` is a declared entry point; `backoff_scale` has no
+    // timer-ish substring but its only caller is `arm_rto`, so the
+    // dominator closure pulls it in. `window_fraction` stays legal.
     let timer = diags_for(d, "bad_timer.rs");
     assert_eq!(timer.len(), 2, "{timer:?}");
     assert!(
@@ -71,14 +85,14 @@ fn fixture_tree_trips_every_rule() {
     assert!(
         timer
             .iter()
-            .any(|x| x.line == 15 && x.message.contains("arm_rto")),
+            .any(|x| x.line == 19 && x.message.contains("rtt_sample")),
         "{timer:?}"
     );
     assert!(
         timer
             .iter()
-            .any(|x| x.line == 19 && x.message.contains("rtt_sample")),
-        "{timer:?}"
+            .any(|x| x.line == 32 && x.message.contains("backoff_scale")),
+        "closure must reach the helper: {timer:?}"
     );
 
     // unseeded-rng: rand::thread_rng() — one diagnostic for the line.
@@ -107,8 +121,14 @@ fn fixture_tree_trips_every_rule() {
     assert!(print.iter().any(|x| x.line == 5), "{print:?}");
 
     // ...but the obs/flight-recorder module is exempt: human-facing
-    // rendering lives there by design.
+    // rendering lives there by design — whether it is a file named
+    // obs.rs or an inline `mod obs`. The stray print outside the inline
+    // module still fires.
     assert!(diags_for(d, "obs.rs").is_empty(), "{d:?}");
+    let inline = diags_for(d, "obs_inline.rs");
+    assert_eq!(inline.len(), 1, "{inline:?}");
+    assert_eq!(inline[0].rule, "printf-debug");
+    assert_eq!(inline[0].line, 12);
 
     // The net crate's impairment path is print-scoped too: the bad
     // fixture trips exactly unseeded-rng (the entropy-seeded loss
@@ -134,7 +154,50 @@ fn fixture_tree_trips_every_rule() {
 }
 
 #[test]
-fn diagnostics_render_file_line_rule() {
+fn taint_catches_a_source_two_calls_deep_behind_a_helper_crate() {
+    let report = lint_workspace(&fixtures_root()).expect("fixture tree readable");
+    let t = diags_for(&report.diagnostics, "bad_taint_conn.rs");
+    assert_eq!(t.len(), 1, "{t:?}");
+    assert_eq!(t[0].rule, "taint");
+    assert_eq!(t[0].line, 11, "finding anchors at the root's declaration");
+    assert_eq!(
+        t[0].chain,
+        vec![
+            "TcpConn::on_segment",
+            "shard_hint",
+            "thread_tag",
+            "thread_seed",
+            "thread::current"
+        ],
+        "the proof chain crosses the tcp -> hw crate boundary"
+    );
+    // The helper crate itself carries no per-line finding: only the
+    // transitive pass can see the problem.
+    assert!(diags_for(&report.diagnostics, "clocked.rs").is_empty());
+}
+
+#[test]
+fn taint_trusts_reviewed_boundaries() {
+    let report = lint_workspace(&fixtures_root()).expect("fixture tree readable");
+    // trusted.rs reads the environment but is a declared boundary; its
+    // caller must stay clean, and the fixture Engine::run — whose only
+    // nondeterminism is behind a trusted fn — must be proven.
+    assert!(diags_for(&report.diagnostics, "trusted.rs").is_empty());
+    assert!(
+        report.roots_proven.contains(&"Engine::run".to_string()),
+        "{:?}",
+        report.roots_proven
+    );
+    assert!(
+        !report
+            .roots_proven
+            .contains(&"TcpConn::on_segment".to_string()),
+        "a tainted root must not be listed as proven"
+    );
+}
+
+#[test]
+fn diagnostics_render_file_line_column_rule() {
     let report = lint_workspace(&fixtures_root()).expect("fixture tree readable");
     let rng = report
         .diagnostics
@@ -142,11 +205,27 @@ fn diagnostics_render_file_line_rule() {
         .find(|x| x.path.ends_with("bad_rng.rs"))
         .expect("bad_rng diagnostic");
     let s = rng.to_string();
-    assert!(s.contains("bad_rng.rs:4: [unseeded-rng]"), "{s}");
+    assert!(s.contains("bad_rng.rs:4:"), "{s}");
+    assert!(s.contains("[unseeded-rng]"), "{s}");
 }
 
 #[test]
-fn live_tree_is_clean() {
+fn json_report_carries_findings_and_proofs() {
+    let report = lint_workspace(&fixtures_root()).expect("fixture tree readable");
+    let json = report.to_json();
+    assert!(json.contains("\"files_scanned\""), "{json}");
+    assert!(json.contains("\"rule\": \"taint\""), "{json}");
+    assert!(json.contains("\"Engine::run\""), "{json}");
+    let findings = report.findings_json();
+    assert!(findings.starts_with("{\n  \"findings\": [\n"), "{findings}");
+    assert!(
+        findings.contains("\"chain\": [\"TcpConn::on_segment\""),
+        "{findings}"
+    );
+}
+
+#[test]
+fn live_tree_is_clean_and_all_roots_are_proven() {
     let report = lint_workspace(&workspace_root()).expect("workspace readable");
     assert!(
         report.files_scanned > 30,
@@ -163,21 +242,46 @@ fn live_tree_is_clean() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+    // The acceptance bar for the taint pass: every declared hot-path
+    // root exists in the tree and is proven unreachable from every
+    // nondeterminism source.
+    assert!(
+        report.roots_missing.is_empty(),
+        "stale root list: {:?}",
+        report.roots_missing
+    );
+    for root in taint::HOT_PATH_ROOTS {
+        assert!(
+            report.roots_proven.iter().any(|r| r == root),
+            "root {root} not proven; proven = {:?}",
+            report.roots_proven
+        );
+    }
 }
 
 #[test]
 fn no_allow_escapes_in_the_hot_paths() {
-    // Acceptance bar: zero `lint:allow` markers in crates/sim, crates/tcp
-    // and crates/net — the hot paths meet the rules outright.
+    // Acceptance bar: no `lint:allow` markers in crates/sim, crates/tcp
+    // and crates/net — the hot paths meet the rules outright. The single
+    // sanctioned exception: `lint:allow(lossy-cast)` in sim/src/time.rs,
+    // where the float<->Nanos conversion constructors truncate by design
+    // and carry justifying comments.
     for krate in ["sim", "tcp", "net"] {
         let src = workspace_root().join("crates").join(krate).join("src");
         for file in rust_files(&src).expect("src readable") {
             let content = std::fs::read_to_string(&file).expect("file readable");
-            assert!(
-                !content.contains("lint:allow"),
-                "{} contains a lint:allow escape hatch",
-                file.display()
-            );
+            let is_time_rs = krate == "sim" && file.ends_with("time.rs");
+            for (idx, line) in content.lines().enumerate() {
+                if !line.contains("lint:allow") {
+                    continue;
+                }
+                assert!(
+                    is_time_rs && line.contains("lint:allow(lossy-cast)"),
+                    "{}:{} carries a lint:allow escape hatch",
+                    file.display(),
+                    idx + 1
+                );
+            }
         }
     }
 }

@@ -98,8 +98,35 @@ const WHEEL_SHIFT: u32 = 16;
 const WHEEL_LEVEL_BITS: u32 = 6;
 /// Slots per level.
 const WHEEL_SLOTS: usize = 1 << WHEEL_LEVEL_BITS;
+/// Slots per level in the `u64` domain the tick arithmetic runs in,
+/// derived from the same shift so no cast is involved.
+const WHEEL_SLOTS_U64: u64 = 1 << WHEEL_LEVEL_BITS;
+/// Mask extracting a bucket index from an absolute slot number.
+const WHEEL_SLOT_MASK: u64 = WHEEL_SLOTS_U64 - 1;
 /// Number of levels.
 const WHEEL_LEVELS: usize = 6;
+
+/// Widen a `u32` slab handle (or level count) to an indexing `usize`.
+/// Checked so a hypothetical sub-32-bit target fails loudly rather than
+/// silently truncating an index.
+#[inline]
+fn widen(v: u32) -> usize {
+    usize::try_from(v).expect("u32 does not fit usize on this target")
+}
+
+/// Narrow an already-masked absolute slot number to a bucket index. The
+/// caller guarantees `v < WHEEL_SLOTS`, so the conversion is exact.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    debug_assert!(v < WHEEL_SLOTS_U64);
+    usize::try_from(v).expect("masked slot number exceeds usize")
+}
+
+/// The bit shift selecting `level`'s absolute slot number from a tick.
+#[inline]
+fn level_shift(level: usize) -> u32 {
+    WHEEL_LEVEL_BITS * u32::try_from(level).expect("wheel level exceeds u32")
+}
 
 /// A deterministic event calendar: a slab of payloads indexed by a binary
 /// min-heap of `(time, seq)` keys, with a FIFO fast lane for events at the
@@ -232,7 +259,7 @@ impl<T> Calendar<T> {
     /// still live. The payload is freed now; the key left in the heap (or
     /// lane) becomes a tombstone discarded lazily on pop.
     pub fn cancel(&mut self, id: EventId) -> Option<T> {
-        match self.slots.get(id.slot as usize) {
+        match self.slots.get(widen(id.slot)) {
             Some(Slot::Occupied { gen, .. }) if *gen == id.gen => {
                 let payload = self.remove(id.slot);
                 self.live -= 1;
@@ -333,29 +360,36 @@ impl<T> Calendar<T> {
         let tick = key.at.as_nanos() >> WHEEL_SHIFT;
         debug_assert!(tick > self.wheel_horizon, "parking under the horizon");
         let dist = tick - self.wheel_horizon;
-        let mask = WHEEL_SLOTS as u64 - 1;
         // floor(log2(dist)) / bits picks the level whose spans cover the
         // distance; beyond the top level, park in the farthest top slot
         // (the key re-parks strictly closer each time that slot expires).
-        let mut level = ((63 - dist.leading_zeros()) / WHEEL_LEVEL_BITS) as usize;
+        let mut level = widen((63 - dist.leading_zeros()) / WHEEL_LEVEL_BITS);
         // An unaligned horizon can put the natural level's slot index a
         // full ring ahead of the cursor, where it would alias the cursor
         // bucket; one level up the slot distance is exactly 1.
         if level < WHEEL_LEVELS {
-            let shift = WHEEL_LEVEL_BITS * level as u32;
-            if (tick >> shift) - (self.wheel_horizon >> shift) >= WHEEL_SLOTS as u64 {
+            let shift = level_shift(level);
+            if (tick >> shift) - (self.wheel_horizon >> shift) >= WHEEL_SLOTS_U64 {
                 level += 1;
             }
         }
         let (level, bucket, start_tick) = if level < WHEEL_LEVELS {
-            let shift = WHEEL_LEVEL_BITS * level as u32;
+            let shift = level_shift(level);
             let slot_abs = tick >> shift;
-            (level, (slot_abs & mask) as usize, slot_abs << shift)
+            (
+                level,
+                bucket_index(slot_abs & WHEEL_SLOT_MASK),
+                slot_abs << shift,
+            )
         } else {
             let top = WHEEL_LEVELS - 1;
-            let shift = WHEEL_LEVEL_BITS * top as u32;
-            let slot_abs = (self.wheel_horizon >> shift) + mask;
-            (top, (slot_abs & mask) as usize, slot_abs << shift)
+            let shift = level_shift(top);
+            let slot_abs = (self.wheel_horizon >> shift) + WHEEL_SLOT_MASK;
+            (
+                top,
+                bucket_index(slot_abs & WHEEL_SLOT_MASK),
+                slot_abs << shift,
+            )
         };
         self.wheel[level * WHEEL_SLOTS + bucket].push(key);
         self.wheel_occupied[level] |= 1u64 << bucket;
@@ -374,18 +408,22 @@ impl<T> Calendar<T> {
     /// start — flushing early is harmless, flushing late never happens.
     fn earliest_wheel_slot(&self) -> Option<(usize, usize, u64)> {
         let mut best: Option<(usize, usize, u64)> = None;
-        let mask = WHEEL_SLOTS as u64 - 1;
         for level in 0..WHEEL_LEVELS {
             let bits = self.wheel_occupied[level];
             if bits == 0 {
                 continue;
             }
-            let shift = WHEEL_LEVEL_BITS * level as u32;
+            let shift = level_shift(level);
             let cur = self.wheel_horizon >> shift;
-            let dist = bits.rotate_right((cur & mask) as u32).trailing_zeros() as u64;
+            let rot = u32::try_from(cur & WHEEL_SLOT_MASK).expect("masked slot fits u32");
+            let dist = u64::from(bits.rotate_right(rot).trailing_zeros());
             let slot_abs = cur + dist;
             if best.map_or(true, |(_, _, s)| (slot_abs << shift) < s) {
-                best = Some((level, (slot_abs & mask) as usize, slot_abs << shift));
+                best = Some((
+                    level,
+                    bucket_index(slot_abs & WHEEL_SLOT_MASK),
+                    slot_abs << shift,
+                ));
             }
         }
         best
@@ -457,7 +495,7 @@ impl<T> Calendar<T> {
     #[inline]
     fn is_live(&self, key: Key) -> bool {
         matches!(
-            self.slots.get(key.slot as usize),
+            self.slots.get(widen(key.slot)),
             Some(Slot::Occupied { gen, .. }) if *gen == key.gen
         )
     }
@@ -477,7 +515,7 @@ impl<T> Calendar<T> {
     fn insert(&mut self, payload: T) -> (u32, u32) {
         if self.free_head != NIL {
             let slot = self.free_head;
-            let s = &mut self.slots[slot as usize];
+            let s = &mut self.slots[widen(slot)];
             let Slot::Vacant { next_free, gen } = *s else {
                 unreachable!("freelist points at an occupied slot")
             };
@@ -486,10 +524,10 @@ impl<T> Calendar<T> {
             (slot, gen)
         } else {
             assert!(
-                self.slots.len() < NIL as usize,
+                self.slots.len() < widen(NIL),
                 "calendar slab exhausted u32 handles"
             );
-            let slot = self.slots.len() as u32;
+            let slot = u32::try_from(self.slots.len()).expect("guarded: len < u32::MAX");
             self.slots.push(Slot::Occupied { payload, gen: 0 });
             (slot, 0)
         }
@@ -498,7 +536,7 @@ impl<T> Calendar<T> {
     /// Free an occupied slot, bumping its generation so stale keys and
     /// handles go inert, and chain it onto the freelist.
     fn remove(&mut self, slot: u32) -> T {
-        let s = &mut self.slots[slot as usize];
+        let s = &mut self.slots[widen(slot)];
         let next = Slot::Vacant {
             next_free: self.free_head,
             gen: match s {

@@ -52,6 +52,10 @@ impl Nanos {
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
         debug_assert!(s >= 0.0, "negative duration");
+        // Float→integer truncation is this constructor's contract: the
+        // value is rounded to the nearest nanosecond, non-negative by the
+        // assert above, and config-time only (never on the event path).
+        // lint:allow(lossy-cast)
         Nanos((s * 1e9).round() as u64)
     }
 
@@ -130,6 +134,10 @@ impl Nanos {
     #[inline]
     pub fn scale(self, factor: f64) -> Nanos {
         debug_assert!(factor >= 0.0, "negative scale factor");
+        // Rounding back to integer nanoseconds is the point of `scale`:
+        // the product is non-negative (assert above) and callers apply it
+        // at config/link-model setup, not per event.
+        // lint:allow(lossy-cast)
         Nanos((self.0 as f64 * factor).round() as u64)
     }
 }
