@@ -4,15 +4,19 @@
 # then the compile-only bench check, then the determinism gates in
 # increasing cost — lint (static: runs its own selftests, then lints the
 # live tree and byte-compares the JSON report against
-# goldens/lint_baseline.json) before obs-check and faults-check (dynamic:
-# full pinned-seed sweeps). A static violation fails in seconds instead
-# of after a minute of simulation.
+# goldens/lint_baseline.json) before obs-check, faults-check and
+# grid-check (dynamic: full pinned-seed sweeps). grid-check runs last:
+# it is the only gate that spins up the sharded engine, so a plain
+# single-calendar determinism break surfaces in the cheaper gates first
+# and a grid-check-only failure points straight at the shard layer. A
+# static violation fails in seconds instead of after a minute of
+# simulation.
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt clippy benches-check lint lint-selftest obs-check faults-check bench bench-gate
+.PHONY: ci build test fmt clippy benches-check lint lint-selftest obs-check faults-check grid-check bench bench-gate
 
-ci: build test fmt clippy benches-check lint obs-check faults-check
+ci: build test fmt clippy benches-check lint obs-check faults-check grid-check
 
 build:
 	$(CARGO) build --release
@@ -67,6 +71,20 @@ obs-check:
 faults-check:
 	$(CARGO) run --release -q -p tengig-bench --bin tengig-chaos -- \
 		check goldens
+
+# Sharded-engine determinism gate: runs the pinned-seed grid fabric sweep
+# (fat-tree and torus presets) at the given shard count on 1 and 4 sweep
+# threads — the two thread counts must be byte-identical, and both must
+# byte-match goldens/grid.jsonl. CI runs this at shards 1 and 4; the
+# golden is shard-count-invariant by construction, so every cell of the
+# matrix compares against the same file. On mismatch the fresh run lands
+# in target/grid_current.jsonl for diffing. Regenerate deliberately by
+# appending `--write-golden`.
+grid-check:
+	$(CARGO) run --release -q -p tengig-bench --bin tengig-grid -- \
+		check goldens/grid.jsonl --shards 1
+	$(CARGO) run --release -q -p tengig-bench --bin tengig-grid -- \
+		check goldens/grid.jsonl --shards 4
 
 # Refresh the wall-clock benchmark baseline: runs the fixed pinned-seed
 # workload per experiment family and rewrites BENCH_sim.json in place.

@@ -1,0 +1,136 @@
+//! `tengig-grid` — determinism gate for the sharded grid experiment
+//! family, used by `make grid-check` and the CI determinism thread-matrix.
+//!
+//! ```text
+//! tengig-grid check GOLDEN [--shards N] [--write-golden]
+//! ```
+//!
+//! `check` runs the pinned grid sweep (`grid/fabric`, master seed 2003)
+//! at the requested shard count on 1 and then 4 sweep worker threads,
+//! requires both reports to be byte-identical, and byte-compares the
+//! result against the checked-in golden. CI invokes it once with
+//! `--shards 1` and once with `--shards 4` against the *same* golden —
+//! which is exactly the tentpole contract: shard count and sweep thread
+//! count must both be invisible in the output bytes. On mismatch the
+//! computed report is written next to the build artifacts
+//! (`target/grid_current.jsonl`) so CI can upload the diff, and the exit
+//! status is 1 (2 for operational errors).
+
+use tengig::experiments::grid::{grid_sweep_report, standard_presets};
+use tengig::SweepRunner;
+
+/// Master seed for the pinned grid sweep (the publication year, matching
+/// every other pinned workload in the repo).
+const SEED: u64 = 2003;
+
+/// Where the computed report lands on mismatch, for CI artifact upload.
+const CURRENT_OUT: &str = "target/grid_current.jsonl";
+
+/// The pinned sweep at a given shard count and sweep thread count.
+fn sweep(shards: usize, threads: usize) -> String {
+    let presets = standard_presets();
+    grid_sweep_report(&presets, shards, SEED, SweepRunner::new(threads))
+        .1
+        .to_jsonl()
+}
+
+/// Print the first few differing lines of two JSONL documents.
+fn print_diff(expected: &str, got: &str) {
+    let mut shown = 0;
+    for (i, (e, g)) in expected.lines().zip(got.lines()).enumerate() {
+        if e != g && shown < 5 {
+            println!("  line {}:", i + 1);
+            println!("    expected: {e}");
+            println!("    got:      {g}");
+            shown += 1;
+        }
+    }
+    let (el, gl) = (expected.lines().count(), got.lines().count());
+    if el != gl {
+        println!("  line counts differ: expected {el}, got {gl}");
+    }
+}
+
+fn check(golden: &str, shards: usize, write_golden: bool) -> Result<bool, String> {
+    eprintln!("grid-check: pinned sweep, shards={shards}, 1 sweep thread ...");
+    let report_1 = sweep(shards, 1);
+    eprintln!("grid-check: pinned sweep, shards={shards}, 4 sweep threads ...");
+    let report_4 = sweep(shards, 4);
+
+    if write_golden {
+        if let Some(dir) = std::path::Path::new(golden).parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        std::fs::write(golden, &report_1).map_err(|e| format!("writing {golden}: {e}"))?;
+        println!("grid-check: wrote golden {golden}");
+    }
+
+    let mut ok = true;
+    if report_1 != report_4 {
+        println!(
+            "grid-check: FAIL: report differs between 1 and 4 sweep threads (shards={shards})"
+        );
+        ok = false;
+    }
+    let checked_in =
+        std::fs::read_to_string(golden).map_err(|e| format!("reading {golden}: {e}"))?;
+    if report_1 != checked_in {
+        println!("grid-check: FAIL: shards={shards} sweep diverged from golden {golden}");
+        println!("  (regenerate deliberately with `tengig-grid check {golden} --write-golden`)");
+        print_diff(&checked_in, &report_1);
+        if let Some(dir) = std::path::Path::new(CURRENT_OUT).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(CURRENT_OUT, &report_1)
+            .map_err(|e| format!("writing {CURRENT_OUT}: {e}"))?;
+        println!("  computed report written to {CURRENT_OUT}");
+        ok = false;
+    }
+    if ok {
+        println!(
+            "grid-check: PASS (shards={shards}: byte-identical across 1/4 sweep threads, \
+             matches {golden})"
+        );
+    }
+    Ok(ok)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: tengig-grid check GOLDEN [--shards N] [--write-golden]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (golden, rest) = match strs.as_slice() {
+        ["check", golden, rest @ ..] => (*golden, rest),
+        _ => usage(),
+    };
+    let mut shards = 1usize;
+    let mut write_golden = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--shards" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    usage();
+                };
+                shards = n;
+            }
+            "--write-golden" => write_golden = true,
+            _ => usage(),
+        }
+    }
+    if shards == 0 {
+        usage();
+    }
+    match check(golden, shards, write_golden) {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("tengig-grid: {e}");
+            std::process::exit(2);
+        }
+    }
+}

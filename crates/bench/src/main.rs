@@ -19,6 +19,7 @@
 
 use std::time::Instant;
 use tengig::experiments::faults::{faults_lab, scaled_wan};
+use tengig::experiments::grid::{run_grid, GridPreset};
 use tengig::experiments::multiflow::{aggregate_seeded, Direction};
 use tengig::experiments::wan::wan_lab_seeded;
 use tengig::experiments::{b2b_lab, run_to_completion};
@@ -201,6 +202,30 @@ fn timer_churn(wheel: bool) -> (u64, u64) {
     (popped, 0)
 }
 
+/// The pinned fat-tree fabric of the `grid_fabric` family pair: 64 GbE
+/// workstations in 4 racks feeding 2 10GbE spines, ~1.3M events.
+fn grid_fabric_preset() -> GridPreset {
+    GridPreset::FatTree {
+        spec: tengig_net::FatTreeSpec::gbe_into_tengbe(4, 16, 2),
+        payload: 8948,
+        count: 1500,
+    }
+}
+
+/// Sharded grid execution at a given shard count, on the pinned fat-tree
+/// scenario. The family pair (`grid_fabric_1shard` / `grid_fabric_4shard`)
+/// prices conservative-window parallel execution: events/sec across the
+/// pair is the scaling figure, and because merged event counts are
+/// shard-count-invariant by contract, the gate's exact event-count match
+/// between the two families doubles as a determinism check inside the
+/// bench itself. The speedup this pair can show is bounded by the
+/// runner's core count — on a single-core machine the 4-shard figure
+/// prices pure synchronization overhead instead.
+fn grid_fabric(shards: usize) -> (u64, u64) {
+    let r = run_grid(&grid_fabric_preset(), shards, SEED);
+    (r.events, r.payload_bytes)
+}
+
 /// §3.5.2 packet generator: single-copy TCP-bypass blast.
 fn pktgen() -> (u64, u64) {
     let cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
@@ -259,6 +284,8 @@ fn main() {
             time("pktgen", pktgen),
             time("timer_churn_slab", || timer_churn(false)),
             time("timer_churn_wheel", || timer_churn(true)),
+            time("grid_fabric_1shard", || grid_fabric(1)),
+            time("grid_fabric_4shard", || grid_fabric(4)),
         ],
         peak_rss_kb: gate::peak_rss_kb(),
     };

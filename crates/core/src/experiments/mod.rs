@@ -9,6 +9,7 @@
 
 pub mod anecdotal;
 pub mod faults;
+pub mod grid;
 pub mod latency;
 pub mod multiflow;
 pub mod osbypass;

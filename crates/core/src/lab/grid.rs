@@ -1,0 +1,250 @@
+//! Sharded ("grid") execution of a laboratory.
+//!
+//! A grid run follows **replicated construction, partitioned
+//! execution**: every shard builds the *identical* full [`Lab`] (same
+//! topology, same seeds, same RNG forks, byte for byte) but executes
+//! only the events whose endpoint host it owns. Remote hosts' state sits
+//! in the replica untouched — stale by design — and the experiment layer
+//! merges per-flow results by reading each value from the shard that
+//! owns the host that produced it.
+//!
+//! Determinism is anchored in the **canonically ordered ingress
+//! channel**: in grid mode *every* wire arrival — local or cross-shard —
+//! is inserted into a per-destination-host `BTreeMap` keyed by
+//! `(arrival time, canonical key)` and applied by a front-class
+//! [`Ev::IngressDrain`] event. The canonical key is minted from a
+//! per-(flow, endpoint) emission counter on the transmitting shard, so
+//! it is a pure function of the simulation's own history, never of
+//! thread interleaving; the `BTreeMap` makes insertion order irrelevant.
+//! Front-class draining ([`tengig_sim::Calendar::schedule_front`])
+//! guarantees a merged batch is applied before any normal event of the
+//! same instant, whichever shard count produced it — so sweep JSONL is
+//! byte-identical at 1, 2, and N shards.
+//!
+//! Partition-safety rule: a link may only be shared by flows whose
+//! *transmitting* hosts live on the same shard (the grid experiment
+//! family uses per-flow private directional links, which satisfies this
+//! trivially). Same-instant events on different hosts then touch
+//! disjoint state, so the cross-host seq-order differences between shard
+//! counts cannot be observed.
+
+use super::{frame_arrival, Ev, Lab, LabEngine};
+use std::collections::BTreeMap;
+use tengig_net::Delivery;
+use tengig_sim::{Nanos, ShardWorld};
+use tengig_tcp::Segment;
+
+/// One wire arrival traveling through the ingress channel.
+#[derive(Debug, Clone, Copy)]
+pub struct Arrival {
+    /// Flow index.
+    pub f: usize,
+    /// Receiving endpoint.
+    pub ep: usize,
+    /// The segment in flight.
+    pub seg: Segment,
+    /// The frame was bit-corrupted en route.
+    pub corrupted: bool,
+}
+
+/// A cross-shard message: an arrival bound for a host another shard owns.
+#[derive(Debug, Clone, Copy)]
+pub struct GridMsg {
+    /// Destination host (owned by the receiving shard).
+    pub h: usize,
+    /// Canonical channel key (see [`GridRt::next_key`]).
+    pub key: u64,
+    /// The arrival itself.
+    pub arr: Arrival,
+}
+
+/// Per-shard grid runtime: the ownership map, the canonical key mint,
+/// the ordered ingress channel, and the cross-shard outbox.
+#[derive(Debug)]
+pub struct GridRt {
+    /// Total shard count.
+    pub shards: usize,
+    /// This replica's shard id.
+    pub shard: usize,
+    /// Owning shard per host index.
+    pub owner: Vec<usize>,
+    /// Per-(flow, endpoint) emission counters for canonical keys. The
+    /// counter advances only on the shard owning the transmitting host,
+    /// in virtual-time order — identical at any shard count.
+    emit: Vec<[u64; 2]>,
+    /// Ordered ingress channel, one map per owned host (remote hosts'
+    /// maps stay empty): `(arrival time, canonical key) -> arrival`.
+    inbox: Vec<BTreeMap<(Nanos, u64), Arrival>>,
+    /// Messages bound for other shards, drained by [`ShardWorld::flush`].
+    outbox: Vec<(usize, Nanos, GridMsg)>,
+}
+
+impl GridRt {
+    /// Grid runtime for shard `shard` of `shards`, with `owner[h]` the
+    /// owning shard of host `h` and `flows` the lab's flow count.
+    pub fn new(shards: usize, shard: usize, owner: Vec<usize>, flows: usize) -> Self {
+        assert!(shards > 0, "a grid needs at least one shard");
+        assert!(shard < shards, "shard id out of range");
+        assert!(owner.iter().all(|&o| o < shards), "host owner out of range");
+        let hosts = owner.len();
+        GridRt {
+            shards,
+            shard,
+            owner,
+            emit: vec![[0; 2]; flows],
+            inbox: (0..hosts).map(|_| BTreeMap::new()).collect(),
+            outbox: Vec::new(),
+        }
+    }
+
+    /// Whether this shard owns host `h`.
+    #[inline]
+    pub fn owns(&self, h: usize) -> bool {
+        self.owner[h] == self.shard
+    }
+
+    /// Mint the canonical channel key for the next delivery emitted by
+    /// flow `f`'s endpoint `src_ep`: `(f << 32) | (src_ep << 31) | n`
+    /// with `n` the per-(flow, endpoint) emission ordinal. Keys are
+    /// unique by construction (each (f, ep) mints its own ordinals) and
+    /// shard-count-invariant (the mint happens on the one shard that
+    /// executes the emission, in virtual-time order).
+    fn next_key(&mut self, f: usize, src_ep: usize) -> u64 {
+        let n = self.emit[f][src_ep];
+        self.emit[f][src_ep] += 1;
+        debug_assert!(n < 1 << 31, "emission ordinal overflow");
+        ((f as u64) << 32) | ((src_ep as u64) << 31) | n
+    }
+
+    /// Insert an arrival into host `h`'s channel. Returns `true` when it
+    /// is the first pending arrival at that instant — the caller must
+    /// then schedule the (single) front-class drain for `(h, at)`.
+    fn insert(&mut self, h: usize, at: Nanos, key: u64, arr: Arrival) -> bool {
+        debug_assert!(self.owns(h), "arrival inserted on a non-owning shard");
+        let fresh = self.inbox[h]
+            .range((at, 0)..=(at, u64::MAX))
+            .next()
+            .is_none();
+        let prev = self.inbox[h].insert((at, key), arr);
+        debug_assert!(prev.is_none(), "canonical channel key collided");
+        fresh
+    }
+
+    /// Remove and return every arrival pending for host `h` at `now`, in
+    /// canonical key order.
+    fn take_instant(&mut self, h: usize, now: Nanos) -> Vec<Arrival> {
+        let mut batch = Vec::new();
+        while let Some((&k, _)) = self.inbox[h].range((now, 0)..=(now, u64::MAX)).next() {
+            let arr = self.inbox[h].remove(&k).expect("key just observed");
+            batch.push(arr);
+        }
+        batch
+    }
+}
+
+/// Route one wire delivery through the ingress channel: an arrival for
+/// an owned host goes straight into the local channel (and schedules its
+/// instant's front-class drain); an arrival for a remote host retires
+/// its bytes from this shard's conservation ledger and rides the outbox
+/// to the owning shard. Called from `tx_wire` in place of scheduling
+/// `Ev::FrameArrival` directly.
+pub(super) fn route_arrival(
+    lab: &mut Lab,
+    eng: &mut LabEngine,
+    f: usize,
+    dst_ep: usize,
+    seg: Segment,
+    d: Delivery,
+) {
+    let now = eng.now();
+    let dst_host = lab.flows[f].host[dst_ep];
+    let src_ep = 1 - dst_ep;
+    let grid = lab.grid.as_mut().expect("route_arrival outside grid mode");
+    let key = grid.next_key(f, src_ep);
+    let arr = Arrival {
+        f,
+        ep: dst_ep,
+        seg,
+        corrupted: d.corrupted,
+    };
+    debug_assert!(d.at > now, "wire delivery cannot be instantaneous");
+    if grid.owns(dst_host) {
+        if grid.insert(dst_host, d.at, key, arr) {
+            eng.schedule_front_at(d.at, Ev::IngressDrain { h: dst_host });
+        }
+    } else {
+        let dst_shard = grid.owner[dst_host];
+        grid.outbox.push((
+            dst_shard,
+            d.at,
+            GridMsg {
+                h: dst_host,
+                key,
+                arr,
+            },
+        ));
+        // Byte-conservation handoff: the frame leaves this shard's
+        // ledger here and re-enters the owning shard's at accept time.
+        let wire = tengig_ethernet::Mtu::wire_bytes_for(seg.ip_bytes());
+        if let Some(s) = eng.sanitizer_mut() {
+            s.deliver(now, wire);
+        }
+    }
+}
+
+/// Fire the front-class drain for host `h` at the current instant: apply
+/// every pending arrival in canonical key order, before any normal event
+/// of this instant runs.
+pub(super) fn ingress_drain(lab: &mut Lab, eng: &mut LabEngine, h: usize) {
+    let now = eng.now();
+    let batch = lab
+        .grid
+        .as_mut()
+        .expect("ingress drain outside grid mode")
+        .take_instant(h, now);
+    debug_assert!(!batch.is_empty(), "drain fired with nothing pending");
+    for a in batch {
+        frame_arrival(lab, eng, a.f, a.ep, a.seg, a.corrupted);
+    }
+}
+
+/// One shard of a grid run: a full lab replica plus its engine,
+/// executing only the events of the hosts it owns.
+pub struct GridShard {
+    /// The replicated world.
+    pub lab: Lab,
+    /// This shard's calendar.
+    pub eng: LabEngine,
+}
+
+impl ShardWorld for GridShard {
+    type Msg = GridMsg;
+
+    fn next_time(&mut self) -> Option<Nanos> {
+        self.eng.peek_time()
+    }
+
+    fn run_window(&mut self, end: Nanos) {
+        self.eng.run_before(&mut self.lab, end);
+    }
+
+    fn flush(&mut self) -> Vec<(usize, Nanos, GridMsg)> {
+        let grid = self.lab.grid.as_mut().expect("grid shard without grid");
+        std::mem::take(&mut grid.outbox)
+    }
+
+    fn accept(&mut self, at: Nanos, msg: GridMsg) {
+        // The frame enters this shard's conservation ledger as it
+        // crosses the shard boundary (the sender retired it from its
+        // own ledger on emission).
+        let wire = tengig_ethernet::Mtu::wire_bytes_for(msg.arr.seg.ip_bytes());
+        if let Some(s) = self.eng.sanitizer_mut() {
+            s.inject(wire);
+        }
+        let grid = self.lab.grid.as_mut().expect("grid shard without grid");
+        if grid.insert(msg.h, at, msg.key, msg.arr) {
+            self.eng
+                .schedule_front_at(at, Ev::IngressDrain { h: msg.h });
+        }
+    }
+}

@@ -14,9 +14,11 @@
 //! Every stage is a FIFO resource, so contention, batching, and queueing
 //! delays emerge rather than being assumed.
 
+pub mod grid;
 pub mod host;
 
 use crate::config::HostConfig;
+pub use grid::{GridMsg, GridRt, GridShard};
 pub use host::{HostRt, RxFrame};
 use tengig_net::{Delivery, Path, PathState};
 use tengig_nic::CoalesceAction;
@@ -135,6 +137,15 @@ pub enum Ev {
     /// Sample the observability timelines (scheduled on a fixed sim-clock
     /// cadence while [`Lab::enable_obs`] is active).
     ObsSample,
+    /// Apply every arrival pending in the grid ingress channel for host
+    /// `h` at the current instant, in canonical key order. Front-class:
+    /// scheduled via [`LabEngine::schedule_front_at`], so the batch lands
+    /// before any normal event of the same instant regardless of which
+    /// shard produced it (see [`grid`]).
+    IngressDrain {
+        /// Host index.
+        h: usize,
+    },
 }
 
 impl EventFire<Lab> for Ev {
@@ -192,6 +203,7 @@ impl EventFire<Lab> for Ev {
             Ev::ReadDone { f, ep, bytes } => read_done(lab, eng, f, ep, bytes),
             Ev::PktgenTick { f } => pktgen_tick(lab, eng, f),
             Ev::ObsSample => obs_sample(lab, eng),
+            Ev::IngressDrain { h } => grid::ingress_drain(lab, eng, h),
         }
     }
 }
@@ -291,6 +303,11 @@ pub struct Lab {
     /// Metrics-timeline sampling state (None = observability disabled; the
     /// disabled path schedules zero events and records zero samples).
     obs: Option<ObsRt>,
+    /// Grid (sharded-execution) runtime. `None` = classic whole-world
+    /// execution; `Some` reroutes every wire arrival through the
+    /// canonically ordered ingress channel and restricts [`kick`] to the
+    /// hosts this shard owns (see [`grid`]).
+    grid: Option<GridRt>,
 }
 
 impl Lab {
@@ -302,7 +319,25 @@ impl Lab {
             flows: Vec::new(),
             action_pool: Vec::new(),
             obs: None,
+            grid: None,
         }
+    }
+
+    /// Switch this replica into grid (sharded) execution. Call after the
+    /// topology is fully assembled (the runtime sizes its channel and key
+    /// mint from the current host/flow counts) and before [`kick`].
+    pub fn enable_grid(&mut self, g: GridRt) {
+        assert_eq!(
+            g.owner.len(),
+            self.hosts.len(),
+            "owner map must cover every host"
+        );
+        self.grid = Some(g);
+    }
+
+    /// The grid runtime, if this lab executes as one shard of a grid.
+    pub fn grid(&self) -> Option<&GridRt> {
+        self.grid.as_ref()
     }
 
     /// Take a cleared [`Action`] buffer from the pool (or allocate the
@@ -494,9 +529,17 @@ fn check_tcp_invariants(lab: &Lab, eng: &mut LabEngine, f: usize, ep: usize) {
 // ---------------------------------------------------------------------
 
 /// Start every flow's workload shortly after t=0 (staggered so multi-flow
-/// runs do not phase-lock).
+/// runs do not phase-lock). In grid mode only the flows whose transmitting
+/// host this shard owns are started — each flow's driver runs on exactly
+/// one shard; the stagger uses the global flow index either way, so start
+/// times are shard-count-invariant.
 pub fn kick(lab: &mut Lab, eng: &mut LabEngine) {
     for f in 0..lab.flows.len() {
+        if let Some(g) = &lab.grid {
+            if !g.owns(lab.flows[f].host[0]) {
+                continue;
+            }
+        }
         let at = Nanos::from_micros(1) + Nanos::from_nanos(137 * f as u64);
         eng.schedule_event_at(at, Ev::StartFlow { f });
     }
@@ -821,6 +864,7 @@ fn tx_wire(lab: &mut Lab, eng: &mut LabEngine, f: usize, src_ep: usize, seg: Seg
     }
     let mut first = true;
     for d in v.deliveries.into_iter().flatten() {
+        let host = &mut lab.hosts[h];
         if first {
             host.probe(now, Stage::Wire, seg.seq, wire, Nanos::ZERO);
             if v.route_hops > 1 {
@@ -832,15 +876,22 @@ fn tx_wire(lab: &mut Lab, eng: &mut LabEngine, f: usize, src_ep: usize, seg: Seg
         if d.reordered {
             host.probe(now, Stage::ImpairReorder, seg.seq, wire, Nanos::ZERO);
         }
-        eng.schedule_event_at(
-            d.at,
-            Ev::FrameArrival {
-                f,
-                ep: dst_ep,
-                seg,
-                corrupted: d.corrupted,
-            },
-        );
+        if lab.grid.is_some() {
+            // Grid mode: every arrival — local or cross-shard — rides the
+            // canonically ordered ingress channel instead of a direct
+            // FrameArrival, so application order is shard-count-invariant.
+            grid::route_arrival(lab, eng, f, dst_ep, seg, d);
+        } else {
+            eng.schedule_event_at(
+                d.at,
+                Ev::FrameArrival {
+                    f,
+                    ep: dst_ep,
+                    seg,
+                    corrupted: d.corrupted,
+                },
+            );
+        }
     }
 }
 

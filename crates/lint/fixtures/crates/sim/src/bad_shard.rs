@@ -1,0 +1,16 @@
+//! Known-bad fixture: a shard worker that reads the wall clock mid-window.
+
+/// The shard merge loop root (mirrors `tengig_sim::shard::run_sharded`).
+pub fn run_sharded(windows: usize) -> u64 {
+    let mut total = 0;
+    for _ in 0..windows {
+        total += worker_window();
+    }
+    total
+}
+
+/// One conservative window — except it times itself on the host clock.
+fn worker_window() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs()
+}

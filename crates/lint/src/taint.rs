@@ -53,6 +53,13 @@ pub const HOT_PATH_ROOTS: &[&str] = &[
     // Sweep workers.
     "SweepRunner::run",
     "SweepRunner::run_split",
+    // Sharded-execution merge loop and the cross-shard ingress channel
+    // (window computation, barrier rounds, message drain): nondeterminism
+    // here would break the grid byte-identity contract across shard
+    // counts, not just across runs.
+    "run_sharded",
+    "GridShard::accept",
+    "ingress_drain",
 ];
 
 /// One function in the workspace call graph: its parsed item plus the

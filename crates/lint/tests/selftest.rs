@@ -147,6 +147,30 @@ fn fixture_tree_trips_every_rule() {
     // in its comments and strings notwithstanding.
     assert!(diags_for(d, "impair.rs").is_empty(), "{d:?}");
 
+    // The shard worker that reads the wall clock mid-window: the direct
+    // wall-clock hit on the `Instant::now` line, plus the taint proof
+    // anchored at the merge-loop root's declaration — a nondeterminism
+    // source inside a shard worker breaks byte-identity across shard
+    // counts, so the root list must cover it.
+    let shard = diags_for(d, "bad_shard.rs");
+    assert_eq!(shard.len(), 2, "{shard:?}");
+    assert!(
+        shard.iter().any(|x| x.rule == "wall-clock" && x.line == 14),
+        "{shard:?}"
+    );
+    let shard_taint = shard
+        .iter()
+        .find(|x| x.rule == "taint")
+        .expect("merge-loop root must be proven tainted");
+    assert_eq!(
+        shard_taint.line, 4,
+        "finding anchors at run_sharded's declaration"
+    );
+    assert!(
+        shard_taint.chain.iter().any(|c| c == "worker_window"),
+        "the proof chain passes through the window worker: {shard_taint:?}"
+    );
+
     // The tricky-but-clean file (tokens only in comments/strings/chars)
     // and the properly routed sweeps must not fire at all.
     assert!(diags_for(d, "clean_tricky.rs").is_empty(), "{d:?}");

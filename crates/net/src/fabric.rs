@@ -1,0 +1,234 @@
+//! Grid fabrics: multi-stage topologies for the `grid` experiment family.
+//!
+//! Two shapes, both taken from the "networks of workstations, clusters,
+//! and grids" side of the paper's title:
+//!
+//! * [`FatTreeSpec`] — a folded-Clos/fat-tree fabric where racks of GbE
+//!   workstations aggregate through leaf switches into 10GbE spine
+//!   hosts (the paper's §5 forward-look: farms of commodity nodes feeding
+//!   a few 10GigE-attached servers).
+//! * [`TorusSpec`] — an APENet-style 3D torus of nearest-neighbor links
+//!   (hep-lat/0409071, hep-lat/0509130): every node talks to its +x
+//!   neighbor over a point-to-point link with a fixed per-hop card
+//!   latency.
+//!
+//! A spec hands out *per-flow* [`Path`] templates plus a conservative
+//! [`lookahead`](FatTreeSpec::lookahead) bound — the minimum
+//! [`Path::base_latency`] over every directional path in the fabric.
+//! Serialization time is excluded from the bound, so it is a true lower
+//! bound on any frame's flight time and therefore a safe conservative
+//! synchronization window for sharded execution: a frame emitted inside
+//! a window `[T, T + L)` can only arrive at or after `T + L`.
+//!
+//! Paths are templates: the laboratory instantiates one link state per
+//! flow per direction, which keeps every link private to one
+//! transmitting host — the partition-safety rule sharded execution
+//! relies on.
+
+use crate::link::{Hop, Path};
+use tengig_sim::{Bandwidth, Nanos};
+
+/// A folded-Clos (fat-tree) fabric: `leaves` racks of `hosts_per_leaf`
+/// GbE workstations, each rack's leaf switch uplinked at 10GbE to one of
+/// `spines` spine hosts (round-robin by rack).
+#[derive(Debug, Clone, Copy)]
+pub struct FatTreeSpec {
+    /// Leaf switches (racks).
+    pub leaves: usize,
+    /// Workstations per leaf.
+    pub hosts_per_leaf: usize,
+    /// 10GbE spine hosts the racks aggregate into.
+    pub spines: usize,
+    /// Workstation access rate (GbE).
+    pub edge: Bandwidth,
+    /// Uplink/spine rate (10GbE).
+    pub core: Bandwidth,
+}
+
+/// Access-hop propagation: a few metres of rack copper.
+const ACCESS_PROP: Nanos = Nanos::from_nanos(100);
+/// Leaf→spine run: cross-machine-room fibre.
+const UPLINK_PROP: Nanos = Nanos::from_nanos(500);
+/// Spine-port patch into the 10GbE host.
+const SPINE_PROP: Nanos = Nanos::from_nanos(50);
+/// Store-and-forward lookup latency per switch stage (the FastIron-class
+/// figure the calibrated two-host lab uses).
+const SWITCH_FIXED: Nanos = Nanos::from_nanos(5_850);
+/// Leaf uplink egress buffer.
+const UPLINK_BUFFER: u64 = 1 << 20;
+/// Spine-port egress buffer.
+const SPINE_BUFFER: u64 = 2 << 20;
+
+impl FatTreeSpec {
+    /// The canonical "GbE workstations into 10GbE spines" fabric.
+    pub fn gbe_into_tengbe(leaves: usize, hosts_per_leaf: usize, spines: usize) -> Self {
+        assert!(leaves > 0 && hosts_per_leaf > 0 && spines > 0);
+        FatTreeSpec {
+            leaves,
+            hosts_per_leaf,
+            spines,
+            edge: Bandwidth::from_gbps(1),
+            core: Bandwidth::from_gbps(10),
+        }
+    }
+
+    /// Total workstation count.
+    pub fn workstations(&self) -> usize {
+        self.leaves * self.hosts_per_leaf
+    }
+
+    /// The rack (leaf index) of workstation `w`.
+    pub fn leaf_of(&self, w: usize) -> usize {
+        w / self.hosts_per_leaf
+    }
+
+    /// The spine host workstation `w` aggregates into (round-robin by
+    /// rack, so a spine serves whole racks).
+    pub fn spine_of(&self, w: usize) -> usize {
+        self.leaf_of(w) % self.spines
+    }
+
+    /// Upstream path template: workstation → leaf switch → spine port →
+    /// 10GbE spine host. The access hop serializes at GbE; both switch
+    /// stages store-and-forward at 10GbE behind bounded egress buffers.
+    pub fn up_path(&self) -> Path {
+        Path {
+            hops: vec![
+                Hop::wire("ft-access", self.edge, ACCESS_PROP),
+                Hop::wire("ft-uplink", self.core, UPLINK_PROP)
+                    .with_fixed(SWITCH_FIXED)
+                    .with_buffer(UPLINK_BUFFER),
+                Hop::wire("ft-spine", self.core, SPINE_PROP)
+                    .with_fixed(SWITCH_FIXED)
+                    .with_buffer(SPINE_BUFFER),
+            ],
+        }
+    }
+
+    /// Downstream path template (ACK direction): spine host → spine port
+    /// → leaf switch → workstation. The final hop serializes at the
+    /// workstation's GbE access rate.
+    pub fn down_path(&self) -> Path {
+        Path {
+            hops: vec![
+                Hop::wire("ft-spine", self.core, SPINE_PROP)
+                    .with_fixed(SWITCH_FIXED)
+                    .with_buffer(SPINE_BUFFER),
+                Hop::wire("ft-downlink", self.core, UPLINK_PROP)
+                    .with_fixed(SWITCH_FIXED)
+                    .with_buffer(UPLINK_BUFFER),
+                Hop::wire("ft-access", self.edge, ACCESS_PROP),
+            ],
+        }
+    }
+
+    /// Conservative lookahead: the minimum base latency over both
+    /// directions — a lower bound on any frame's flight time through the
+    /// fabric, and therefore a safe sharding window.
+    pub fn lookahead(&self) -> Nanos {
+        self.up_path()
+            .base_latency()
+            .min(self.down_path().base_latency())
+    }
+}
+
+/// An APENet-style 3D torus: `dims` nodes per axis, nearest-neighbor
+/// point-to-point links with a fixed per-hop card latency.
+#[derive(Debug, Clone, Copy)]
+pub struct TorusSpec {
+    /// Nodes per axis (x, y, z).
+    pub dims: [usize; 3],
+    /// Link rate.
+    pub link: Bandwidth,
+}
+
+/// Torus cable propagation (neighbor cards in adjacent crates).
+const TORUS_PROP: Nanos = Nanos::from_nanos(500);
+/// Per-hop network-card latency (the APENet remote-write budget).
+const TORUS_FIXED: Nanos = Nanos::from_nanos(3_000);
+
+impl TorusSpec {
+    /// The canonical torus preset: 10GbE-class links between neighbors.
+    pub fn apenet(dims: [usize; 3]) -> Self {
+        assert!(dims.iter().all(|&d| d > 0), "torus axes must be non-empty");
+        TorusSpec {
+            dims,
+            link: Bandwidth::from_gbps(10),
+        }
+    }
+
+    /// Total node count.
+    pub fn nodes(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Linear index of node `(x, y, z)`.
+    pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        (z * self.dims[1] + y) * self.dims[0] + x
+    }
+
+    /// Coordinates of linear index `i`.
+    pub fn coords(&self, i: usize) -> (usize, usize, usize) {
+        let x = i % self.dims[0];
+        let y = (i / self.dims[0]) % self.dims[1];
+        let z = i / (self.dims[0] * self.dims[1]);
+        (x, y, z)
+    }
+
+    /// The +x neighbor of node `i` (wrapping): the partner in the
+    /// nearest-neighbor exchange pattern.
+    pub fn plus_x(&self, i: usize) -> usize {
+        let (x, y, z) = self.coords(i);
+        self.index((x + 1) % self.dims[0], y, z)
+    }
+
+    /// Path template for one torus link.
+    pub fn link_path(&self) -> Path {
+        Path {
+            hops: vec![Hop::wire("ape-link", self.link, TORUS_PROP).with_fixed(TORUS_FIXED)],
+        }
+    }
+
+    /// Conservative lookahead: the link's base latency.
+    pub fn lookahead(&self) -> Nanos {
+        self.link_path().base_latency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fat_tree_lookahead_is_the_base_latency_floor() {
+        let ft = FatTreeSpec::gbe_into_tengbe(4, 8, 2);
+        assert_eq!(ft.workstations(), 32);
+        let expect = ACCESS_PROP + UPLINK_PROP + SPINE_PROP + SWITCH_FIXED + SWITCH_FIXED;
+        assert_eq!(ft.up_path().base_latency(), expect);
+        assert_eq!(ft.lookahead(), expect);
+        assert!(ft.lookahead() > Nanos::ZERO);
+    }
+
+    #[test]
+    fn fat_tree_spines_serve_whole_racks() {
+        let ft = FatTreeSpec::gbe_into_tengbe(4, 2, 2);
+        // Rack 0 → spine 0, rack 1 → spine 1, rack 2 → spine 0, ...
+        assert_eq!(ft.spine_of(0), 0);
+        assert_eq!(ft.spine_of(1), 0);
+        assert_eq!(ft.spine_of(2), 1);
+        assert_eq!(ft.spine_of(6), 1);
+    }
+
+    #[test]
+    fn torus_indexing_round_trips_and_wraps() {
+        let t = TorusSpec::apenet([3, 2, 2]);
+        assert_eq!(t.nodes(), 12);
+        for i in 0..t.nodes() {
+            let (x, y, z) = t.coords(i);
+            assert_eq!(t.index(x, y, z), i);
+        }
+        // +x wraps around the ring.
+        assert_eq!(t.plus_x(t.index(2, 1, 0)), t.index(0, 1, 0));
+        assert_eq!(t.lookahead(), TORUS_PROP + TORUS_FIXED);
+    }
+}

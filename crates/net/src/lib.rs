@@ -2,6 +2,9 @@
 //!
 //! * [`link`] — store-and-forward hops and multi-hop paths with FIFO
 //!   serialization, drop-tail buffers, POS framing, and random loss,
+//! * [`fabric`] — grid fabrics: the GbE-into-10GbE fat-tree and the
+//!   APENet-style 3D torus, with conservative lookahead bounds for
+//!   sharded execution,
 //! * [`impair`] — deterministic fault injection: Gilbert–Elliott burst
 //!   loss, bounded-jitter reordering, duplication, bit-corruption, and
 //!   time-scripted link flaps, composable per hop,
@@ -13,11 +16,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fabric;
 pub mod impair;
 pub mod link;
 pub mod switch;
 pub mod wan;
 
+pub use fabric::{FatTreeSpec, TorusSpec};
 pub use impair::{
     DropCause, GilbertElliott, ImpairState, ImpairmentSchedule, Impairments, Reorder, MAX_OUTAGES,
 };

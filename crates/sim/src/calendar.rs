@@ -84,6 +84,13 @@ enum Slot<T> {
 /// Freelist terminator.
 const NIL: u32 = u32::MAX;
 
+/// Class bit composed into every key's sequence number. Normal events
+/// carry it set; front-class events ([`Calendar::schedule_front`]) carry
+/// it clear, so under the strict `(time, seq)` order every front-class
+/// key at an instant precedes every normal key at that instant, while
+/// keys within a class keep FIFO scheduling order among themselves.
+const SEQ_NORMAL: u64 = 1 << 63;
+
 // ---- timing-wheel geometry ----
 //
 // Level-0 ticks are `2^WHEEL_SHIFT` ns (≈65.5 µs) and every level packs
@@ -208,7 +215,7 @@ impl<T> Calendar<T> {
     pub fn schedule(&mut self, at: Nanos, payload: T) -> EventId {
         debug_assert!(at >= self.now, "calendar caller must clamp to now");
         let at = at.max(self.now);
-        let seq = self.seq;
+        let seq = self.seq | SEQ_NORMAL;
         self.seq += 1;
         let (slot, gen) = self.insert(payload);
         let key = Key { at, seq, slot, gen };
@@ -247,10 +254,31 @@ impl<T> Calendar<T> {
             // the heap/lane path is exact for both.
             return self.schedule(at, payload);
         }
-        let seq = self.seq;
+        let seq = self.seq | SEQ_NORMAL;
         self.seq += 1;
         let (slot, gen) = self.insert(payload);
         self.wheel_park(Key { at, seq, slot, gen });
+        self.live += 1;
+        EventId { slot, gen }
+    }
+
+    /// Schedule `payload` at strictly-future time `at` in the **front
+    /// class**: at equal timestamps a front-class event fires before
+    /// every normal event (whatever their scheduling order), while
+    /// front-class events keep FIFO order among themselves. The sharded
+    /// lab's ingress drain rides this so a merged arrival batch is
+    /// applied before any normal event of the same instant, making the
+    /// pop order independent of which shard scheduled what first.
+    ///
+    /// Strictly-future is load-bearing: a front key never has to enter
+    /// the same-instant FIFO lane (where it would pop *after* older lane
+    /// keys and break the class order), so it always goes to the heap.
+    pub fn schedule_front(&mut self, at: Nanos, payload: T) -> EventId {
+        assert!(at > self.now, "front-class events must be strictly future");
+        let seq = self.seq;
+        self.seq += 1;
+        let (slot, gen) = self.insert(payload);
+        self.heap_push(Key { at, seq, slot, gen });
         self.live += 1;
         EventId { slot, gen }
     }
@@ -741,6 +769,41 @@ mod tests {
         assert!(c.is_empty());
         assert_eq!(c.pop(), None);
         assert_eq!(c.wheel_items, 0, "drain must reap every tombstone");
+    }
+
+    #[test]
+    fn front_class_precedes_normals_at_the_same_instant() {
+        let mut c: Calendar<u32> = Calendar::new();
+        // Normals scheduled first, front key last — it still pops first
+        // at its instant, and FIFO holds within each class.
+        c.schedule(Nanos(10), 1);
+        c.schedule(Nanos(10), 2);
+        c.schedule_timer(Nanos(10), 3);
+        c.schedule_front(Nanos(10), 100);
+        c.schedule_front(Nanos(10), 101);
+        c.schedule(Nanos(5), 0);
+        let got: Vec<u32> = std::iter::from_fn(|| c.pop().map(|(_, p)| p)).collect();
+        assert_eq!(got, vec![0, 100, 101, 1, 2, 3]);
+        assert_eq!(c.now(), Nanos(10));
+    }
+
+    #[test]
+    fn front_class_keys_can_be_cancelled() {
+        let mut c: Calendar<u32> = Calendar::new();
+        let f = c.schedule_front(Nanos(10), 7);
+        c.schedule(Nanos(10), 8);
+        assert_eq!(c.cancel(f), Some(7));
+        assert_eq!(c.pop(), Some((Nanos(10), 8)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly future")]
+    fn front_class_rejects_the_current_instant() {
+        let mut c: Calendar<u32> = Calendar::new();
+        c.schedule(Nanos(5), 1);
+        c.pop();
+        c.schedule_front(Nanos(5), 2);
     }
 
     #[test]

@@ -176,6 +176,27 @@ impl<W, E: EventFire<W>> Engine<W, E> {
         self.schedule_event_at(self.calendar.now(), ev)
     }
 
+    /// Schedule `ev` at strictly-future time `at` in the calendar's
+    /// **front class** ([`crate::Calendar::schedule_front`]): at equal
+    /// timestamps it fires before every normal event, whatever the
+    /// scheduling order. The sharded lab's ingress drain uses this so a
+    /// merged arrival batch is applied before any normal event of the
+    /// same instant on any shard count.
+    ///
+    /// Panics when `at <= now` — front-class events may not target the
+    /// current instant (the same-instant FIFO lane would break the class
+    /// order), so callers must schedule them strictly ahead.
+    pub fn schedule_front_at(&mut self, at: Nanos, ev: E) -> EventId {
+        self.calendar.schedule_front(at, ev)
+    }
+
+    /// Timestamp of the earliest pending event, if any, without popping
+    /// it. Used by the shard runner to publish each shard's next event
+    /// time when computing the global synchronization window.
+    pub fn peek_time(&mut self) -> Option<Nanos> {
+        self.calendar.peek_time()
+    }
+
     /// Cancel a scheduled event. Returns `true` when the handle was still
     /// live (the payload is dropped immediately); `false` when the event
     /// already fired or was already cancelled. O(1): the calendar leaves a
@@ -217,6 +238,30 @@ impl<W, E: EventFire<W>> Engine<W, E> {
     pub fn run_until(&mut self, world: &mut W, deadline: Nanos) {
         while let Some(next) = self.calendar.peek_time() {
             if next > deadline {
+                break;
+            }
+            self.step(world);
+            assert!(
+                self.executed <= self.event_limit,
+                "event limit {} exceeded at t={}",
+                self.event_limit,
+                self.calendar.now()
+            );
+        }
+    }
+
+    /// Run until the calendar drains or the next event lies at or past
+    /// `end` (an **exclusive** deadline, unlike [`Engine::run_until`]'s
+    /// inclusive one). Events at exactly `end` remain queued.
+    ///
+    /// This is the conservative-window primitive of the shard runner:
+    /// a shard owning lookahead window `[T, T + L)` executes every local
+    /// event strictly below `T + L` and stops, because an event at
+    /// `T + L` could still be preceded by a cross-shard arrival at that
+    /// same instant.
+    pub fn run_before(&mut self, world: &mut W, end: Nanos) {
+        while let Some(next) = self.calendar.peek_time() {
+            if next >= end {
                 break;
             }
             self.step(world);
@@ -348,6 +393,33 @@ mod tests {
         // An empty calendar still advances the clock.
         eng.advance_to(&mut log, Nanos(30));
         assert_eq!(eng.now(), Nanos(30));
+    }
+
+    #[test]
+    fn run_before_excludes_the_deadline_instant() {
+        let mut eng: Engine<Vec<u64>> = Engine::new();
+        let mut log = Vec::new();
+        for t in [5u64, 10, 15] {
+            eng.schedule_at(Nanos(t), move |w: &mut Vec<u64>, _| w.push(t));
+        }
+        eng.run_before(&mut log, Nanos(10));
+        assert_eq!(log, vec![5], "the event at the window end stays queued");
+        assert_eq!(eng.peek_time(), Some(Nanos(10)));
+        eng.run(&mut log);
+        assert_eq!(log, vec![5, 10, 15]);
+    }
+
+    #[test]
+    fn front_class_events_run_before_normals_of_the_same_instant() {
+        let mut eng: Engine<Vec<&'static str>> = Engine::new();
+        let mut log = Vec::new();
+        eng.schedule_at(Nanos(10), |w: &mut Vec<&'static str>, _| w.push("normal"));
+        eng.schedule_front_at(
+            Nanos(10),
+            BoxedEvent(Box::new(|w: &mut Vec<&'static str>, _| w.push("front"))),
+        );
+        eng.run(&mut log);
+        assert_eq!(log, vec!["front", "normal"]);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod queue;
 pub mod rng;
 pub mod sanitizer;
 pub mod server;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -40,6 +41,7 @@ pub use queue::{DropTailQueue, Enqueue};
 pub use rng::SimRng;
 pub use sanitizer::{Sanitizer, SimConfig, Violation, ViolationKind};
 pub use server::{Admission, FifoServer, ServerBank};
+pub use shard::{run_sharded, ShardWorld};
 pub use time::Nanos;
 pub use trace::{Stage, TraceEvent, Tracer};
 pub use units::{rate_of, Bandwidth};
