@@ -4,19 +4,19 @@
 # then the compile-only bench check, then the determinism gates in
 # increasing cost — lint (static: runs its own selftests, then lints the
 # live tree and byte-compares the JSON report against
-# goldens/lint_baseline.json) before obs-check, faults-check and
-# grid-check (dynamic: full pinned-seed sweeps). grid-check runs last:
-# it is the only gate that spins up the sharded engine, so a plain
-# single-calendar determinism break surfaces in the cheaper gates first
-# and a grid-check-only failure points straight at the shard layer. A
-# static violation fails in seconds instead of after a minute of
-# simulation.
+# goldens/lint_baseline.json) before obs-check, faults-check, grid-check
+# and prof-check (dynamic: full pinned-seed sweeps). grid-check and
+# prof-check run last: they are the only gates that spin up the sharded
+# engine, so a plain single-calendar determinism break surfaces in the
+# cheaper gates first and a grid/prof-only failure points straight at the
+# shard or profiling layer. A static violation fails in seconds instead
+# of after a minute of simulation.
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt clippy benches-check lint lint-selftest obs-check faults-check grid-check bench bench-gate
+.PHONY: ci build test fmt clippy benches-check lint lint-selftest obs-check faults-check grid-check prof-check bench bench-gate
 
-ci: build test fmt clippy benches-check lint obs-check faults-check grid-check
+ci: build test fmt clippy benches-check lint obs-check faults-check grid-check prof-check
 
 build:
 	$(CARGO) build --release
@@ -85,6 +85,23 @@ grid-check:
 		check goldens/grid.jsonl --shards 1
 	$(CARGO) run --release -q -p tengig-bench --bin tengig-grid -- \
 		check goldens/grid.jsonl --shards 4
+
+# Self-profiling determinism gate: runs the pinned grid sweep with the
+# profiling plane collected, at the given shard count on 1 and 4 sweep
+# threads. The gated "sim" profiling sidecar must be byte-identical
+# across thread counts and byte-match goldens/prof_throughput.jsonl —
+# which is shard-count-invariant, so every cell compares against the same
+# file — and the profiled run's primary report must byte-match
+# goldens/grid.jsonl (collecting the profile never perturbs a sweep
+# byte). The per-shard "local" and host-domain "wall" sections are never
+# gated. On mismatch the fresh sidecar lands in target/prof_current.jsonl
+# for diffing (`tengig-prof diff`). Regenerate deliberately by appending
+# `--write-golden`.
+prof-check:
+	$(CARGO) run --release -q -p tengig-bench --bin tengig-prof -- \
+		check goldens/prof_throughput.jsonl --shards 1
+	$(CARGO) run --release -q -p tengig-bench --bin tengig-prof -- \
+		check goldens/prof_throughput.jsonl --shards 4
 
 # Refresh the wall-clock benchmark baseline: runs the fixed pinned-seed
 # workload per experiment family and rewrites BENCH_sim.json in place.

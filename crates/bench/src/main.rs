@@ -19,7 +19,7 @@
 
 use std::time::Instant;
 use tengig::experiments::faults::{faults_lab, scaled_wan};
-use tengig::experiments::grid::{run_grid, GridPreset};
+use tengig::experiments::grid::{run_grid, run_grid_prof, GridPreset};
 use tengig::experiments::multiflow::{aggregate_seeded, Direction};
 use tengig::experiments::wan::wan_lab_seeded;
 use tengig::experiments::{b2b_lab, run_to_completion};
@@ -226,6 +226,17 @@ fn grid_fabric(shards: usize) -> (u64, u64) {
     (r.events, r.payload_bytes)
 }
 
+/// The `grid_fabric_4shard` workload again with the full self-profiling
+/// plane collected — deterministic counters, batch histograms, and the
+/// wall-time barrier accounting. Prices the enabled profiler tax: the
+/// gate's exact event-count match against `grid_fabric_4shard` proves
+/// profiling changes no event, and the events/sec delta between the two
+/// families is the tax itself (target ≤5%).
+fn grid_prof() -> (u64, u64) {
+    let (r, _prof) = run_grid_prof(&grid_fabric_preset(), 4, SEED);
+    (r.events, r.payload_bytes)
+}
+
 /// §3.5.2 packet generator: single-copy TCP-bypass blast.
 fn pktgen() -> (u64, u64) {
     let cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
@@ -286,6 +297,7 @@ fn main() {
             time("timer_churn_wheel", || timer_churn(true)),
             time("grid_fabric_1shard", || grid_fabric(1)),
             time("grid_fabric_4shard", || grid_fabric(4)),
+            time("grid_prof", grid_prof),
         ],
         peak_rss_kb: gate::peak_rss_kb(),
     };

@@ -44,6 +44,27 @@ fn obs_config() -> ObsConfig {
     }
 }
 
+/// Print the first differing line of two JSONL documents with one line
+/// of surrounding context — enough to see which scope/metric/time moved
+/// without rerunning anything.
+fn print_first_diff(expected: &str, got: &str) {
+    let e: Vec<&str> = expected.lines().collect();
+    let g: Vec<&str> = got.lines().collect();
+    for i in 0..e.len().max(g.len()) {
+        let le = e.get(i).copied();
+        let lg = g.get(i).copied();
+        if le != lg {
+            println!("  first divergence at line {}:", i + 1);
+            if i > 0 {
+                println!("    context:  {}", e[i - 1]);
+            }
+            println!("    expected: {}", le.unwrap_or("<line missing>"));
+            println!("    got:      {}", lg.unwrap_or("<line missing>"));
+            return;
+        }
+    }
+}
+
 fn read_timelines(path: &str) -> Result<Timelines, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     Timelines::from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
@@ -136,14 +157,17 @@ fn check(golden: &str, write_golden: bool) -> Result<bool, String> {
     let mut ok = true;
     if sidecar_1 != sidecar_4 {
         println!("obs-check: FAIL: metrics sidecar differs between 1 and 4 threads");
+        print_first_diff(&sidecar_1, &sidecar_4);
         ok = false;
     }
     if report_1 != report_4 {
         println!("obs-check: FAIL: primary report differs between 1 and 4 threads");
+        print_first_diff(&report_1, &report_4);
         ok = false;
     }
     if report_4 != plain {
         println!("obs-check: FAIL: enabling obs changed the primary report bytes");
+        print_first_diff(&plain, &report_4);
         ok = false;
     }
     let checked_in =
@@ -151,6 +175,7 @@ fn check(golden: &str, write_golden: bool) -> Result<bool, String> {
     if plain != checked_in {
         println!("obs-check: FAIL: obs-disabled sweep diverged from golden {golden}");
         println!("  (regenerate deliberately with `tengig-obs check {golden} --write-golden`)");
+        print_first_diff(&checked_in, &plain);
         ok = false;
     }
     if ok {

@@ -1,0 +1,282 @@
+//! `tengig-prof` — command-line companion to the engine self-profiling
+//! plane, and the determinism gate behind `make prof-check`.
+//!
+//! ```text
+//! tengig-prof summarize FILE         pretty-print a profile (histogram
+//!                                    percentiles, wall-plane readout)
+//! tengig-prof diff A B               compare two profile documents
+//! tengig-prof check GOLDEN [--shards N] [--write-golden]
+//!                                    prof determinism + golden gate
+//! ```
+//!
+//! `check` runs the pinned grid sweep with the profiling plane collected
+//! at the requested shard count on 1 and then 4 sweep worker threads,
+//! requires the gated "sim" profiling sidecar to be byte-identical
+//! across thread counts and to byte-match the checked-in golden, and
+//! requires the profiled run's primary report to byte-match
+//! `goldens/grid.jsonl` — proving that collecting the profile never
+//! perturbs the sweep bytes. Only the deterministic "sim" section is
+//! gated; the per-shard "local" and host-domain "wall" sections are
+//! reported by `summarize` and never compared. On mismatch the computed
+//! sidecar is written to `target/prof_current.jsonl` for CI artifact
+//! upload; exit status is 1 (2 for operational errors).
+
+use tengig::experiments::grid::{grid_prof_sweep, standard_presets};
+use tengig::SweepRunner;
+use tengig_sim::Hist;
+
+/// Master seed for the pinned grid sweep (the publication year, matching
+/// every other pinned workload in the repo).
+const SEED: u64 = 2003;
+
+/// Where the computed gated sidecar lands on mismatch, for CI upload.
+const CURRENT_OUT: &str = "target/prof_current.jsonl";
+
+/// The primary-report golden the profiled sweep must also byte-match.
+const GRID_GOLDEN: &str = "goldens/grid.jsonl";
+
+/// The pinned profiled sweep: returns `(report, gated sidecar, host
+/// sidecar)` as strings.
+fn sweep(shards: usize, threads: usize) -> (String, String, String) {
+    let presets = standard_presets();
+    let (report, gated, host) = grid_prof_sweep(&presets, shards, SEED, SweepRunner::new(threads));
+    (report.to_jsonl(), gated.concatenated(), host.concatenated())
+}
+
+/// Extract an unsigned integer field from a single-line JSON object.
+fn field_u64(line: &str, name: &str) -> Option<u64> {
+    let pat = format!("\"{name}\":");
+    let at = line.find(&pat)?;
+    let digits: String = line[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Extract a string field from a single-line JSON object.
+fn field_str<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let pat = format!("\"{name}\":\"");
+    let at = line.find(&pat)?;
+    let rest = &line[at + pat.len()..];
+    rest.split('"').next()
+}
+
+/// Parse an embedded histogram field out of a profile line.
+fn field_hist(line: &str, name: &str) -> Option<Hist> {
+    let pat = format!("\"{name}\":");
+    let at = line.find(&pat)?;
+    Hist::parse(&line[at + pat.len()..]).ok()
+}
+
+/// Pretty-print one profile document: per-preset sim sections with the
+/// p50/p90/p99/max histogram readout, then local and wall sections.
+fn summarize(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    for line in text.lines() {
+        if line.contains("\"prof\":\"sim\"") {
+            println!(
+                "{} executed={}",
+                field_str(line, "preset").unwrap_or("?"),
+                field_u64(line, "executed").unwrap_or(0),
+            );
+            for h in ["rx_batch", "drain_batch"] {
+                if let Some(hist) = field_hist(line, h) {
+                    println!("  {h}: {}", hist.summary());
+                }
+            }
+        } else if line.contains("\"prof\":\"local\"") {
+            println!(
+                "  shard {} windows={} msgs_sent={} pool={}h/{}m",
+                field_u64(line, "shard").unwrap_or(0),
+                field_u64(line, "windows").unwrap_or(0),
+                field_u64(line, "msgs_sent").unwrap_or(0),
+                field_u64(line, "pool_hits").unwrap_or(0),
+                field_u64(line, "pool_misses").unwrap_or(0),
+            );
+        } else if line.contains("\"wall\":\"shard\"") {
+            let ms = |n: u64| n as f64 / 1e6;
+            println!(
+                "  wall shard {}: windows={} barrier_wait={:.3}ms execute={:.3}ms",
+                field_u64(line, "shard").unwrap_or(0),
+                field_u64(line, "windows").unwrap_or(0),
+                ms(field_u64(line, "barrier_wait_ns").unwrap_or(0)),
+                ms(field_u64(line, "execute_ns").unwrap_or(0)),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Compare two profile documents line by line; on the first divergence,
+/// show both lines and — when histograms are present — their percentile
+/// readouts, which usually localize a drift faster than raw bucket lists.
+fn diff(a: &str, b: &str) -> Result<bool, String> {
+    let left = std::fs::read_to_string(a).map_err(|e| format!("reading {a}: {e}"))?;
+    let right = std::fs::read_to_string(b).map_err(|e| format!("reading {b}: {e}"))?;
+    if left == right {
+        println!("profiles identical: {a} == {b}");
+        return Ok(true);
+    }
+    let l: Vec<&str> = left.lines().collect();
+    let r: Vec<&str> = right.lines().collect();
+    println!("profiles differ ({a} vs {b}):");
+    for i in 0..l.len().max(r.len()) {
+        let le = l.get(i).copied();
+        let rg = r.get(i).copied();
+        if le != rg {
+            println!("  first divergence at line {}:", i + 1);
+            println!("    left:  {}", le.unwrap_or("<line missing>"));
+            println!("    right: {}", rg.unwrap_or("<line missing>"));
+            for name in ["rx_batch", "drain_batch"] {
+                if let (Some(lh), Some(rh)) = (
+                    le.and_then(|s| field_hist(s, name)),
+                    rg.and_then(|s| field_hist(s, name)),
+                ) {
+                    if lh != rh {
+                        println!("    {name} left:  {}", lh.summary());
+                        println!("    {name} right: {}", rh.summary());
+                    }
+                }
+            }
+            break;
+        }
+    }
+    Ok(false)
+}
+
+/// Print the first few differing lines of two JSONL documents.
+fn print_diff(expected: &str, got: &str) {
+    let mut shown = 0;
+    for (i, (e, g)) in expected.lines().zip(got.lines()).enumerate() {
+        if e != g && shown < 5 {
+            println!("  line {}:", i + 1);
+            println!("    expected: {e}");
+            println!("    got:      {g}");
+            shown += 1;
+        }
+    }
+    let (el, gl) = (expected.lines().count(), got.lines().count());
+    if el != gl {
+        println!("  line counts differ: expected {el}, got {gl}");
+    }
+}
+
+fn check(golden: &str, shards: usize, write_golden: bool) -> Result<bool, String> {
+    eprintln!("prof-check: pinned profiled sweep, shards={shards}, 1 sweep thread ...");
+    let (report_1, gated_1, _) = sweep(shards, 1);
+    eprintln!("prof-check: pinned profiled sweep, shards={shards}, 4 sweep threads ...");
+    let (report_4, gated_4, _) = sweep(shards, 4);
+
+    if write_golden {
+        if let Some(dir) = std::path::Path::new(golden).parent() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+        std::fs::write(golden, &gated_1).map_err(|e| format!("writing {golden}: {e}"))?;
+        println!("prof-check: wrote golden {golden}");
+    }
+
+    let mut ok = true;
+    if gated_1 != gated_4 {
+        println!(
+            "prof-check: FAIL: gated sidecar differs between 1 and 4 sweep threads \
+             (shards={shards})"
+        );
+        print_diff(&gated_1, &gated_4);
+        ok = false;
+    }
+    if report_1 != report_4 {
+        println!(
+            "prof-check: FAIL: primary report differs between 1 and 4 sweep threads \
+             (shards={shards})"
+        );
+        print_diff(&report_1, &report_4);
+        ok = false;
+    }
+    let checked_in =
+        std::fs::read_to_string(golden).map_err(|e| format!("reading {golden}: {e}"))?;
+    if gated_1 != checked_in {
+        println!("prof-check: FAIL: shards={shards} profiling sidecar diverged from {golden}");
+        println!("  (regenerate deliberately with `tengig-prof check {golden} --write-golden`)");
+        print_diff(&checked_in, &gated_1);
+        ok = false;
+    }
+    // The profiled run's primary report must match the plain grid golden:
+    // collecting the profile may not perturb a byte of the sweep.
+    match std::fs::read_to_string(GRID_GOLDEN) {
+        Ok(grid_golden) => {
+            if report_1 != grid_golden {
+                println!(
+                    "prof-check: FAIL: profiled sweep report diverged from {GRID_GOLDEN} \
+                     (profiling must not change the sweep bytes)"
+                );
+                print_diff(&grid_golden, &report_1);
+                ok = false;
+            }
+        }
+        Err(e) => {
+            println!("prof-check: note: {GRID_GOLDEN} not checked ({e})");
+        }
+    }
+    if !ok {
+        if let Some(dir) = std::path::Path::new(CURRENT_OUT).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(CURRENT_OUT, &gated_1).map_err(|e| format!("writing {CURRENT_OUT}: {e}"))?;
+        println!("  computed sidecar written to {CURRENT_OUT}");
+    } else {
+        println!(
+            "prof-check: PASS (shards={shards}: gated sidecar byte-identical across 1/4 \
+             sweep threads, matches {golden}; report untouched)"
+        );
+    }
+    Ok(ok)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tengig-prof summarize FILE\n\
+        \x20      tengig-prof diff A B\n\
+        \x20      tengig-prof check GOLDEN [--shards N] [--write-golden]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let outcome = match strs.as_slice() {
+        ["summarize", path] => summarize(path).map(|()| true),
+        ["diff", a, b] => diff(a, b),
+        ["check", golden, rest @ ..] => {
+            let mut shards = 1usize;
+            let mut write_golden = false;
+            let mut it = rest.iter();
+            while let Some(arg) = it.next() {
+                match *arg {
+                    "--shards" => {
+                        let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                            usage();
+                        };
+                        shards = n;
+                    }
+                    "--write-golden" => write_golden = true,
+                    _ => usage(),
+                }
+            }
+            if shards == 0 {
+                usage();
+            }
+            check(golden, shards, write_golden)
+        }
+        _ => usage(),
+    };
+    match outcome {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("tengig-prof: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -23,13 +23,17 @@
 //! shards, and neither axis is allowed to leak into the output.
 
 use crate::config::{HostConfig, LadderRung};
-use crate::lab::{self, App, GridRt, GridShard, Lab};
-use crate::report::{Json, SweepReport};
-use crate::sweep::{scenarios, SweepRunner};
+use crate::lab::{self, App, Ev, GridRt, GridShard, Lab};
+use crate::report::{Json, MetricsSidecar, SweepReport};
+use crate::sweep::{scenarios, Scenario, SweepRunner};
+use std::fmt::Write as _;
 use tengig_ethernet::Mtu;
 use tengig_net::{FatTreeSpec, TorusSpec};
 use tengig_nic::NicSpec;
-use tengig_sim::{rate_of, run_sharded, Engine, Nanos, SimRng};
+use tengig_sim::{
+    rate_of, run_sharded, run_sharded_wall, Engine, EngineCounters, Hist, Nanos, ObsConfig, SimRng,
+    Timelines, WallStats,
+};
 use tengig_tcp::Sysctls;
 use tengig_tools::{NttcpReceiver, NttcpSender};
 
@@ -131,7 +135,13 @@ fn tengbe() -> HostConfig {
 ///
 /// Links are per-flow private directional paths, which satisfies the
 /// grid partition-safety rule by construction.
-fn build_replica(preset: &GridPreset, seed: u64, shards: usize, shard: usize) -> GridShard {
+fn build_replica(
+    preset: &GridPreset,
+    seed: u64,
+    shards: usize,
+    shard: usize,
+    obs: Option<&ObsConfig>,
+) -> GridShard {
     let mut lab = Lab::new();
     let mut rng = SimRng::seeded(seed);
     match preset {
@@ -188,6 +198,9 @@ fn build_replica(preset: &GridPreset, seed: u64, shards: usize, shard: usize) ->
     let owner: Vec<usize> = (0..lab.hosts.len()).map(|h| h % shards).collect();
     let flows = lab.flows.len();
     lab.enable_grid(GridRt::new(shards, shard, owner, flows));
+    if let Some(cfg) = obs {
+        lab.enable_obs(cfg, seed);
+    }
     let mut eng = Engine::new();
     eng.event_limit = 2_000_000_000;
     lab::install_default_sanitizer(&mut lab, &mut eng, seed);
@@ -223,12 +236,29 @@ pub struct GridResult {
 /// *other* endpoint's replica, which is stale by design in grid mode.)
 pub fn run_grid(preset: &GridPreset, shards: usize, seed: u64) -> GridResult {
     assert!(shards > 0, "a grid run needs at least one shard");
-    let lookahead = preset.lookahead();
-    let mut replicas: Vec<GridShard> = (0..shards)
-        .map(|s| build_replica(preset, seed, shards, s))
-        .collect();
-    run_sharded(&mut replicas, lookahead);
-    for shard in &mut replicas {
+    let mut replicas = build_replicas(preset, shards, seed, None);
+    run_sharded(&mut replicas, preset.lookahead());
+    merge_grid(&mut replicas, shards)
+}
+
+/// Build every shard's replica of the preset's world.
+fn build_replicas(
+    preset: &GridPreset,
+    shards: usize,
+    seed: u64,
+    obs: Option<&ObsConfig>,
+) -> Vec<GridShard> {
+    (0..shards)
+        .map(|s| build_replica(preset, seed, shards, s, obs))
+        .collect()
+}
+
+/// Check every shard's sanitizer and merge the per-shard state into the
+/// shard-count-invariant [`GridResult`] (shared verbatim by the plain,
+/// profiled, and observed run paths, so all three produce identical
+/// result bytes by construction).
+fn merge_grid(replicas: &mut [GridShard], shards: usize) -> GridResult {
+    for shard in replicas.iter_mut() {
         // Every calendar drained, so each shard's byte ledger must sit at
         // zero in-flight (cross-shard frames were handed off explicitly).
         lab::check_sanitizer(&shard.lab, &mut shard.eng, true);
@@ -263,6 +293,151 @@ pub fn run_grid(preset: &GridPreset, shards: usize, seed: u64) -> GridResult {
     }
 }
 
+/// The three-section self-profile of one grid run (see `DESIGN.md` §16).
+///
+/// Only [`GridProfile::sim`] is golden-gated: it carries exclusively
+/// shard-count- and thread-invariant merges (per-kind fired counts,
+/// executed totals, engine verb counters, the rx-interrupt and
+/// ingress-drain batch histograms). The `local` section is deterministic
+/// for a fixed shard count but partition-dependent; the `wall` section is
+/// host-domain time and never reproducible.
+#[derive(Debug, Clone)]
+pub struct GridProfile {
+    /// The gated deterministic section: one JSONL line, byte-identical
+    /// across shard counts and sweep threads.
+    pub sim: String,
+    /// Per-shard deterministic section, one JSONL line per shard
+    /// (never gated — the values are functions of the partition).
+    pub local: String,
+    /// Host-domain wall-time section, one JSONL line per shard
+    /// (never gated, never deterministic).
+    pub wall: String,
+}
+
+/// Run one grid preset with the self-profiling plane collected: the
+/// identical simulation [`run_grid`] executes (same events, same result
+/// bytes), plus the deterministic counters and the wall-time
+/// barrier/execute accounting of [`tengig_sim::run_sharded_wall`].
+pub fn run_grid_prof(preset: &GridPreset, shards: usize, seed: u64) -> (GridResult, GridProfile) {
+    assert!(shards > 0, "a grid run needs at least one shard");
+    let mut replicas = build_replicas(preset, shards, seed, None);
+    let mut wall = vec![WallStats::default(); shards];
+    run_sharded_wall(&mut replicas, preset.lookahead(), Some(&mut wall));
+    let result = merge_grid(&mut replicas, shards);
+    let profile = collect_profile(&preset.label(), seed, &replicas, &wall);
+    (result, profile)
+}
+
+/// Run one grid preset with observability timelines enabled on every
+/// shard and merged shard-count-invariantly: each shard samples only the
+/// scopes it owns (see [`crate::lab`]'s grid-aware `obs_sample`), and the
+/// merged [`Timelines`] JSONL is byte-identical at any shard count.
+pub fn run_grid_obs(
+    preset: &GridPreset,
+    shards: usize,
+    seed: u64,
+    obs: &ObsConfig,
+) -> (GridResult, Timelines) {
+    assert!(shards > 0, "a grid run needs at least one shard");
+    let mut replicas = build_replicas(preset, shards, seed, Some(obs));
+    run_sharded(&mut replicas, preset.lookahead());
+    let mut tl = replicas[0]
+        .lab
+        .take_timelines()
+        .expect("obs was enabled on every replica");
+    for shard in &mut replicas[1..] {
+        tl.merge(
+            &shard
+                .lab
+                .take_timelines()
+                .expect("obs was enabled on every replica"),
+        );
+    }
+    let result = merge_grid(&mut replicas, shards);
+    (result, tl)
+}
+
+/// Assemble the three profile sections from the finished replicas.
+fn collect_profile(
+    label: &str,
+    seed: u64,
+    replicas: &[GridShard],
+    wall: &[WallStats],
+) -> GridProfile {
+    // Invariant merges for the gated "sim" section.
+    let mut fired = [0u64; Ev::KINDS];
+    let mut engine = EngineCounters::default();
+    let mut rx_batch = Hist::new();
+    let mut drain_batch = Hist::new();
+    let mut executed = 0u64;
+    for s in replicas {
+        let p = s.lab.prof();
+        for (t, f) in fired.iter_mut().zip(&p.fired) {
+            *t += f;
+        }
+        engine.merge(&s.eng.prof_counters());
+        rx_batch.merge(&p.rx_batch);
+        executed += s.eng.executed();
+        let g = s.lab.grid().expect("grid shard without grid");
+        drain_batch.merge(&g.drain_batch);
+    }
+    let fired_obj = Json::Object(
+        Ev::NAMES
+            .iter()
+            .zip(&fired)
+            .map(|(n, &c)| (n.to_string(), Json::U64(c)))
+            .collect(),
+    );
+    let engine_obj = Json::Object(vec![
+        ("sched_events".to_string(), Json::U64(engine.sched_events)),
+        ("sched_timers".to_string(), Json::U64(engine.sched_timers)),
+        ("sched_front".to_string(), Json::U64(engine.sched_front)),
+        ("cancels".to_string(), Json::U64(engine.cancels)),
+        ("cancel_hits".to_string(), Json::U64(engine.cancel_hits)),
+    ]);
+    let mut sim = String::new();
+    let _ = writeln!(
+        sim,
+        "{{\"prof\":\"sim\",\"preset\":\"{label}\",\"seed\":{seed},\"executed\":{executed},\
+         \"fired\":{fired_obj},\"engine\":{engine_obj},\"rx_batch\":{},\"drain_batch\":{}}}",
+        rx_batch.render(),
+        drain_batch.render(),
+    );
+    // Per-shard "local" section.
+    let mut local = String::new();
+    for (i, s) in replicas.iter().enumerate() {
+        let p = s.lab.prof();
+        let g = s.lab.grid().expect("grid shard without grid");
+        let c = s.eng.calendar_counters();
+        let cal_obj = Json::Object(vec![
+            ("sched_slab".to_string(), Json::U64(c.sched_slab)),
+            ("sched_lane".to_string(), Json::U64(c.sched_lane)),
+            ("lane_hiwater".to_string(), Json::U64(c.lane_hiwater)),
+            ("wheel_parked".to_string(), Json::U64(c.wheel_parked)),
+            ("wheel_fallbacks".to_string(), Json::U64(c.wheel_fallbacks)),
+            ("wheel_cascades".to_string(), Json::U64(c.wheel_cascades)),
+            ("cancels".to_string(), Json::U64(c.cancels)),
+            ("cancel_hits".to_string(), Json::U64(c.cancel_hits)),
+        ]);
+        let _ = writeln!(
+            local,
+            "{{\"prof\":\"local\",\"preset\":\"{label}\",\"shard\":{i},\"windows\":{},\
+             \"msgs_sent\":{},\"pool_hits\":{},\"pool_misses\":{},\"calendar\":{cal_obj}}}",
+            g.windows, g.msgs_sent, p.pool_hits, p.pool_misses,
+        );
+    }
+    // Host-domain "wall" section.
+    let mut wall_out = String::new();
+    for (i, w) in wall.iter().enumerate() {
+        let _ = writeln!(wall_out, "{}", w.render(i));
+    }
+    GridProfile {
+        sim,
+        local,
+        wall: wall_out,
+    }
+}
+
 /// The pinned grid sweep: two fat-tree points and one torus point, sized
 /// so the whole sweep stays CI-cheap while still crossing every shard
 /// boundary (host ownership is round-robin, so with more than one shard
@@ -291,27 +466,62 @@ pub fn grid_sweep_report(
         .expect("grid sweep scenario panicked");
     let mut report = SweepReport::new("grid/fabric", master_seed);
     for (sc, r) in grid.iter().zip(&results) {
-        report.push_row(
-            sc.index,
-            sc.label.clone(),
-            sc.seed,
-            vec![
-                ("flows".to_string(), Json::U64(r.flows)),
-                ("events".to_string(), Json::U64(r.events)),
-                ("payload_bytes".to_string(), Json::U64(r.payload_bytes)),
-                (
-                    "first_start_ns".to_string(),
-                    Json::U64(r.first_start.as_nanos()),
-                ),
-                (
-                    "last_done_ns".to_string(),
-                    Json::U64(r.last_done.as_nanos()),
-                ),
-                ("aggregate_gbps".to_string(), Json::F64(r.aggregate_gbps)),
-            ],
-        );
+        push_grid_row(&mut report, sc, r);
     }
     (results, report)
+}
+
+/// Append one grid scenario's row to the sweep report. Shared between
+/// [`grid_sweep_report`] and [`grid_prof_sweep`] so the profiled sweep's
+/// report bytes are identical to the plain one's by construction — the
+/// proof that collecting the profile never perturbs `goldens/grid.jsonl`.
+fn push_grid_row(report: &mut SweepReport, sc: &Scenario<GridPreset>, r: &GridResult) {
+    report.push_row(
+        sc.index,
+        sc.label.clone(),
+        sc.seed,
+        vec![
+            ("flows".to_string(), Json::U64(r.flows)),
+            ("events".to_string(), Json::U64(r.events)),
+            ("payload_bytes".to_string(), Json::U64(r.payload_bytes)),
+            (
+                "first_start_ns".to_string(),
+                Json::U64(r.first_start.as_nanos()),
+            ),
+            (
+                "last_done_ns".to_string(),
+                Json::U64(r.last_done.as_nanos()),
+            ),
+            ("aggregate_gbps".to_string(), Json::F64(r.aggregate_gbps)),
+        ],
+    );
+}
+
+/// Sweep the grid presets with the self-profiling plane collected.
+/// Returns the primary report (byte-identical to [`grid_sweep_report`]'s),
+/// the gated profiling sidecar (one "sim" section per scenario — the
+/// bytes `goldens/prof_throughput.jsonl` pins across shard counts
+/// {1, 2, 4} and sweep threads {1, 4}), and the ungated host sidecar
+/// (per-shard "local" and "wall" sections, for humans).
+pub fn grid_prof_sweep(
+    presets: &[GridPreset],
+    shards: usize,
+    master_seed: u64,
+    runner: SweepRunner,
+) -> (SweepReport, MetricsSidecar, MetricsSidecar) {
+    let grid = scenarios(master_seed, presets.iter().copied(), |p| p.label());
+    let (results, profiles) = runner
+        .run_split(&grid, |sc| run_grid_prof(&sc.input, shards, sc.seed))
+        .expect("grid prof sweep scenario panicked");
+    let mut report = SweepReport::new("grid/fabric", master_seed);
+    let mut gated = MetricsSidecar::new("grid/prof");
+    let mut host = MetricsSidecar::new("grid/prof-host");
+    for ((sc, r), p) in grid.iter().zip(&results).zip(&profiles) {
+        push_grid_row(&mut report, sc, r);
+        gated.push(sc.index, sc.label.clone(), p.sim.clone());
+        host.push(sc.index, sc.label.clone(), format!("{}{}", p.local, p.wall));
+    }
+    (report, gated, host)
 }
 
 #[cfg(test)]

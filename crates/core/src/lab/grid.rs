@@ -31,7 +31,7 @@
 use super::{frame_arrival, Ev, Lab, LabEngine};
 use std::collections::BTreeMap;
 use tengig_net::Delivery;
-use tengig_sim::{Nanos, ShardWorld};
+use tengig_sim::{Hist, Nanos, ShardWorld};
 use tengig_tcp::Segment;
 
 /// One wire arrival traveling through the ingress channel.
@@ -77,6 +77,17 @@ pub struct GridRt {
     inbox: Vec<BTreeMap<(Nanos, u64), Arrival>>,
     /// Messages bound for other shards, drained by [`ShardWorld::flush`].
     outbox: Vec<(usize, Nanos, GridMsg)>,
+    /// Cross-shard messages this shard emitted (deterministic, but a
+    /// function of the partition — zero at one shard — so it lives in the
+    /// per-shard "local" profiling section, never the gated one).
+    pub msgs_sent: u64,
+    /// Arrivals applied per [`Ev::IngressDrain`] batch, log-bucketed.
+    /// Batches are per (host, instant) with shard-count-invariant
+    /// contents, so the shard-merged histogram is gate-safe.
+    pub drain_batch: Hist,
+    /// Conservative synchronization windows this shard executed
+    /// (per-shard deterministic; varies with shard count and lookahead).
+    pub windows: u64,
 }
 
 impl GridRt {
@@ -94,6 +105,9 @@ impl GridRt {
             emit: vec![[0; 2]; flows],
             inbox: (0..hosts).map(|_| BTreeMap::new()).collect(),
             outbox: Vec::new(),
+            msgs_sent: 0,
+            drain_batch: Hist::new(),
+            windows: 0,
         }
     }
 
@@ -174,6 +188,7 @@ pub(super) fn route_arrival(
         }
     } else {
         let dst_shard = grid.owner[dst_host];
+        grid.msgs_sent += 1;
         grid.outbox.push((
             dst_shard,
             d.at,
@@ -197,12 +212,10 @@ pub(super) fn route_arrival(
 /// of this instant runs.
 pub(super) fn ingress_drain(lab: &mut Lab, eng: &mut LabEngine, h: usize) {
     let now = eng.now();
-    let batch = lab
-        .grid
-        .as_mut()
-        .expect("ingress drain outside grid mode")
-        .take_instant(h, now);
+    let grid = lab.grid.as_mut().expect("ingress drain outside grid mode");
+    let batch = grid.take_instant(h, now);
     debug_assert!(!batch.is_empty(), "drain fired with nothing pending");
+    grid.drain_batch.record(batch.len() as u64);
     for a in batch {
         frame_arrival(lab, eng, a.f, a.ep, a.seg, a.corrupted);
     }
@@ -225,6 +238,8 @@ impl ShardWorld for GridShard {
     }
 
     fn run_window(&mut self, end: Nanos) {
+        let grid = self.lab.grid.as_mut().expect("grid shard without grid");
+        grid.windows += 1;
         self.eng.run_before(&mut self.lab, end);
     }
 
@@ -246,5 +261,8 @@ impl ShardWorld for GridShard {
             self.eng
                 .schedule_front_at(at, Ev::IngressDrain { h: msg.h });
         }
+        // A message landing on a drained shard restarts its dormant
+        // observability sampling chain (no-op when obs is off or armed).
+        super::obs_revive(&mut self.lab, &mut self.eng, at);
     }
 }

@@ -205,6 +205,19 @@ impl HostRt {
             .max()
             .unwrap_or(Nanos::ZERO)
     }
+
+    /// Total busy time ever *admitted* to the hottest CPU. Unlike
+    /// [`HostRt::hottest_cpu_busy`] this is purely event-driven — it only
+    /// changes when work is admitted, never as wall-of-sim time elapses —
+    /// so a dormant grid shard's value is exactly frozen, which is what
+    /// makes it safe to sample from grid-mode observability (see
+    /// [`crate::lab::grid`] on merge invariance).
+    pub fn hottest_cpu_busy_total(&self) -> Nanos {
+        (0..self.cpu.len())
+            .map(|i| self.cpu.server(i).busy_total())
+            .max()
+            .unwrap_or(Nanos::ZERO)
+    }
 }
 
 #[cfg(test)]

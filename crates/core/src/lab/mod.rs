@@ -23,7 +23,7 @@ pub use host::{HostRt, RxFrame};
 use tengig_net::{Delivery, Path, PathState};
 use tengig_nic::CoalesceAction;
 use tengig_sim::{
-    Engine, EventFire, EventId, FlightDump, MetricKind, Nanos, ObsConfig, Sanitizer, Scope,
+    Engine, EventFire, EventId, FlightDump, Hist, MetricKind, Nanos, ObsConfig, Sanitizer, Scope,
     SimConfig, SimRng, Stage, Timelines, Tracer, ViolationKind,
 };
 use tengig_tcp::{Action, Segment, Sysctls, TcpConn, TimerKind};
@@ -148,8 +148,73 @@ pub enum Ev {
     },
 }
 
+impl Ev {
+    /// Number of event kinds — the width of [`LabProf::fired`].
+    pub const KINDS: usize = 13;
+
+    /// Event-kind names, indexed by [`Ev::prof_idx`]. Used by the
+    /// profiling sidecar so fired-count reports are self-describing.
+    pub const NAMES: [&'static str; Ev::KINDS] = [
+        "StartFlow",
+        "TxDma",
+        "TxWire",
+        "FrameArrival",
+        "RxDmaDone",
+        "CoalesceTimer",
+        "RxStack",
+        "ConnTimer",
+        "AppRead",
+        "ReadDone",
+        "PktgenTick",
+        "ObsSample",
+        "IngressDrain",
+    ];
+
+    /// Dense kind index of this event for the per-kind fired counters.
+    pub fn prof_idx(&self) -> usize {
+        match self {
+            Ev::StartFlow { .. } => 0,
+            Ev::TxDma { .. } => 1,
+            Ev::TxWire { .. } => 2,
+            Ev::FrameArrival { .. } => 3,
+            Ev::RxDmaDone { .. } => 4,
+            Ev::CoalesceTimer { .. } => 5,
+            Ev::RxStack { .. } => 6,
+            Ev::ConnTimer { .. } => 7,
+            Ev::AppRead { .. } => 8,
+            Ev::ReadDone { .. } => 9,
+            Ev::PktgenTick { .. } => 10,
+            Ev::ObsSample => 11,
+            Ev::IngressDrain { .. } => 12,
+        }
+    }
+}
+
+/// Deterministic self-profiling counters of one lab replica: per-kind
+/// event fired counts, the interrupt-batch-size histogram, and the
+/// action-pool hit/miss split. All values live strictly in the sim
+/// domain (pure functions of the event history), so they are bitwise
+/// reproducible for a fixed configuration. Fired counts and the batch
+/// histogram are additionally **shard-count-invariant when summed over
+/// shards** in grid mode — every event fires on exactly one shard —
+/// while the pool split is per-shard only (each replica grows its own
+/// pool). See `DESIGN.md` §16 for the full invariance argument.
+#[derive(Debug, Clone, Default)]
+pub struct LabProf {
+    /// Events fired, by [`Ev::prof_idx`] kind.
+    pub fired: [u64; Ev::KINDS],
+    /// Frames per receive interrupt (the coalescer's batch sizes),
+    /// log-bucketed.
+    pub rx_batch: Hist,
+    /// Action-buffer pool hits in [`Lab::take_actions`].
+    pub pool_hits: u64,
+    /// Action-buffer pool misses (a fresh allocation was needed).
+    pub pool_misses: u64,
+}
+
 impl EventFire<Lab> for Ev {
     fn fire(self, lab: &mut Lab, eng: &mut LabEngine) {
+        lab.prof.fired[self.prof_idx()] += 1;
         match self {
             Ev::StartFlow { f } => start_flow(lab, eng, f),
             Ev::TxDma { f, ep, seg } => tx_dma(lab, eng, f, ep, seg),
@@ -283,8 +348,14 @@ struct ObsRt {
     /// The step-series being accumulated.
     timelines: Timelines,
     /// Previous hottest-CPU busy snapshot per host, for per-interval
-    /// utilization deltas.
+    /// utilization deltas (classic mode only; grid mode samples the
+    /// cumulative [`MetricKind::CpuBusyNanos`] instead).
     cpu_prev: Vec<Nanos>,
+    /// Whether an [`Ev::ObsSample`] is scheduled. In grid mode the chain
+    /// stops when the shard's calendar drains and is revived by the next
+    /// cross-shard message (see [`obs_revive`]); in classic mode it stays
+    /// armed until every workload completes.
+    armed: bool,
 }
 
 /// The world the engine runs.
@@ -308,6 +379,9 @@ pub struct Lab {
     /// canonically ordered ingress channel and restricts [`kick`] to the
     /// hosts this shard owns (see [`grid`]).
     grid: Option<GridRt>,
+    /// Deterministic self-profiling counters (always on: pure integer
+    /// increments on paths that already touch the counted state).
+    prof: LabProf,
 }
 
 impl Lab {
@@ -320,6 +394,7 @@ impl Lab {
             action_pool: Vec::new(),
             obs: None,
             grid: None,
+            prof: LabProf::default(),
         }
     }
 
@@ -340,10 +415,24 @@ impl Lab {
         self.grid.as_ref()
     }
 
+    /// This replica's deterministic self-profiling counters.
+    pub fn prof(&self) -> &LabProf {
+        &self.prof
+    }
+
     /// Take a cleared [`Action`] buffer from the pool (or allocate the
     /// pool's first few). Return it with [`Lab::recycle_actions`].
     fn take_actions(&mut self) -> Vec<Action> {
-        self.action_pool.pop().unwrap_or_default()
+        match self.action_pool.pop() {
+            Some(buf) => {
+                self.prof.pool_hits += 1;
+                buf
+            }
+            None => {
+                self.prof.pool_misses += 1;
+                Vec::new()
+            }
+        }
     }
 
     /// Return a drained action buffer to the pool for reuse.
@@ -416,10 +505,12 @@ impl Lab {
                 root.fork(&format!("tracer-{i}")),
             );
         }
+        let interval = cfg.clamped_interval();
         self.obs = Some(ObsRt {
-            interval: cfg.sample_interval,
-            timelines: Timelines::new(cfg.sample_interval),
+            interval,
+            timelines: Timelines::new(interval),
             cpu_prev: vec![Nanos::ZERO; self.hosts.len()],
+            armed: true,
         });
     }
 
@@ -556,14 +647,31 @@ pub fn kick(lab: &mut Lab, eng: &mut LabEngine) {
 /// Strictly read-only with respect to the simulation: no resource is
 /// admitted, no randomness drawn, no connection touched — so enabling
 /// observability never changes what a run measures.
+///
+/// In grid mode each shard samples **only the scopes it owns** — flow
+/// endpoints on owned hosts, owned hosts, links whose transmitting host
+/// it owns — so the per-shard timelines partition the scope space and
+/// [`Timelines::merge`] reassembles a shard-count-invariant whole. Two
+/// metrics change shape to keep that invariant: per-interval
+/// [`MetricKind::CpuPermille`] deltas become the cumulative
+/// [`MetricKind::CpuBusyNanos`] (a dormant shard's value is exactly
+/// frozen, so skipped samples collapse away), and the time-decaying
+/// [`MetricKind::QueueBytes`] is skipped (its value depends on *when* the
+/// owning shard happens to sample).
 fn obs_sample(lab: &mut Lab, eng: &mut LabEngine) {
     let now = eng.now();
     let Some(mut obs) = lab.obs.take() else {
         return;
     };
     let tl = &mut obs.timelines;
+    let grid_mode = lab.grid.is_some();
     for (f, flow) in lab.flows.iter().enumerate() {
         for ep in 0..2 {
+            if let Some(g) = &lab.grid {
+                if !g.owns(flow.host[ep]) {
+                    continue;
+                }
+            }
             let c = &flow.conns[ep];
             let scope = Scope::Flow {
                 flow: f as u32,
@@ -583,16 +691,30 @@ fn obs_sample(lab: &mut Lab, eng: &mut LabEngine) {
         }
     }
     for (h, host) in lab.hosts.iter().enumerate() {
+        if let Some(g) = &lab.grid {
+            if !g.owns(h) {
+                continue;
+            }
+        }
         let scope = Scope::Host { host: h as u32 };
-        let busy = host.hottest_cpu_busy(now);
-        let delta = busy.saturating_sub(obs.cpu_prev[h]);
-        obs.cpu_prev[h] = busy;
-        let permille = if obs.interval == Nanos::ZERO {
-            0
+        if grid_mode {
+            tl.record(
+                scope,
+                MetricKind::CpuBusyNanos,
+                now,
+                host.hottest_cpu_busy_total().as_nanos(),
+            );
         } else {
-            (delta.as_nanos().saturating_mul(1000) / obs.interval.as_nanos()).min(1000)
-        };
-        tl.record(scope, MetricKind::CpuPermille, now, permille);
+            let busy = host.hottest_cpu_busy(now);
+            let delta = busy.saturating_sub(obs.cpu_prev[h]);
+            obs.cpu_prev[h] = busy;
+            let permille = if obs.interval == Nanos::ZERO {
+                0
+            } else {
+                (delta.as_nanos().saturating_mul(1000) / obs.interval.as_nanos()).min(1000)
+            };
+            tl.record(scope, MetricKind::CpuPermille, now, permille);
+        }
         tl.record(
             scope,
             MetricKind::RxRingFrames,
@@ -614,17 +736,70 @@ fn obs_sample(lab: &mut Lab, eng: &mut LabEngine) {
         tl.record(scope, MetricKind::RxCrcDrops, now, host.rx_crc_drops);
     }
     for (l, link) in lab.links.iter().enumerate() {
+        if let Some(g) = &lab.grid {
+            if !link_owned(lab, g, l) {
+                continue;
+            }
+        }
         let scope = Scope::Link { link: l as u32 };
-        let backlog: u64 = link.hops.iter().map(|hop| hop.backlog_bytes(now)).sum();
-        tl.record(scope, MetricKind::QueueBytes, now, backlog);
+        if !grid_mode {
+            let backlog: u64 = link.hops.iter().map(|hop| hop.backlog_bytes(now)).sum();
+            tl.record(scope, MetricKind::QueueBytes, now, backlog);
+        }
         tl.record(scope, MetricKind::QueueDrops, now, link.total_drops());
         tl.record(scope, MetricKind::ImpairDrops, now, link.impair_drops());
     }
     let interval = obs.interval;
+    // Classic mode stops sampling once every workload completes; grid
+    // mode re-arms while this shard's calendar holds any event (so every
+    // active phase is sampled on the global k·interval grid) and goes
+    // dormant when it drains — revived by the next cross-shard message.
+    let rearm = if grid_mode {
+        eng.pending() > 0
+    } else {
+        !lab.all_done()
+    };
+    obs.armed = rearm;
     lab.obs = Some(obs);
-    if !lab.all_done() {
+    if rearm {
         eng.schedule_event_at(now + interval, Ev::ObsSample);
     }
+}
+
+/// The owning-shard test for link `l` in grid mode: a link belongs to the
+/// shard owning its *transmitting* host (the only shard whose events
+/// mutate the link's state). Any flow routing over the link names the
+/// transmitter; the grid partition-safety rule guarantees every flow
+/// sharing the link agrees. A link referenced by no flow is sampled by no
+/// shard — it can never change, so omitting it is invariant too.
+fn link_owned(lab: &Lab, g: &GridRt, l: usize) -> bool {
+    for flow in &lab.flows {
+        for dir in 0..2 {
+            if flow.route[dir].contains(&l) {
+                return g.owns(flow.host[dir]);
+            }
+        }
+    }
+    false
+}
+
+/// Grid-mode revival of a dormant sampling chain: when a cross-shard
+/// message lands on a shard whose [`Ev::ObsSample`] chain stopped (its
+/// calendar had drained), restart it at the next multiple of the sampling
+/// interval at or after the message's arrival instant — exactly the grid
+/// of instants the equivalent single-shard run samples on — so merged
+/// timelines stay shard-count-invariant.
+pub(super) fn obs_revive(lab: &mut Lab, eng: &mut LabEngine, at: Nanos) {
+    let Some(obs) = &mut lab.obs else {
+        return;
+    };
+    if obs.armed {
+        return;
+    }
+    obs.armed = true;
+    let iv = obs.interval.as_nanos().max(1);
+    let k = at.as_nanos().div_ceil(iv);
+    eng.schedule_event_at(Nanos::from_nanos(k.saturating_mul(iv)), Ev::ObsSample);
 }
 
 fn start_flow(lab: &mut Lab, eng: &mut LabEngine, f: usize) {
@@ -954,6 +1129,7 @@ fn coalesce_frame(lab: &mut Lab, eng: &mut LabEngine, h: usize) {
 /// completes at its own CPU-admission time.
 fn process_rx_batch(lab: &mut Lab, eng: &mut LabEngine, h: usize, batch: u32) {
     let now = eng.now();
+    lab.prof.rx_batch.record(u64::from(batch));
     let irq_cpu = lab.hosts[h].irq_cpu();
     let irq = lab.hosts[h].irq_cost();
     lab.hosts[h].cpu.admit_pinned(irq_cpu, now, irq);

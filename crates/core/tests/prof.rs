@@ -1,0 +1,142 @@
+//! The self-profiling plane's contracts, as integration tests:
+//!
+//! * the gated "sim" profiling sidecar is byte-identical across shard
+//!   counts {1, 2, 4} and sweep threads {1, 4} (the in-repo twin of the
+//!   CI `prof-check` job against `goldens/prof_throughput.jsonl`);
+//! * collecting the profile never changes the primary report bytes;
+//! * the wall-time plane reports nonzero barrier waiting on a
+//!   multi-shard run while appearing in no golden-gated output;
+//! * grid-mode observability timelines merge shard-count-invariantly.
+
+use tengig::experiments::grid::{
+    grid_prof_sweep, grid_sweep_report, run_grid, run_grid_obs, run_grid_prof, standard_presets,
+    GridPreset,
+};
+use tengig::sweep::SweepRunner;
+use tengig_sim::{Nanos, ObsConfig};
+
+/// The pinned master seed of the grid and prof goldens (kept in sync
+/// with the `tengig-grid` / `tengig-prof` binaries).
+const SEED: u64 = 2003;
+
+#[test]
+fn prof_sidecar_is_byte_identical_across_shards_and_threads() {
+    let presets = standard_presets();
+    let (ref_report, ref_gated, _) = grid_prof_sweep(&presets, 1, SEED, SweepRunner::new(1));
+    let reference = ref_gated.concatenated();
+    assert!(reference.contains("\"prof\":\"sim\""));
+    for shards in [1usize, 2, 4] {
+        for threads in [1usize, 4] {
+            if (shards, threads) == (1, 1) {
+                continue;
+            }
+            let (report, gated, _) =
+                grid_prof_sweep(&presets, shards, SEED, SweepRunner::new(threads));
+            assert_eq!(
+                reference,
+                gated.concatenated(),
+                "prof sidecar diverged at shards={shards} threads={threads}"
+            );
+            assert_eq!(
+                ref_report.to_jsonl(),
+                report.to_jsonl(),
+                "profiled report diverged at shards={shards} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn profiling_never_changes_the_primary_report_bytes() {
+    let presets = standard_presets();
+    let plain = grid_sweep_report(&presets, 2, SEED, SweepRunner::new(1))
+        .1
+        .to_jsonl();
+    let (profiled, _, _) = grid_prof_sweep(&presets, 2, SEED, SweepRunner::new(1));
+    assert_eq!(plain, profiled.to_jsonl());
+}
+
+#[test]
+fn wall_plane_reports_barrier_stalls_outside_every_gated_byte() {
+    let preset = GridPreset::fat_tree(2, 4, 2);
+    let plain = run_grid(&preset, 4, SEED);
+    let (profiled, prof) = run_grid_prof(&preset, 4, SEED);
+    // Same simulation: the wall plane rides outside the event loop.
+    assert_eq!(plain.events, profiled.events);
+    assert_eq!(plain.last_done, profiled.last_done);
+    assert_eq!(plain.payload_bytes, profiled.payload_bytes);
+    // Four shards synchronizing over thousands of conservative windows
+    // must observe some barrier waiting, and each shard executes work.
+    let mut barrier_total = 0u64;
+    let mut shards_seen = 0usize;
+    for line in prof.wall.lines() {
+        assert!(line.starts_with("{\"wall\":\"shard\""), "wall line: {line}");
+        let field = |name: &str| -> u64 {
+            let pat = format!("\"{name}\":");
+            let at = line.find(&pat).expect("wall field present");
+            line[at + pat.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit())
+                .collect::<String>()
+                .parse()
+                .expect("wall field numeric")
+        };
+        assert!(field("windows") > 0);
+        barrier_total += field("barrier_wait_ns");
+        shards_seen += 1;
+    }
+    assert_eq!(shards_seen, 4);
+    assert!(
+        barrier_total > 0,
+        "a 4-shard run must report some barrier wait"
+    );
+    // The wall-domain figures appear in no gated output: neither the sim
+    // profiling section nor the primary report may mention them.
+    assert!(!prof.sim.contains("barrier_wait_ns"));
+    assert!(!prof.sim.contains("\"wall\""));
+    assert!(!prof.sim.contains("execute_ns"));
+}
+
+#[test]
+fn sim_section_counts_the_grid_event_anatomy() {
+    let preset = GridPreset::fat_tree(2, 2, 1);
+    let (r, prof) = run_grid_prof(&preset, 1, SEED);
+    // In grid mode every arrival rides the ingress channel, so the
+    // FrameArrival event kind never fires while drains do.
+    assert!(prof.sim.contains("\"FrameArrival\":0"), "{}", prof.sim);
+    assert!(!prof.sim.contains("\"IngressDrain\":0"), "{}", prof.sim);
+    // The executed total in the section matches the merged result.
+    assert!(prof.sim.contains(&format!("\"executed\":{}", r.events)));
+    // Both histograms saw batches.
+    assert!(prof.sim.contains("\"rx_batch\":{\"count\":"));
+    assert!(prof.sim.contains("\"drain_batch\":{\"count\":"));
+    // The local section exists and is per-shard.
+    assert!(prof.local.contains("\"prof\":\"local\""));
+    assert!(prof.local.contains("\"pool_hits\":"));
+}
+
+#[test]
+fn grid_obs_timelines_merge_shard_count_invariantly() {
+    let preset = GridPreset::fat_tree(2, 2, 1);
+    // An odd interval keeps sample instants off the data events' grid.
+    let cfg = ObsConfig {
+        sample_interval: Nanos::from_nanos(99_989),
+        ..ObsConfig::default()
+    };
+    let plain = run_grid(&preset, 1, SEED);
+    let (r1, tl1) = run_grid_obs(&preset, 1, SEED, &cfg);
+    let reference = tl1.to_jsonl();
+    assert!(reference.contains("cpu_busy_ns"));
+    // Observability never changes the primary result, in grid mode too.
+    assert_eq!(plain.payload_bytes, r1.payload_bytes);
+    assert_eq!(plain.last_done, r1.last_done);
+    for shards in [2usize, 4] {
+        let (rn, tln) = run_grid_obs(&preset, shards, SEED, &cfg);
+        assert_eq!(plain.last_done, rn.last_done);
+        assert_eq!(
+            reference,
+            tln.to_jsonl(),
+            "merged obs timelines diverged at {shards} shards"
+        );
+    }
+}

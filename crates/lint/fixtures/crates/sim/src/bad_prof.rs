@@ -1,0 +1,20 @@
+//! Known-bad fixture: wall-time profiling accounting that reads the host
+//! clock without the sanctioned `lint:trusted` boundary.
+
+/// The profiled shard merge loop root (mirrors
+/// `tengig_sim::shard::run_sharded_wall`).
+pub fn run_sharded_wall(windows: usize) -> u64 {
+    let mut total = 0;
+    for _ in 0..windows {
+        total += profile_window();
+    }
+    total
+}
+
+/// Barrier/execute accounting — except the clock read is unmarked: no
+/// `lint:trusted` boundary, no `lint:allow`, so both the direct rule
+/// and the taint proof must fire.
+fn profile_window() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs()
+}

@@ -60,6 +60,11 @@ pub const HOT_PATH_ROOTS: &[&str] = &[
     "run_sharded",
     "GridShard::accept",
     "ingress_drain",
+    // The wall-time profiling variant of the merge loop: it may touch
+    // the host clock only through the single `lint:trusted(profiling
+    // boundary)` read (`wall_now_ns`), so the root must still prove
+    // clean — any other clock read inside the accounting is a failure.
+    "run_sharded_wall",
 ];
 
 /// One function in the workspace call graph: its parsed item plus the

@@ -41,6 +41,7 @@
 //! by property tests against a reference heap in
 //! `crates/sim/tests/calendar_equivalence.rs`.
 
+use crate::prof::CalendarCounters;
 use crate::time::Nanos;
 use std::collections::VecDeque;
 
@@ -164,6 +165,10 @@ pub struct Calendar<T> {
     /// Lower bound on the earliest parked key's timestamp (`u64::MAX`
     /// when the wheel is empty); lets `surface` bail in one compare.
     wheel_next_start: Nanos,
+    /// Self-profiling routing counters (see [`CalendarCounters`]):
+    /// deterministic, but calendar-private — the slab/lane/wheel split
+    /// depends on this calendar's own horizon history.
+    prof: CalendarCounters,
 }
 
 impl<T> Default for Calendar<T> {
@@ -188,7 +193,14 @@ impl<T> Calendar<T> {
             wheel_items: 0,
             wheel_horizon: 0,
             wheel_next_start: Nanos(u64::MAX),
+            prof: CalendarCounters::default(),
         }
+    }
+
+    /// Snapshot of the routing counters accumulated so far.
+    #[inline]
+    pub fn prof_counters(&self) -> CalendarCounters {
+        self.prof
     }
 
     /// Current virtual time; advances only in [`Calendar::pop`] and
@@ -223,8 +235,12 @@ impl<T> Calendar<T> {
             // Fast lane: every heap key at this timestamp predates (and
             // outranks) every lane key, so FIFO order is (at, seq) order.
             self.lane.push_back(key);
+            self.prof.sched_lane += 1;
+            let depth = u64::try_from(self.lane.len()).expect("lane depth exceeds u64");
+            self.prof.lane_hiwater = self.prof.lane_hiwater.max(depth);
         } else {
             self.heap_push(key);
+            self.prof.sched_slab += 1;
         }
         self.live += 1;
         EventId { slot, gen }
@@ -252,6 +268,7 @@ impl<T> Calendar<T> {
             // now would surface into the heap *after* older lane keys and
             // jump them), and the already-surfaced region may not re-park;
             // the heap/lane path is exact for both.
+            self.prof.wheel_fallbacks += 1;
             return self.schedule(at, payload);
         }
         let seq = self.seq | SEQ_NORMAL;
@@ -259,6 +276,7 @@ impl<T> Calendar<T> {
         let (slot, gen) = self.insert(payload);
         self.wheel_park(Key { at, seq, slot, gen });
         self.live += 1;
+        self.prof.wheel_parked += 1;
         EventId { slot, gen }
     }
 
@@ -287,10 +305,12 @@ impl<T> Calendar<T> {
     /// still live. The payload is freed now; the key left in the heap (or
     /// lane) becomes a tombstone discarded lazily on pop.
     pub fn cancel(&mut self, id: EventId) -> Option<T> {
+        self.prof.cancels += 1;
         match self.slots.get(widen(id.slot)) {
             Some(Slot::Occupied { gen, .. }) if *gen == id.gen => {
                 let payload = self.remove(id.slot);
                 self.live -= 1;
+                self.prof.cancel_hits += 1;
                 Some(payload)
             }
             _ => None,
@@ -498,6 +518,7 @@ impl<T> Calendar<T> {
             self.wheel_occupied[level] &= !(1u64 << bucket);
             let mut keys = std::mem::take(&mut self.wheel[level * WHEEL_SLOTS + bucket]);
             self.wheel_items -= keys.len();
+            self.prof.wheel_cascades += 1;
             if start_tick > self.wheel_horizon {
                 self.wheel_horizon = start_tick;
             }

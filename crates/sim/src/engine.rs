@@ -16,6 +16,7 @@
 
 use crate::calendar::Calendar;
 pub use crate::calendar::EventId;
+use crate::prof::{CalendarCounters, EngineCounters};
 use crate::sanitizer::{Sanitizer, ViolationKind};
 use crate::time::Nanos;
 
@@ -53,6 +54,8 @@ pub struct Engine<W, E: EventFire<W> = BoxedEvent<W>> {
     /// Hard cap on executed events; guards against runaway feedback loops in
     /// model composition bugs. [`Engine::run`] panics when exceeded.
     pub event_limit: u64,
+    /// Scheduling-verb totals for the deterministic profiling plane.
+    prof: EngineCounters,
     _world: std::marker::PhantomData<fn(&mut W)>,
 }
 
@@ -70,8 +73,25 @@ impl<W, E: EventFire<W>> Engine<W, E> {
             calendar: Calendar::new(),
             sanitizer: None,
             event_limit: u64::MAX,
+            prof: EngineCounters::default(),
             _world: std::marker::PhantomData,
         }
+    }
+
+    /// Scheduling-verb totals accumulated so far (deterministic plane).
+    /// Summed across shards these are shard-count-invariant: every
+    /// schedule/cancel call site executes on exactly one shard at the
+    /// same virtual instant whatever the shard count.
+    #[inline]
+    pub fn prof_counters(&self) -> EngineCounters {
+        self.prof
+    }
+
+    /// The calendar's internal routing counters (deterministic but
+    /// calendar-private — see [`CalendarCounters`]).
+    #[inline]
+    pub fn calendar_counters(&self) -> CalendarCounters {
+        self.calendar.prof_counters()
     }
 
     /// Install a runtime invariant [`Sanitizer`] on this engine.
@@ -137,6 +157,7 @@ impl<W, E: EventFire<W>> Engine<W, E> {
                 debug_assert!(at >= now, "event scheduled in the past: {} < {}", at, now);
             }
         }
+        self.prof.sched_events += 1;
         self.calendar.schedule(at.max(now), ev)
     }
 
@@ -161,6 +182,7 @@ impl<W, E: EventFire<W>> Engine<W, E> {
                 debug_assert!(at >= now, "timer armed in the past: {} < {}", at, now);
             }
         }
+        self.prof.sched_timers += 1;
         self.calendar.schedule_timer(at.max(now), ev)
     }
 
@@ -187,6 +209,7 @@ impl<W, E: EventFire<W>> Engine<W, E> {
     /// current instant (the same-instant FIFO lane would break the class
     /// order), so callers must schedule them strictly ahead.
     pub fn schedule_front_at(&mut self, at: Nanos, ev: E) -> EventId {
+        self.prof.sched_front += 1;
         self.calendar.schedule_front(at, ev)
     }
 
@@ -202,7 +225,12 @@ impl<W, E: EventFire<W>> Engine<W, E> {
     /// already fired or was already cancelled. O(1): the calendar leaves a
     /// tombstone behind instead of restructuring the heap.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.calendar.cancel(id).is_some()
+        self.prof.cancels += 1;
+        let hit = self.calendar.cancel(id).is_some();
+        if hit {
+            self.prof.cancel_hits += 1;
+        }
+        hit
     }
 
     /// Run a single event if one is pending. Returns `false` when the

@@ -24,6 +24,7 @@
 pub mod calendar;
 pub mod engine;
 pub mod obs;
+pub mod prof;
 pub mod queue;
 pub mod rng;
 pub mod sanitizer;
@@ -37,11 +38,12 @@ pub mod units;
 pub use calendar::{Calendar, EventId};
 pub use engine::{BoxedEvent, Engine, EventFire};
 pub use obs::{FlightDump, MetricKind, ObsConfig, Scope, StepSeries, Timelines};
+pub use prof::{CalendarCounters, EngineCounters, Hist, WallStats};
 pub use queue::{DropTailQueue, Enqueue};
 pub use rng::SimRng;
 pub use sanitizer::{Sanitizer, SimConfig, Violation, ViolationKind};
 pub use server::{Admission, FifoServer, ServerBank};
-pub use shard::{run_sharded, ShardWorld};
+pub use shard::{run_sharded, run_sharded_wall, ShardWorld};
 pub use time::Nanos;
 pub use trace::{Stage, TraceEvent, Tracer};
 pub use units::{rate_of, Bandwidth};

@@ -49,6 +49,19 @@ impl ObsConfig {
 
     /// Default flight-recorder ring capacity per host.
     pub const DEFAULT_RING: usize = 256;
+
+    /// The sampling cadence guarded against a zero interval: a sampler
+    /// armed every 0 ns would reschedule itself at the current instant
+    /// forever (and an interval divisor of 0 is a divide-by-zero), so a
+    /// misconfigured cadence clamps to 1 ns. Zero is a configuration bug
+    /// and trips a debug assertion; release runs keep going, clamped.
+    pub fn clamped_interval(&self) -> Nanos {
+        debug_assert!(
+            self.sample_interval > Nanos::ZERO,
+            "obs sampling interval must be positive"
+        );
+        self.sample_interval.max(Nanos::from_nanos(1))
+    }
 }
 
 impl Default for ObsConfig {
@@ -94,11 +107,17 @@ pub enum MetricKind {
     ImpairDrops,
     /// Cumulative corrupted frames discarded by this host's NIC (bad FCS).
     RxCrcDrops,
+    /// Cumulative busy nanoseconds of the hottest CPU. The grid-mode
+    /// sibling of [`MetricKind::CpuPermille`]: a cumulative value stays
+    /// constant while a shard idles, so per-shard series collapse to the
+    /// same change points at any shard count and merge invariantly
+    /// (a windowed delta decays to zero and would not).
+    CpuBusyNanos,
 }
 
 impl MetricKind {
     /// Every kind, in serialization order.
-    pub const ALL: [MetricKind; 14] = [
+    pub const ALL: [MetricKind; 15] = [
         MetricKind::Cwnd,
         MetricKind::Ssthresh,
         MetricKind::SrttNanos,
@@ -113,6 +132,7 @@ impl MetricKind {
         MetricKind::QueueDrops,
         MetricKind::ImpairDrops,
         MetricKind::RxCrcDrops,
+        MetricKind::CpuBusyNanos,
     ];
 
     /// Parse the serialized name back into a kind.
@@ -141,6 +161,7 @@ impl fmt::Display for MetricKind {
             MetricKind::QueueDrops => "queue_drops",
             MetricKind::ImpairDrops => "impair_drops",
             MetricKind::RxCrcDrops => "rx_crc_drops",
+            MetricKind::CpuBusyNanos => "cpu_busy_ns",
         };
         f.write_str(s)
     }
@@ -251,11 +272,45 @@ pub struct Timelines {
 }
 
 impl Timelines {
-    /// An empty timeline set for the given sampling cadence.
+    /// An empty timeline set for the given sampling cadence. A zero
+    /// interval is a configuration bug (it would make the sampler spin at
+    /// one instant forever): it trips a debug assertion and clamps to
+    /// 1 ns in release builds.
     pub fn new(interval: Nanos) -> Self {
+        debug_assert!(
+            interval > Nanos::ZERO,
+            "timelines sampling interval must be positive"
+        );
         Timelines {
-            interval,
+            interval: interval.max(Nanos::from_nanos(1)),
             series: BTreeMap::new(),
+        }
+    }
+
+    /// Fold another timeline set into this one. Grid mode records each
+    /// scope's series on the one shard that owns it, so merging per-shard
+    /// timelines reassembles the full picture; where both sides somehow
+    /// recorded the same `(scope, metric)`, the change points are
+    /// interleaved in time order and re-collapsed under step semantics.
+    pub fn merge(&mut self, other: &Timelines) {
+        debug_assert_eq!(
+            self.interval, other.interval,
+            "merging timelines with mismatched cadences"
+        );
+        for (key, s) in &other.series {
+            let dst = self.series.entry(*key).or_default();
+            if dst.points.is_empty() {
+                dst.points = s.points.clone();
+            } else {
+                let mut all: Vec<(Nanos, u64)> =
+                    dst.points.iter().chain(s.points.iter()).copied().collect();
+                all.sort_by_key(|&(t, _)| t);
+                let mut merged = StepSeries::new();
+                for (t, v) in all {
+                    merged.push(t, v);
+                }
+                *dst = merged;
+            }
         }
     }
 
@@ -414,6 +469,28 @@ impl Timelines {
                             render(a.points().get(i)),
                             render(b.points().get(i)),
                         ));
+                        // Surrounding context: the change points around
+                        // the divergence on each side, so the reader sees
+                        // the step shape, not just one number.
+                        let ctx = |s: &StepSeries| -> String {
+                            let lo = i.saturating_sub(2).min(s.len());
+                            let hi = (i + 3).min(s.len());
+                            let mut parts: Vec<String> =
+                                s.points()[lo..hi].iter().map(|p| render(Some(p))).collect();
+                            if lo > 0 {
+                                parts.insert(0, "…".to_string());
+                            }
+                            if hi < s.len() {
+                                parts.push("…".to_string());
+                            }
+                            if parts.is_empty() {
+                                "(no points)".to_string()
+                            } else {
+                                parts.join(", ")
+                            }
+                        };
+                        out.push(format!("  left:  {}", ctx(a)));
+                        out.push(format!("  right: {}", ctx(b)));
                     }
                 }
             }
@@ -632,9 +709,122 @@ mod tests {
         a.record(flow0(), MetricKind::Retransmits, Nanos(1000), 0);
         assert!(a.diff(&a.clone()).is_empty());
         let d = a.diff(&b);
-        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d.len(), 4, "{d:?}");
         assert!(d[0].contains("first divergence"), "{d:?}");
-        assert!(d[1].contains("only in left"), "{d:?}");
+        assert!(
+            d[0].contains("flow 0/0") && d[0].contains("cwnd"),
+            "divergence names (scope, metric): {d:?}"
+        );
+        assert!(
+            d[0].contains("10 @ 1.000us") && d[0].contains("11 @ 1.000us"),
+            "divergence carries (t, value) for both sides: {d:?}"
+        );
+        assert!(d[1].contains("left:"), "{d:?}");
+        assert!(d[2].contains("right:"), "{d:?}");
+        assert!(d[3].contains("only in left"), "{d:?}");
+    }
+
+    #[test]
+    fn diff_context_windows_the_divergence() {
+        let mut a = Timelines::new(Nanos::from_millis(1));
+        let mut b = Timelines::new(Nanos::from_millis(1));
+        for (i, v) in [1u64, 2, 3, 4, 5, 6, 7].iter().enumerate() {
+            a.record(flow0(), MetricKind::Cwnd, Nanos(1000 * (i as u64 + 1)), *v);
+            let v = if i == 3 { 99 } else { *v };
+            b.record(flow0(), MetricKind::Cwnd, Nanos(1000 * (i as u64 + 1)), v);
+        }
+        let d = a.diff(&b);
+        assert!(d[0].contains("step 3"), "{d:?}");
+        // Context shows ±2 points with ellipses marking the truncation.
+        assert!(d[1].starts_with("  left:  …, "), "{d:?}");
+        assert!(d[1].contains("4 @ 4.000us"), "{d:?}");
+        assert!(d[2].contains("99 @ 4.000us"), "{d:?}");
+        assert!(d[1].ends_with(", …"), "{d:?}");
+    }
+
+    #[test]
+    fn value_at_boundaries_and_before_first_point() {
+        let mut s = StepSeries::new();
+        s.push(Nanos(100), 1);
+        s.push(Nanos(200), 2);
+        // Strictly before the first change point: no value in effect.
+        assert_eq!(s.value_at(Nanos(0)), None);
+        assert_eq!(s.value_at(Nanos(99)), None);
+        // Exactly at a change point the new value is already in effect.
+        assert_eq!(s.value_at(Nanos(100)), Some(1));
+        assert_eq!(s.value_at(Nanos(199)), Some(1));
+        assert_eq!(s.value_at(Nanos(200)), Some(2));
+        assert_eq!(s.value_at(Nanos(u64::MAX)), Some(2));
+        assert_eq!(StepSeries::new().value_at(Nanos(0)), None);
+    }
+
+    #[test]
+    fn from_jsonl_rejects_malformed_lines() {
+        let err = |text: &str| Timelines::from_jsonl(text).expect_err("must be rejected");
+        assert!(err("").contains("empty timelines document"));
+        assert!(err("{\"nope\":1}").contains("not a timelines document"));
+        assert!(err("{\"obs\":\"timelines\",\"series\":0}").contains("interval_ns"));
+        let hdr = "{\"obs\":\"timelines\",\"interval_ns\":1000,\"series\":1}\n";
+        let with = |line: &str| format!("{hdr}{line}\n");
+        assert!(err(&with("{\"scope\":\"galaxy\",\"points\":[]}")).contains("unknown scope"));
+        assert!(err(&with("{\"scope\":\"flow\",\"ep\":0}")).contains("missing field `flow`"));
+        assert!(err(&with(
+            "{\"scope\":\"flow\",\"flow\":0,\"ep\":0,\"metric\":\"warp\",\"points\":[]}"
+        ))
+        .contains("unknown metric"),);
+        let e = err(&with(
+            "{\"scope\":\"host\",\"host\":0,\"metric\":\"cwnd\",\"points\":[[1,2],[oops]]}",
+        ));
+        assert!(e.contains("line 2"), "{e}");
+        let e = err(&with("{\"scope\":\"host\",\"host\":0,\"metric\":\"cwnd\"}"));
+        assert!(e.contains("missing points"), "{e}");
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "sampling interval"))]
+    fn zero_interval_clamps_to_one_nanosecond() {
+        // Debug builds assert; release builds clamp and carry on.
+        let tl = Timelines::new(Nanos::ZERO);
+        assert_eq!(tl.interval, Nanos(1));
+        let cfg = ObsConfig {
+            sample_interval: Nanos::ZERO,
+            ..ObsConfig::default()
+        };
+        assert_eq!(cfg.clamped_interval(), Nanos(1));
+    }
+
+    #[test]
+    fn merge_unions_disjoint_scopes_and_interleaves_shared_ones() {
+        let mut a = Timelines::new(Nanos::from_millis(1));
+        let mut b = Timelines::new(Nanos::from_millis(1));
+        a.record(
+            Scope::Host { host: 0 },
+            MetricKind::RxRingFrames,
+            Nanos(10),
+            3,
+        );
+        b.record(
+            Scope::Host { host: 1 },
+            MetricKind::RxRingFrames,
+            Nanos(20),
+            4,
+        );
+        // A shared series split across the two sides: interleave + collapse.
+        a.record(flow0(), MetricKind::Cwnd, Nanos(10), 5);
+        a.record(flow0(), MetricKind::Cwnd, Nanos(30), 7);
+        b.record(flow0(), MetricKind::Cwnd, Nanos(20), 5);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(
+            a.get(Scope::Host { host: 1 }, MetricKind::RxRingFrames)
+                .map(StepSeries::points),
+            Some(&[(Nanos(20), 4u64)][..])
+        );
+        // 5@10, 5@20 collapse; 7@30 survives.
+        assert_eq!(
+            a.get(flow0(), MetricKind::Cwnd).map(StepSeries::points),
+            Some(&[(Nanos(10), 5u64), (Nanos(30), 7)][..])
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! synchronization primitives at all — the degenerate case costs nothing
 //! over a plain [`crate::Engine::run`] loop beyond the window bookkeeping.
 
+use crate::prof::{wall_now_ns, WallStats};
 use crate::time::Nanos;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -159,15 +160,46 @@ fn drain_and_publish<S: ShardWorld>(world: &mut S, inbox: &Inbox<S::Msg>, slot: 
 /// With a single shard the loop runs inline on the caller's thread; the
 /// window sequence (and therefore the executed schedule) is identical.
 pub fn run_sharded<S: ShardWorld + Send>(shards: &mut [S], lookahead: Nanos) {
+    run_sharded_wall(shards, lookahead, None);
+}
+
+/// [`run_sharded`] with the optional wall-time profiling plane.
+///
+/// When `wall` is `Some`, it must hold one [`WallStats`] slot per shard;
+/// each worker accumulates its own barrier-wait and window-execute wall
+/// time into its slot via [`wall_now_ns`] — the single trusted wall-clock
+/// boundary. The readings are strictly observational: they are taken
+/// *around* the barrier and the window, never inside model code, and
+/// nothing downstream of them reaches a calendar, so the executed
+/// schedule (and every golden-gated byte) is identical whether `wall` is
+/// `Some` or `None`. When `wall` is `None` no clock is ever read — the
+/// disabled plane costs zero.
+pub fn run_sharded_wall<S: ShardWorld + Send>(
+    shards: &mut [S],
+    lookahead: Nanos,
+    wall: Option<&mut [WallStats]>,
+) {
     assert!(!shards.is_empty(), "run_sharded needs at least one shard");
     assert!(
         lookahead > Nanos::ZERO,
         "conservative windows need strictly positive lookahead"
     );
+    if let Some(ws) = &wall {
+        assert!(
+            ws.len() == shards.len(),
+            "wall-stats slots must match shard count"
+        );
+    }
     if shards.len() == 1 {
+        let mut slot = wall.map(|ws| &mut ws[0]);
         let world = &mut shards[0];
         while let Some(t) = world.next_time() {
+            let t0 = slot.as_ref().map(|_| wall_now_ns());
             world.run_window(t.saturating_add(lookahead));
+            if let (Some(w), Some(t0)) = (slot.as_deref_mut(), t0) {
+                w.windows += 1;
+                w.execute_ns += wall_now_ns().saturating_sub(t0);
+            }
             // A single shard may only message itself.
             for (dst, at, msg) in world.flush() {
                 assert!(dst == 0, "single-shard run emitted to shard {dst}");
@@ -178,11 +210,16 @@ pub fn run_sharded<S: ShardWorld + Send>(shards: &mut [S], lookahead: Nanos) {
     }
 
     let n = shards.len();
+    // Disjoint per-worker wall slots (or one `None` per worker).
+    let wall_slots: Vec<Option<&mut WallStats>> = match wall {
+        Some(ws) => ws.iter_mut().map(Some).collect(),
+        None => (0..n).map(|_| None).collect(),
+    };
     let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     let inboxes: Vec<Inbox<S::Msg>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
     let barrier = RoundBarrier::new(n);
     std::thread::scope(|scope| {
-        for (i, world) in shards.iter_mut().enumerate() {
+        for (i, (world, mut wslot)) in shards.iter_mut().zip(wall_slots).enumerate() {
             let slots = &slots;
             let inboxes = &inboxes;
             let barrier = &barrier;
@@ -191,8 +228,18 @@ pub fn run_sharded<S: ShardWorld + Send>(shards: &mut [S], lookahead: Nanos) {
                 loop {
                     drain_and_publish(world, &inboxes[i], &slots[i]);
                     // Every shard has drained its inbox and published;
-                    // now everyone computes the same window.
+                    // now everyone computes the same window. Clock reads
+                    // sit on phase *boundaries* so adjacent phases share
+                    // one read: four reads per round, not six. The
+                    // execute bucket therefore includes the (trivial)
+                    // window negotiation and outbox delivery — the
+                    // round's non-barrier work.
+                    let t0 = wslot.as_ref().map(|_| wall_now_ns());
                     barrier.wait();
+                    let t1 = wslot.as_ref().map(|_| wall_now_ns());
+                    if let (Some(w), Some(t0), Some(t1)) = (wslot.as_deref_mut(), t0, t1) {
+                        w.barrier_wait_ns += t1.saturating_sub(t0);
+                    }
                     let t_min = global_min(slots);
                     if t_min == DRAINED {
                         break;
@@ -208,7 +255,16 @@ pub fn run_sharded<S: ShardWorld + Send>(shards: &mut [S], lookahead: Nanos) {
                         guard.push((at, msg));
                     }
                     // All outboxes delivered before anyone re-drains.
+                    let t2 = wslot.as_ref().map(|_| wall_now_ns());
+                    if let (Some(w), Some(t1), Some(t2)) = (wslot.as_deref_mut(), t1, t2) {
+                        w.windows += 1;
+                        w.execute_ns += t2.saturating_sub(t1);
+                    }
                     barrier.wait();
+                    let t3 = wslot.as_ref().map(|_| wall_now_ns());
+                    if let (Some(w), Some(t2), Some(t3)) = (wslot.as_deref_mut(), t2, t3) {
+                        w.barrier_wait_ns += t3.saturating_sub(t2);
+                    }
                 }
                 drop(poison);
             });
@@ -346,6 +402,29 @@ mod tests {
             all
         };
         assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn wall_plane_counts_windows_without_changing_the_schedule() {
+        let events = vec![(Nanos(10), 2), (Nanos(5), 1), (Nanos(10), 4)];
+        let mut plain = vec![Toy::new(0, 1, events.clone())];
+        run_sharded(&mut plain, LOOK);
+        let mut walled = vec![Toy::new(0, 1, events)];
+        let mut wall = vec![WallStats::default()];
+        run_sharded_wall(&mut walled, LOOK, Some(&mut wall));
+        assert_eq!(plain[0].log, walled[0].log, "wall plane must be invisible");
+        assert!(wall[0].windows > 0, "windows accounted: {wall:?}");
+
+        // Two shards: both workers cross the barrier every round, so the
+        // per-shard window counts are populated independently.
+        let mut shards = vec![
+            Toy::new(0, 2, vec![(Nanos(5), 1)]),
+            Toy::new(1, 2, vec![(Nanos(7), 3)]),
+        ];
+        let mut wall2 = vec![WallStats::default(); 2];
+        run_sharded_wall(&mut shards, LOOK, Some(&mut wall2));
+        assert!(wall2.iter().all(|w| w.windows > 0), "{wall2:?}");
+        assert_eq!(shards[0].log, vec![(Nanos(5), 1), (Nanos(107), 4)]);
     }
 
     #[test]
