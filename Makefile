@@ -14,9 +14,9 @@
 
 CARGO ?= cargo
 
-.PHONY: ci build test fmt clippy benches-check lint lint-selftest obs-check faults-check grid-check prof-check bench bench-gate
+.PHONY: ci build test fmt clippy benches-check lint lint-selftest obs-check faults-check grid-check prof-check serve-check bench bench-gate
 
-ci: build test fmt clippy benches-check lint obs-check faults-check grid-check prof-check
+ci: build test fmt clippy benches-check lint obs-check faults-check grid-check prof-check serve-check
 
 build:
 	$(CARGO) build --release
@@ -102,6 +102,21 @@ prof-check:
 		check goldens/prof_throughput.jsonl --shards 1
 	$(CARGO) run --release -q -p tengig-bench --bin tengig-prof -- \
 		check goldens/prof_throughput.jsonl --shards 4
+
+# Open-loop workload determinism gate: runs the pinned serve sweep (the
+# four-rung load ladder plus the four-rung disk-to-disk striping ladder)
+# at the given shard count on 1 and 4 sweep threads. The gated document
+# — the FCT/goodput report followed by the per-host CPU-saturation
+# sidecar — must be byte-identical across thread counts and byte-match
+# goldens/serve.jsonl, which is shard-count-invariant by construction
+# (CI runs shards 1 and 4 against the same file). On mismatch the fresh
+# document lands in target/serve_current.jsonl for diffing. Regenerate
+# deliberately by appending `--write-golden`.
+serve-check:
+	$(CARGO) run --release -q -p tengig-bench --bin tengig-serve -- \
+		check goldens/serve.jsonl --shards 1
+	$(CARGO) run --release -q -p tengig-bench --bin tengig-serve -- \
+		check goldens/serve.jsonl --shards 4
 
 # Refresh the wall-clock benchmark baseline: runs the fixed pinned-seed
 # workload per experiment family and rewrites BENCH_sim.json in place.

@@ -29,6 +29,7 @@ use tengig::experiments::faults::{
     ChaosRow, BURST_LENGTHS, FLAP_RTTS,
 };
 use tengig::SweepRunner;
+use tengig_bench::golden;
 use tengig_sim::Nanos;
 
 /// Master seed for the pinned `check` sweeps (the publication year,
@@ -150,25 +151,22 @@ fn check_one(
     let one = sweep(1);
     eprintln!("faults-check: {name}, 4 threads ...");
     let four = sweep(4);
-    let mut ok = true;
-    if one != four {
-        println!("faults-check: FAIL: {name} differs between 1 and 4 threads");
-        ok = false;
-    }
+    let mut ok = golden::require_identical(
+        "faults-check",
+        &format!("{name} differs between 1 and 4 threads"),
+        &one,
+        &four,
+    );
     if write_golden {
-        if let Some(dir) = std::path::Path::new(golden_path).parent() {
-            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
-        }
-        std::fs::write(golden_path, &one).map_err(|e| format!("writing {golden_path}: {e}"))?;
-        println!("faults-check: wrote golden {golden_path}");
+        golden::write_golden("faults-check", golden_path, &one)?;
     }
-    let checked_in =
-        std::fs::read_to_string(golden_path).map_err(|e| format!("reading {golden_path}: {e}"))?;
-    if one != checked_in {
-        println!("faults-check: FAIL: {name} diverged from golden {golden_path}");
-        println!("  (regenerate deliberately with `tengig-chaos check <dir> --write-golden`)");
-        ok = false;
-    }
+    ok &= golden::require_golden(
+        "faults-check",
+        name,
+        golden_path,
+        "tengig-chaos check <dir> --write-golden",
+        &one,
+    )?;
     Ok(ok)
 }
 
@@ -260,12 +258,5 @@ fn main() {
         },
         _ => usage(),
     };
-    match outcome {
-        Ok(true) => {}
-        Ok(false) => std::process::exit(1),
-        Err(e) => {
-            eprintln!("tengig-chaos: {e}");
-            std::process::exit(2);
-        }
-    }
+    golden::exit_check("tengig-chaos", outcome);
 }

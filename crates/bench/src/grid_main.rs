@@ -18,6 +18,7 @@
 
 use tengig::experiments::grid::{grid_sweep_report, standard_presets};
 use tengig::SweepRunner;
+use tengig_bench::golden;
 
 /// Master seed for the pinned grid sweep (the publication year, matching
 /// every other pinned workload in the repo).
@@ -34,62 +35,36 @@ fn sweep(shards: usize, threads: usize) -> String {
         .to_jsonl()
 }
 
-/// Print the first few differing lines of two JSONL documents.
-fn print_diff(expected: &str, got: &str) {
-    let mut shown = 0;
-    for (i, (e, g)) in expected.lines().zip(got.lines()).enumerate() {
-        if e != g && shown < 5 {
-            println!("  line {}:", i + 1);
-            println!("    expected: {e}");
-            println!("    got:      {g}");
-            shown += 1;
-        }
-    }
-    let (el, gl) = (expected.lines().count(), got.lines().count());
-    if el != gl {
-        println!("  line counts differ: expected {el}, got {gl}");
-    }
-}
-
-fn check(golden: &str, shards: usize, write_golden: bool) -> Result<bool, String> {
+fn check(golden_path: &str, shards: usize, write_golden: bool) -> Result<bool, String> {
     eprintln!("grid-check: pinned sweep, shards={shards}, 1 sweep thread ...");
     let report_1 = sweep(shards, 1);
     eprintln!("grid-check: pinned sweep, shards={shards}, 4 sweep threads ...");
     let report_4 = sweep(shards, 4);
 
     if write_golden {
-        if let Some(dir) = std::path::Path::new(golden).parent() {
-            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
-        }
-        std::fs::write(golden, &report_1).map_err(|e| format!("writing {golden}: {e}"))?;
-        println!("grid-check: wrote golden {golden}");
+        golden::write_golden("grid-check", golden_path, &report_1)?;
     }
 
-    let mut ok = true;
-    if report_1 != report_4 {
-        println!(
-            "grid-check: FAIL: report differs between 1 and 4 sweep threads (shards={shards})"
-        );
-        ok = false;
-    }
-    let checked_in =
-        std::fs::read_to_string(golden).map_err(|e| format!("reading {golden}: {e}"))?;
-    if report_1 != checked_in {
-        println!("grid-check: FAIL: shards={shards} sweep diverged from golden {golden}");
-        println!("  (regenerate deliberately with `tengig-grid check {golden} --write-golden`)");
-        print_diff(&checked_in, &report_1);
-        if let Some(dir) = std::path::Path::new(CURRENT_OUT).parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        std::fs::write(CURRENT_OUT, &report_1)
-            .map_err(|e| format!("writing {CURRENT_OUT}: {e}"))?;
-        println!("  computed report written to {CURRENT_OUT}");
+    let mut ok = golden::require_identical(
+        "grid-check",
+        &format!("report differs between 1 and 4 sweep threads (shards={shards})"),
+        &report_1,
+        &report_4,
+    );
+    if !golden::require_golden(
+        "grid-check",
+        &format!("shards={shards} sweep"),
+        golden_path,
+        &format!("tengig-grid check {golden_path} --write-golden"),
+        &report_1,
+    )? {
+        golden::dump_current(CURRENT_OUT, &report_1)?;
         ok = false;
     }
     if ok {
         println!(
             "grid-check: PASS (shards={shards}: byte-identical across 1/4 sweep threads, \
-             matches {golden})"
+             matches {golden_path})"
         );
     }
     Ok(ok)
@@ -125,12 +100,5 @@ fn main() {
     if shards == 0 {
         usage();
     }
-    match check(golden, shards, write_golden) {
-        Ok(true) => {}
-        Ok(false) => std::process::exit(1),
-        Err(e) => {
-            eprintln!("tengig-grid: {e}");
-            std::process::exit(2);
-        }
-    }
+    golden::exit_check("tengig-grid", check(golden, shards, write_golden));
 }

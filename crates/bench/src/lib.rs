@@ -20,3 +20,4 @@ pub fn criterion() -> criterion::Criterion {
 }
 
 pub mod gate;
+pub mod golden;

@@ -21,6 +21,7 @@ use std::time::Instant;
 use tengig::experiments::faults::{faults_lab, scaled_wan};
 use tengig::experiments::grid::{run_grid, run_grid_prof, GridPreset};
 use tengig::experiments::multiflow::{aggregate_seeded, Direction};
+use tengig::experiments::serve::{serve_sweep_report, standard_rungs, ServeOutcome};
 use tengig::experiments::wan::wan_lab_seeded;
 use tengig::experiments::{b2b_lab, run_to_completion};
 use tengig::lab::{self, App};
@@ -237,6 +238,28 @@ fn grid_prof() -> (u64, u64) {
     (r.events, r.payload_bytes)
 }
 
+/// The open-loop serve family: the pinned four-rung load ladder (seeded
+/// Poisson arrivals, bounded-Pareto mice/elephants, FCT percentiles)
+/// plus the four-rung disk-to-disk striping ladder, exactly the
+/// `serve-check` sweep at one shard. Events are the workload figure the
+/// golden gates on (obs sampling netted out), so the gate's exact
+/// event-count match doubles as a determinism check here too.
+fn serve_openloop() -> (u64, u64) {
+    let rungs = standard_rungs();
+    let (outcomes, _, _) = serve_sweep_report(&rungs, 1, SEED, tengig::SweepRunner::new(4));
+    let mut events = 0;
+    let mut bytes = 0;
+    for o in &outcomes {
+        let (e, b) = match o {
+            ServeOutcome::Load(r) => (r.events, r.payload_bytes),
+            ServeOutcome::Stripe(r) => (r.events, r.payload_bytes),
+        };
+        events += e;
+        bytes += b;
+    }
+    (events, bytes)
+}
+
 /// §3.5.2 packet generator: single-copy TCP-bypass blast.
 fn pktgen() -> (u64, u64) {
     let cfg = LadderRung::Mtu8160.pe2650_config(Mtu::TUNED_8160);
@@ -298,6 +321,7 @@ fn main() {
             time("grid_fabric_1shard", || grid_fabric(1)),
             time("grid_fabric_4shard", || grid_fabric(4)),
             time("grid_prof", grid_prof),
+            time("serve_openloop", serve_openloop),
         ],
         peak_rss_kb: gate::peak_rss_kb(),
     };

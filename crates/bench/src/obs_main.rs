@@ -22,6 +22,7 @@
 use tengig::experiments::throughput::{throughput_sweep_report, throughput_sweep_with_metrics};
 use tengig::experiments::wan::record_timeline;
 use tengig::{LadderRung, SweepRunner};
+use tengig_bench::golden;
 use tengig_ethernet::Mtu;
 use tengig_net::WanSpec;
 use tengig_sim::{Nanos, ObsConfig, Timelines};
@@ -41,27 +42,6 @@ fn obs_config() -> ObsConfig {
         sample_interval: Nanos::from_micros(100),
         ring_capacity: 256,
         sample_every: 4,
-    }
-}
-
-/// Print the first differing line of two JSONL documents with one line
-/// of surrounding context — enough to see which scope/metric/time moved
-/// without rerunning anything.
-fn print_first_diff(expected: &str, got: &str) {
-    let e: Vec<&str> = expected.lines().collect();
-    let g: Vec<&str> = got.lines().collect();
-    for i in 0..e.len().max(g.len()) {
-        let le = e.get(i).copied();
-        let lg = g.get(i).copied();
-        if le != lg {
-            println!("  first divergence at line {}:", i + 1);
-            if i > 0 {
-                println!("    context:  {}", e[i - 1]);
-            }
-            println!("    expected: {}", le.unwrap_or("<line missing>"));
-            println!("    got:      {}", lg.unwrap_or("<line missing>"));
-            return;
-        }
     }
 }
 
@@ -129,7 +109,7 @@ fn check_sweep(threads: usize) -> (String, String) {
     (report.to_jsonl(), sidecar.concatenated())
 }
 
-fn check(golden: &str, write_golden: bool) -> Result<bool, String> {
+fn check(golden_path: &str, write_golden: bool) -> Result<bool, String> {
     eprintln!("obs-check: pinned sweep, obs enabled, 1 thread ...");
     let (report_1, sidecar_1) = check_sweep(1);
     eprintln!("obs-check: pinned sweep, obs enabled, 4 threads ...");
@@ -147,41 +127,38 @@ fn check(golden: &str, write_golden: bool) -> Result<bool, String> {
     let plain = plain.to_jsonl();
 
     if write_golden {
-        if let Some(dir) = std::path::Path::new(golden).parent() {
-            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
-        }
-        std::fs::write(golden, &plain).map_err(|e| format!("writing {golden}: {e}"))?;
-        println!("obs-check: wrote golden {golden}");
+        golden::write_golden("obs-check", golden_path, &plain)?;
     }
 
-    let mut ok = true;
-    if sidecar_1 != sidecar_4 {
-        println!("obs-check: FAIL: metrics sidecar differs between 1 and 4 threads");
-        print_first_diff(&sidecar_1, &sidecar_4);
-        ok = false;
-    }
-    if report_1 != report_4 {
-        println!("obs-check: FAIL: primary report differs between 1 and 4 threads");
-        print_first_diff(&report_1, &report_4);
-        ok = false;
-    }
-    if report_4 != plain {
-        println!("obs-check: FAIL: enabling obs changed the primary report bytes");
-        print_first_diff(&plain, &report_4);
-        ok = false;
-    }
-    let checked_in =
-        std::fs::read_to_string(golden).map_err(|e| format!("reading {golden}: {e}"))?;
-    if plain != checked_in {
-        println!("obs-check: FAIL: obs-disabled sweep diverged from golden {golden}");
-        println!("  (regenerate deliberately with `tengig-obs check {golden} --write-golden`)");
-        print_first_diff(&checked_in, &plain);
-        ok = false;
-    }
+    let mut ok = golden::require_identical(
+        "obs-check",
+        "metrics sidecar differs between 1 and 4 threads",
+        &sidecar_1,
+        &sidecar_4,
+    );
+    ok &= golden::require_identical(
+        "obs-check",
+        "primary report differs between 1 and 4 threads",
+        &report_1,
+        &report_4,
+    );
+    ok &= golden::require_identical(
+        "obs-check",
+        "enabling obs changed the primary report bytes",
+        &plain,
+        &report_4,
+    );
+    ok &= golden::require_golden(
+        "obs-check",
+        "obs-disabled sweep",
+        golden_path,
+        &format!("tengig-obs check {golden_path} --write-golden"),
+        &plain,
+    )?;
     if ok {
         println!(
             "obs-check: PASS (sidecar byte-identical across 1/4 threads; \
-             primary report untouched and matches {golden})"
+             primary report untouched and matches {golden_path})"
         );
     }
     Ok(ok)
@@ -209,12 +186,5 @@ fn main() {
         ["check", golden, "--write-golden"] => check(golden, true),
         _ => usage(),
     };
-    match outcome {
-        Ok(true) => {}
-        Ok(false) => std::process::exit(1),
-        Err(e) => {
-            eprintln!("tengig-obs: {e}");
-            std::process::exit(2);
-        }
-    }
+    golden::exit_check("tengig-obs", outcome);
 }

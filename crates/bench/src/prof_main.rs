@@ -23,6 +23,7 @@
 
 use tengig::experiments::grid::{grid_prof_sweep, standard_presets};
 use tengig::SweepRunner;
+use tengig_bench::golden;
 use tengig_sim::Hist;
 
 /// Master seed for the pinned grid sweep (the publication year, matching
@@ -145,89 +146,53 @@ fn diff(a: &str, b: &str) -> Result<bool, String> {
     Ok(false)
 }
 
-/// Print the first few differing lines of two JSONL documents.
-fn print_diff(expected: &str, got: &str) {
-    let mut shown = 0;
-    for (i, (e, g)) in expected.lines().zip(got.lines()).enumerate() {
-        if e != g && shown < 5 {
-            println!("  line {}:", i + 1);
-            println!("    expected: {e}");
-            println!("    got:      {g}");
-            shown += 1;
-        }
-    }
-    let (el, gl) = (expected.lines().count(), got.lines().count());
-    if el != gl {
-        println!("  line counts differ: expected {el}, got {gl}");
-    }
-}
-
-fn check(golden: &str, shards: usize, write_golden: bool) -> Result<bool, String> {
+fn check(golden_path: &str, shards: usize, write_golden: bool) -> Result<bool, String> {
     eprintln!("prof-check: pinned profiled sweep, shards={shards}, 1 sweep thread ...");
     let (report_1, gated_1, _) = sweep(shards, 1);
     eprintln!("prof-check: pinned profiled sweep, shards={shards}, 4 sweep threads ...");
     let (report_4, gated_4, _) = sweep(shards, 4);
 
     if write_golden {
-        if let Some(dir) = std::path::Path::new(golden).parent() {
-            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
-        }
-        std::fs::write(golden, &gated_1).map_err(|e| format!("writing {golden}: {e}"))?;
-        println!("prof-check: wrote golden {golden}");
+        golden::write_golden("prof-check", golden_path, &gated_1)?;
     }
 
-    let mut ok = true;
-    if gated_1 != gated_4 {
-        println!(
-            "prof-check: FAIL: gated sidecar differs between 1 and 4 sweep threads \
-             (shards={shards})"
-        );
-        print_diff(&gated_1, &gated_4);
-        ok = false;
-    }
-    if report_1 != report_4 {
-        println!(
-            "prof-check: FAIL: primary report differs between 1 and 4 sweep threads \
-             (shards={shards})"
-        );
-        print_diff(&report_1, &report_4);
-        ok = false;
-    }
-    let checked_in =
-        std::fs::read_to_string(golden).map_err(|e| format!("reading {golden}: {e}"))?;
-    if gated_1 != checked_in {
-        println!("prof-check: FAIL: shards={shards} profiling sidecar diverged from {golden}");
-        println!("  (regenerate deliberately with `tengig-prof check {golden} --write-golden`)");
-        print_diff(&checked_in, &gated_1);
-        ok = false;
-    }
+    let mut ok = golden::require_identical(
+        "prof-check",
+        &format!("gated sidecar differs between 1 and 4 sweep threads (shards={shards})"),
+        &gated_1,
+        &gated_4,
+    );
+    ok &= golden::require_identical(
+        "prof-check",
+        &format!("primary report differs between 1 and 4 sweep threads (shards={shards})"),
+        &report_1,
+        &report_4,
+    );
+    ok &= golden::require_golden(
+        "prof-check",
+        &format!("shards={shards} profiling sidecar"),
+        golden_path,
+        &format!("tengig-prof check {golden_path} --write-golden"),
+        &gated_1,
+    )?;
     // The profiled run's primary report must match the plain grid golden:
     // collecting the profile may not perturb a byte of the sweep.
-    match std::fs::read_to_string(GRID_GOLDEN) {
-        Ok(grid_golden) => {
-            if report_1 != grid_golden {
-                println!(
-                    "prof-check: FAIL: profiled sweep report diverged from {GRID_GOLDEN} \
-                     (profiling must not change the sweep bytes)"
-                );
-                print_diff(&grid_golden, &report_1);
-                ok = false;
-            }
-        }
-        Err(e) => {
-            println!("prof-check: note: {GRID_GOLDEN} not checked ({e})");
-        }
+    match golden::require_golden(
+        "prof-check",
+        "profiled sweep report (profiling must not change the sweep bytes)",
+        GRID_GOLDEN,
+        "tengig-grid check goldens/grid.jsonl --write-golden",
+        &report_1,
+    ) {
+        Ok(matched) => ok &= matched,
+        Err(e) => println!("prof-check: note: {GRID_GOLDEN} not checked ({e})"),
     }
     if !ok {
-        if let Some(dir) = std::path::Path::new(CURRENT_OUT).parent() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-        std::fs::write(CURRENT_OUT, &gated_1).map_err(|e| format!("writing {CURRENT_OUT}: {e}"))?;
-        println!("  computed sidecar written to {CURRENT_OUT}");
+        golden::dump_current(CURRENT_OUT, &gated_1)?;
     } else {
         println!(
             "prof-check: PASS (shards={shards}: gated sidecar byte-identical across 1/4 \
-             sweep threads, matches {golden}; report untouched)"
+             sweep threads, matches {golden_path}; report untouched)"
         );
     }
     Ok(ok)
@@ -271,12 +236,5 @@ fn main() {
         }
         _ => usage(),
     };
-    match outcome {
-        Ok(true) => {}
-        Ok(false) => std::process::exit(1),
-        Err(e) => {
-            eprintln!("tengig-prof: {e}");
-            std::process::exit(2);
-        }
-    }
+    golden::exit_check("tengig-prof", outcome);
 }

@@ -1,0 +1,106 @@
+//! `tengig-serve` — determinism gate for the open-loop serve workload
+//! family, used by `make serve-check` and the CI shard matrix.
+//!
+//! ```text
+//! tengig-serve check GOLDEN [--shards N] [--write-golden]
+//! ```
+//!
+//! `check` runs the pinned serve sweep (`serve/openloop`, master seed
+//! 2003: the four-rung load ladder plus the four-rung striping ladder)
+//! at the requested shard count on 1 and then 4 sweep worker threads,
+//! requires the combined document — the primary report followed by the
+//! per-host CPU-saturation sidecar — to be byte-identical across thread
+//! counts, and byte-compares it against the checked-in golden. CI runs
+//! it at `--shards 1` and `--shards 4` against the *same* golden: the
+//! FCT percentiles, goodput figures, and CPU series must not move by a
+//! byte when the fabric is partitioned differently. On mismatch the
+//! computed document lands in `target/serve_current.jsonl` for artifact
+//! upload; exit status is 1 (2 for operational errors).
+
+use tengig::experiments::serve::{serve_sweep_report, standard_rungs};
+use tengig::SweepRunner;
+use tengig_bench::golden;
+
+/// Master seed for the pinned serve sweep (the publication year,
+/// matching every other pinned workload in the repo).
+const SEED: u64 = 2003;
+
+/// Where the computed document lands on mismatch, for CI upload.
+const CURRENT_OUT: &str = "target/serve_current.jsonl";
+
+/// The pinned sweep at a given shard count and sweep thread count:
+/// primary report lines, then the CPU-saturation sidecar lines, as one
+/// gated document.
+fn sweep(shards: usize, threads: usize) -> String {
+    let rungs = standard_rungs();
+    let (_, report, sidecar) = serve_sweep_report(&rungs, shards, SEED, SweepRunner::new(threads));
+    format!("{}{}", report.to_jsonl(), sidecar.concatenated())
+}
+
+fn check(golden_path: &str, shards: usize, write_golden: bool) -> Result<bool, String> {
+    eprintln!("serve-check: pinned sweep, shards={shards}, 1 sweep thread ...");
+    let doc_1 = sweep(shards, 1);
+    eprintln!("serve-check: pinned sweep, shards={shards}, 4 sweep threads ...");
+    let doc_4 = sweep(shards, 4);
+
+    if write_golden {
+        golden::write_golden("serve-check", golden_path, &doc_1)?;
+    }
+
+    let mut ok = golden::require_identical(
+        "serve-check",
+        &format!("report+sidecar differs between 1 and 4 sweep threads (shards={shards})"),
+        &doc_1,
+        &doc_4,
+    );
+    if !golden::require_golden(
+        "serve-check",
+        &format!("shards={shards} sweep"),
+        golden_path,
+        &format!("tengig-serve check {golden_path} --write-golden"),
+        &doc_1,
+    )? {
+        golden::dump_current(CURRENT_OUT, &doc_1)?;
+        ok = false;
+    }
+    if ok {
+        println!(
+            "serve-check: PASS (shards={shards}: byte-identical across 1/4 sweep threads, \
+             matches {golden_path})"
+        );
+    }
+    Ok(ok)
+}
+
+fn usage() -> ! {
+    eprintln!("usage: tengig-serve check GOLDEN [--shards N] [--write-golden]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    let (golden, rest) = match strs.as_slice() {
+        ["check", golden, rest @ ..] => (*golden, rest),
+        _ => usage(),
+    };
+    let mut shards = 1usize;
+    let mut write_golden = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match *arg {
+            "--shards" => {
+                let Some(n) = it.next().and_then(|s| s.parse().ok()) else {
+                    usage();
+                };
+                shards = n;
+            }
+            "--write-golden" => write_golden = true,
+            _ => usage(),
+        }
+    }
+    if shards == 0 {
+        usage();
+    }
+    golden::exit_check("tengig-serve", check(golden, shards, write_golden));
+}

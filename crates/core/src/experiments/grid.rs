@@ -112,7 +112,7 @@ impl GridPreset {
 
 /// The GbE workstation config for fat-tree leaves (same class as the
 /// multiflow experiment's peers).
-fn workstation() -> HostConfig {
+pub(crate) fn workstation() -> HostConfig {
     HostConfig {
         hw: tengig_hw::HostSpec::gbe_workstation(),
         nic: NicSpec::e1000_gbe(),
@@ -124,7 +124,7 @@ fn workstation() -> HostConfig {
 
 /// The 10GbE host config for spines and torus nodes: the paper's tuned
 /// PE2650.
-fn tengbe() -> HostConfig {
+pub(crate) fn tengbe() -> HostConfig {
     LadderRung::OversizedWindows.pe2650_config(Mtu::JUMBO_9000)
 }
 

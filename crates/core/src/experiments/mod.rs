@@ -13,6 +13,7 @@ pub mod grid;
 pub mod latency;
 pub mod multiflow;
 pub mod osbypass;
+pub mod serve;
 pub mod throughput;
 pub mod wan;
 

@@ -4,6 +4,7 @@
 use crate::config::HostConfig;
 use std::collections::VecDeque;
 use tengig_ethernet::{ETH_FCS, ETH_HEADER};
+use tengig_hw::DiskModel;
 use tengig_nic::Coalescer;
 use tengig_sim::{FifoServer, Nanos, ServerBank, Stage, Tracer};
 use tengig_tcp::Segment;
@@ -49,6 +50,11 @@ pub struct HostRt {
     pub rx_crc_drops: u64,
     /// MAGNET-style tracer for this host.
     pub tracer: Tracer,
+    /// Disk bank, when this host is a storage endpoint of the
+    /// disk→NIC→WAN→NIC→disk pipeline (see [`Lab::attach_disk`]).
+    ///
+    /// [`Lab::attach_disk`]: crate::lab::Lab::attach_disk
+    pub disk: Option<DiskModel>,
 }
 
 impl HostRt {
@@ -64,6 +70,7 @@ impl HostRt {
             rx_pending: VecDeque::new(),
             rx_crc_drops: 0,
             tracer: Tracer::disabled(),
+            disk: None,
         }
     }
 

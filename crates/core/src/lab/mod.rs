@@ -20,6 +20,8 @@ pub mod host;
 use crate::config::HostConfig;
 pub use grid::{GridMsg, GridRt, GridShard};
 pub use host::{HostRt, RxFrame};
+use std::collections::VecDeque;
+use tengig_hw::DiskModel;
 use tengig_net::{Delivery, Path, PathState};
 use tengig_nic::CoalesceAction;
 use tengig_sim::{
@@ -298,6 +300,86 @@ pub enum App {
     /// Iperf: endpoint 0 streams for a fixed duration; endpoint 1 counts
     /// bytes delivered within the window.
     Iperf(Iperf),
+    /// Disk-to-disk relay: endpoint 0 streams bytes read off its host's
+    /// disk bank, endpoint 1 writes delivered bytes back out to its own —
+    /// the paper's capstone `disk→NIC→WAN→NIC→disk` pipeline stage.
+    DiskPipe(DiskPipe),
+}
+
+/// How many disk chunks a [`DiskPipe`] sender keeps in flight on its read
+/// lane. One chunk would stall the stream every chunk boundary (and
+/// re-pay positioning on each resume); two keeps a streaming spindle
+/// seamlessly busy while bounding staged memory.
+const DISK_READAHEAD: usize = 2;
+
+/// State of one disk→NIC→WAN→NIC→disk relay stream.
+///
+/// The socket side is an NTTCP pair; the storage side gates it. The
+/// sender may only write bytes its disk has actually produced, so the
+/// pump ([`disk_pump`]) admits chunk reads against the source
+/// [`DiskModel`] (bounded read-ahead), stages completed chunks, and
+/// streams them into the socket as buffer space allows. The receiver
+/// write-behinds every delivered batch onto its destination disk; the
+/// pipeline's true end is the *drain* of that write lane, tracked
+/// analytically in [`DiskPipe::drain_done`] — no event variants needed.
+#[derive(Debug)]
+pub struct DiskPipe {
+    /// Socket byte pump (payload-sized writes).
+    pub tx: NttcpSender,
+    /// Receiver half: counts delivered bytes.
+    pub rx: NttcpReceiver,
+    /// Stripe lane this stream uses on both hosts' disk banks.
+    pub stream: usize,
+    /// Disk request granularity, bytes (a multiple of the socket payload
+    /// so staged bytes always cover whole writes).
+    chunk: u64,
+    /// Total bytes to move end to end.
+    total: u64,
+    /// Bytes admitted to the source disk's read lane so far.
+    read_admitted: u64,
+    /// Bytes read off the source disk and staged for socket writes.
+    staged: u64,
+    /// Outstanding read admissions (completion instant, bytes), oldest
+    /// first — FIFO lane order, so completion instants are nondecreasing.
+    reads: VecDeque<(Nanos, u64)>,
+    /// Instant of the already-scheduled pump wakeup, if one is pending.
+    wake_at: Option<Nanos>,
+    /// Completion instant of the last destination-disk write admission.
+    drain_done: Nanos,
+}
+
+impl DiskPipe {
+    /// A relay moving `count` socket writes of `payload` bytes, issuing
+    /// disk requests of `chunk_writes` payloads each, striped onto lane
+    /// `stream` of both endpoint hosts' disk banks.
+    pub fn new(payload: u64, count: u64, chunk_writes: u64, stream: usize) -> Self {
+        assert!(payload > 0 && chunk_writes > 0, "degenerate disk pipe");
+        DiskPipe {
+            tx: NttcpSender::new(payload, count),
+            rx: NttcpReceiver::new(payload * count),
+            stream,
+            chunk: payload * chunk_writes,
+            total: payload * count,
+            read_admitted: 0,
+            staged: 0,
+            reads: VecDeque::new(),
+            wake_at: None,
+            drain_done: Nanos::ZERO,
+        }
+    }
+
+    /// Completion instant of the last destination-disk write admission —
+    /// when the pipeline's final stage actually drains. At least the
+    /// flow's network completion (`t_done`); later when the destination
+    /// disk is the bottleneck.
+    pub fn drain_done(&self) -> Nanos {
+        self.drain_done
+    }
+
+    /// Total bytes this relay moves end to end.
+    pub fn total_bytes(&self) -> u64 {
+        self.total
+    }
 }
 
 /// Measurement bookkeeping for a flow.
@@ -337,6 +419,11 @@ pub struct FlowRt {
     /// the superseded event — a generation-guarded no-op — is cancelled
     /// in O(1) instead of lingering in the calendar until it expires.
     timer_ids: [[Option<EventId>; 2]; 2],
+    /// Whether the first [`Ev::StartFlow`] has fired. Disk relays reuse
+    /// that event as their pump wakeup, so `start_flow` is re-entrant;
+    /// the one-time work (CPU baselines, connection-open stamps) is
+    /// gated here.
+    started: bool,
 }
 
 /// Live state of the observability layer while a lab run has metrics
@@ -477,8 +564,15 @@ impl Lab {
             read_pending: [0, 0],
             read_scheduled: [false, false],
             timer_ids: [[None; 2]; 2],
+            started: false,
         });
         self.flows.len() - 1
+    }
+
+    /// Attach a disk bank to a host — the storage endpoints of the
+    /// disk→NIC→WAN→NIC→disk pipeline. Replaces any previous bank.
+    pub fn attach_disk(&mut self, host: usize, disk: DiskModel) {
+        self.hosts[host].disk = Some(disk);
     }
 
     /// Whether every flow's workload has completed.
@@ -633,6 +727,31 @@ pub fn kick(lab: &mut Lab, eng: &mut LabEngine) {
         }
         let at = Nanos::from_micros(1) + Nanos::from_nanos(137 * f as u64);
         eng.schedule_event_at(at, Ev::StartFlow { f });
+    }
+    if let Some(obs) = &lab.obs {
+        eng.schedule_event_at(obs.interval, Ev::ObsSample);
+    }
+}
+
+/// Start flows at explicit arrival instants — the open-loop workload
+/// plane. `arrivals[f]` is flow `f`'s absolute start time, typically a
+/// pre-built [`tengig_sim::build_schedule`] draw, so the generator costs
+/// zero RNG draws and zero events inside the run itself. Grid filtering
+/// and obs arming mirror [`kick`]; arrival instants come from outside, so
+/// a pre-built schedule is shard-count-invariant for free.
+pub fn kick_at(lab: &mut Lab, eng: &mut LabEngine, arrivals: &[Nanos]) {
+    assert_eq!(
+        arrivals.len(),
+        lab.flows.len(),
+        "one arrival instant per flow"
+    );
+    for (f, at) in arrivals.iter().enumerate() {
+        if let Some(g) = &lab.grid {
+            if !g.owns(lab.flows[f].host[0]) {
+                continue;
+            }
+        }
+        eng.schedule_event_at(*at, Ev::StartFlow { f });
     }
     if let Some(obs) = &lab.obs {
         eng.schedule_event_at(obs.interval, Ev::ObsSample);
@@ -803,11 +922,18 @@ pub(super) fn obs_revive(lab: &mut Lab, eng: &mut LabEngine, at: Nanos) {
 }
 
 fn start_flow(lab: &mut Lab, eng: &mut LabEngine, f: usize) {
-    // Capture CPU baselines for load measurement.
     let now = eng.now();
-    for ep in 0..2 {
-        let h = lab.flows[f].host[ep];
-        lab.flows[f].meas.cpu_busy_start[ep] = lab.hosts[h].hottest_cpu_busy(now);
+    // First fire only: capture CPU baselines for load measurement and
+    // stamp the connections open. Disk relays re-enter here on every pump
+    // wakeup ([`Ev::StartFlow`] doubles as their timer), and a re-fire
+    // must not move the baselines.
+    if !lab.flows[f].started {
+        lab.flows[f].started = true;
+        for ep in 0..2 {
+            let h = lab.flows[f].host[ep];
+            lab.flows[f].meas.cpu_busy_start[ep] = lab.hosts[h].hottest_cpu_busy(now);
+            lab.flows[f].conns[ep].on_open(now);
+        }
     }
     match &mut lab.flows[f].app {
         App::Nttcp { .. } | App::Iperf(_) => app_write_pump(lab, eng, f),
@@ -818,6 +944,7 @@ fn start_flow(lab: &mut Lab, eng: &mut LabEngine, f: usize) {
             }
         }
         App::Pktgen(_) => pktgen_tick(lab, eng, f),
+        App::DiskPipe(_) => disk_pump(lab, eng, f),
     }
 }
 
@@ -829,6 +956,68 @@ fn app_write_pump(lab: &mut Lab, eng: &mut LabEngine, f: usize) {
         let next = match &mut lab.flows[f].app {
             App::Nttcp { tx, .. } => tx.next_write(now, space),
             App::Iperf(ip) => (ip.keep_writing(now) && space >= ip.payload).then_some(ip.payload),
+            _ => None,
+        };
+        let Some(w) = next else { break };
+        lab.flows[f].meas.t_start.get_or_insert(now);
+        app_write(lab, eng, f, 0, w);
+    }
+}
+
+/// The disk-relay sender loop: retire source-disk reads the spindle has
+/// finished, keep the read lane primed ([`DISK_READAHEAD`] chunks), and
+/// stream staged bytes into the socket while buffer space allows. When
+/// the socket could take more but the disk has not produced it yet, the
+/// pump arms an [`Ev::StartFlow`] wakeup at the oldest outstanding
+/// read's completion — the event that started the flow doubles as the
+/// pump timer, so the disk plane adds no event variants of its own.
+fn disk_pump(lab: &mut Lab, eng: &mut LabEngine, f: usize) {
+    let now = eng.now();
+    let h = lab.flows[f].host[0];
+    // Disk bookkeeping: retire, prime, arm the wakeup.
+    {
+        let flow = &mut lab.flows[f];
+        let host = &mut lab.hosts[h];
+        let App::DiskPipe(dp) = &mut flow.app else {
+            return;
+        };
+        let disk = host
+            .disk
+            .as_mut()
+            .expect("a DiskPipe endpoint host has a disk bank attached");
+        if dp.wake_at.is_some_and(|t| t <= now) {
+            dp.wake_at = None;
+        }
+        while dp.reads.front().is_some_and(|(done, _)| *done <= now) {
+            if let Some((_, n)) = dp.reads.pop_front() {
+                dp.staged += n;
+            }
+        }
+        while dp.reads.len() < DISK_READAHEAD && dp.read_admitted < dp.total {
+            let n = dp.chunk.min(dp.total - dp.read_admitted);
+            let adm = disk.read(dp.stream, now, n);
+            dp.read_admitted += n;
+            dp.reads.push_back((adm.done, n));
+        }
+        if dp.wake_at.is_none() {
+            if let Some(&(done, _)) = dp.reads.front() {
+                eng.schedule_event_at(done, Ev::StartFlow { f });
+                dp.wake_at = Some(done);
+            }
+        }
+    }
+    // Stream staged bytes into the socket while space allows. One write
+    // per iteration so `snd_buf_space` reflects each accepted write.
+    loop {
+        let space = lab.flows[f].conns[0].snd_buf_space();
+        let next = match &mut lab.flows[f].app {
+            App::DiskPipe(dp) if dp.staged >= dp.tx.payload => {
+                let w = dp.tx.next_write(now, space);
+                if let Some(w) = w {
+                    dp.staged -= w;
+                }
+                w
+            }
             _ => None,
         };
         let Some(w) = next else { break };
@@ -886,8 +1075,12 @@ pub fn process_actions(
             }
             Action::DeliverData { bytes } => schedule_app_read(lab, eng, f, ep, bytes),
             Action::SndBufSpace => {
-                if ep == 0 && matches!(lab.flows[f].app, App::Nttcp { .. } | App::Iperf(_)) {
-                    app_write_pump(lab, eng, f);
+                if ep == 0 {
+                    match lab.flows[f].app {
+                        App::Nttcp { .. } | App::Iperf(_) => app_write_pump(lab, eng, f),
+                        App::DiskPipe(_) => disk_pump(lab, eng, f),
+                        _ => {}
+                    }
                 }
             }
         }
@@ -1235,6 +1428,7 @@ fn mark_done(lab: &mut Lab, f: usize, now: Nanos) {
     for ep in 0..2 {
         let h = lab.flows[f].host[ep];
         lab.flows[f].meas.cpu_busy_end[ep] = lab.hosts[h].hottest_cpu_busy(now);
+        lab.flows[f].conns[ep].on_close(now);
     }
 }
 
@@ -1242,6 +1436,7 @@ fn mark_done(lab: &mut Lab, f: usize, now: Nanos) {
 fn app_on_delivered(lab: &mut Lab, eng: &mut LabEngine, f: usize, ep: usize, bytes: u64) {
     let now = eng.now();
     let mut write_back: Option<(usize, u64)> = None;
+    let mut disk_write: Option<(usize, bool)> = None;
     match &mut lab.flows[f].app {
         App::Nttcp { rx, .. } => {
             if ep == 1 {
@@ -1273,9 +1468,34 @@ fn app_on_delivered(lab: &mut Lab, eng: &mut LabEngine, f: usize, ep: usize, byt
             }
         }
         App::Pktgen(_) => {}
+        App::DiskPipe(dp) => {
+            if ep == 1 {
+                dp.rx.on_delivered(now, bytes);
+                disk_write = Some((dp.stream, dp.rx.is_done()));
+            }
+        }
     }
     if let Some((wep, w)) = write_back {
         app_write(lab, eng, f, wep, w);
+    }
+    if let Some((stream, finished)) = disk_write {
+        // Write-behind: the delivered batch goes straight onto the
+        // destination disk's write lane. The pipeline's true end is the
+        // *drain* of that lane, tracked analytically — the flow's network
+        // completion (`mark_done`) stays at delivery time, exactly as for
+        // NTTCP, and the drain instant rides along in the relay state.
+        let h1 = lab.flows[f].host[1];
+        let adm = lab.hosts[h1]
+            .disk
+            .as_mut()
+            .expect("a DiskPipe endpoint host has a disk bank attached")
+            .write(stream, now, bytes);
+        if let App::DiskPipe(dp) = &mut lab.flows[f].app {
+            dp.drain_done = dp.drain_done.max(adm.done);
+        }
+        if finished {
+            mark_done(lab, f, now);
+        }
     }
 }
 

@@ -18,6 +18,6 @@ pub mod report;
 pub mod sweep;
 
 pub use config::{HostConfig, LadderRung, TuningStep};
-pub use lab::{App, Ev, FlowRt, HostRt, Lab, LabProf};
+pub use lab::{App, DiskPipe, Ev, FlowRt, HostRt, Lab, LabProf};
 pub use report::{Json, MetricsSidecar, SweepReport, SweepRow};
 pub use sweep::{scenarios, Scenario, SweepError, SweepRunner};

@@ -13,6 +13,8 @@
 //! * [`memory`] — the front-side-bus/memory subsystem (STREAM-calibrated),
 //! * [`alloc`] — Linux's power-of-2 block allocation for socket buffers,
 //!   which explains why an 8160-byte MTU beats 9000,
+//! * [`disk`] — seek + sequential-rate storage spindles with FIFO
+//!   read/write lanes, feeding the disk→NIC→WAN→NIC→disk pipeline stage,
 //! * [`chipset`] — presets for every host the paper measures (Dell PE2650 /
 //!   GC-LE, Dell PE4600 / GC-HE, the Intel E7505 loaners, the quad
 //!   Itanium-II, and a GbE workstation for multi-flow senders).
@@ -38,11 +40,13 @@
 pub mod alloc;
 pub mod chipset;
 pub mod cpu;
+pub mod disk;
 pub mod memory;
 pub mod pcix;
 
 pub use alloc::BlockAllocator;
 pub use chipset::HostSpec;
 pub use cpu::{CpuSpec, KernelMode, StackCosts};
+pub use disk::{DiskModel, DiskSpec};
 pub use memory::MemorySpec;
 pub use pcix::PcixSpec;

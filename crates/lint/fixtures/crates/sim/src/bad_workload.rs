@@ -1,0 +1,20 @@
+//! Known-bad fixture: an open-loop arrival-schedule builder that mixes a
+//! host-clock read into its gap draws.
+
+/// The workload schedule-builder root (mirrors
+/// `tengig_sim::workload::build_schedule`).
+pub fn build_schedule(flows: usize) -> u64 {
+    let mut at = 0;
+    for _ in 0..flows {
+        at += jittered_gap();
+    }
+    at
+}
+
+/// The per-flow gap draw — except the "jitter" comes from the wall
+/// clock: no `lint:trusted` boundary, no `lint:allow`, so both the
+/// direct rule and the taint proof anchored at the root must fire.
+fn jittered_gap() -> u64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs()
+}

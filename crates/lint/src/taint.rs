@@ -65,6 +65,12 @@ pub const HOT_PATH_ROOTS: &[&str] = &[
     // boundary)` read (`wall_now_ns`), so the root must still prove
     // clean — any other clock read inside the accounting is a failure.
     "run_sharded_wall",
+    // Open-loop workload plane: the arrival-schedule builder consumes
+    // the forked RNG stream flow by flow (a stray entropy or clock read
+    // would shift every arrival after it), and FCT recording runs once
+    // per flow completion inside the measurement path.
+    "build_schedule",
+    "FctStats::record",
 ];
 
 /// One function in the workspace call graph: its parsed item plus the

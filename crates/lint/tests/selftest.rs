@@ -195,6 +195,31 @@ fn fixture_tree_trips_every_rule() {
         "the proof chain passes through the accounting helper: {prof_taint:?}"
     );
 
+    // And for the open-loop workload plane: a wall-clock read folded
+    // into the arrival-gap draws trips the direct rule, and the
+    // schedule-builder root is proven tainted through the draw helper —
+    // a single stray clock read would shift every arrival after it.
+    let workload = diags_for(d, "bad_workload.rs");
+    assert_eq!(workload.len(), 2, "{workload:?}");
+    assert!(
+        workload
+            .iter()
+            .any(|x| x.rule == "wall-clock" && x.line == 18),
+        "{workload:?}"
+    );
+    let workload_taint = workload
+        .iter()
+        .find(|x| x.rule == "taint")
+        .expect("schedule-builder root must be proven tainted");
+    assert_eq!(
+        workload_taint.line, 6,
+        "finding anchors at build_schedule's declaration"
+    );
+    assert!(
+        workload_taint.chain.iter().any(|c| c == "jittered_gap"),
+        "the proof chain passes through the gap draw: {workload_taint:?}"
+    );
+
     // The tricky-but-clean file (tokens only in comments/strings/chars)
     // and the properly routed sweeps must not fire at all.
     assert!(diags_for(d, "clean_tricky.rs").is_empty(), "{d:?}");

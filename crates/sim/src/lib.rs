@@ -34,6 +34,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 pub mod units;
+pub mod workload;
 
 pub use calendar::{Calendar, EventId};
 pub use engine::{BoxedEvent, Engine, EventFire};
@@ -47,3 +48,6 @@ pub use shard::{run_sharded, run_sharded_wall, ShardWorld};
 pub use time::Nanos;
 pub use trace::{Stage, TraceEvent, Tracer};
 pub use units::{rate_of, Bandwidth};
+pub use workload::{
+    build_schedule, ArrivalProcess, BoundedPareto, FctStats, FlowPlan, SizeMix, WorkloadSpec,
+};

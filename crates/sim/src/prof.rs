@@ -141,12 +141,21 @@ impl Hist {
     /// the observed `[min, max]`. Returns 0 when empty. Integer-only, so
     /// the answer is exact with respect to the bucketed distribution.
     pub fn percentile(&self, p: u64) -> u64 {
+        self.permille(p.min(100).saturating_mul(10))
+    }
+
+    /// The quantile at permille `p` (`p` in `0..=1000`): like
+    /// [`Hist::percentile`] but at tail resolution — `permille(999)` is
+    /// the p999 the FCT reporting plane leans on, which integer percent
+    /// cannot express. Same rank rule with a 1000 denominator
+    /// (`percentile(p)` ≡ `permille(10 * p)` exactly).
+    pub fn permille(&self, p: u64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let p = p.min(100);
-        // ceil(p * count / 100), at least rank 1.
-        let rank = (p.saturating_mul(self.count).div_ceil(100)).max(1);
+        let p = p.min(1000);
+        // ceil(p * count / 1000), at least rank 1.
+        let rank = (p.saturating_mul(self.count).div_ceil(1000)).max(1);
         let mut seen = 0u64;
         for (k, &b) in self.buckets.iter().enumerate() {
             seen += b;
@@ -393,6 +402,53 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_answers_every_quantile() {
+        let mut h = Hist::new();
+        h.record(777);
+        for p in [0u64, 1, 50, 99, 100] {
+            assert_eq!(h.percentile(p), 777, "p{p}");
+        }
+        for p in [0u64, 1, 500, 990, 999, 1000] {
+            assert_eq!(h.permille(p), 777, "permille {p}");
+        }
+    }
+
+    #[test]
+    fn all_max_samples_stay_at_max() {
+        let mut h = Hist::new();
+        for _ in 0..5 {
+            h.record(u64::MAX);
+        }
+        assert_eq!(h.min(), u64::MAX);
+        assert_eq!(h.percentile(0), u64::MAX);
+        assert_eq!(h.percentile(50), u64::MAX);
+        assert_eq!(h.permille(999), u64::MAX);
+        assert_eq!(h.percentile(100), u64::MAX);
+    }
+
+    #[test]
+    fn empty_hist_permille_is_zero() {
+        let h = Hist::new();
+        for p in [0u64, 500, 999, 1000, 5000] {
+            assert_eq!(h.permille(p), 0);
+        }
+    }
+
+    #[test]
+    fn permille_refines_percentile_exactly() {
+        let mut h = Hist::new();
+        for v in 0..1000u64 {
+            h.record(v * v);
+        }
+        for p in 0..=100u64 {
+            assert_eq!(h.percentile(p), h.permille(p * 10), "p{p}");
+        }
+        // The tail permilles are at least the p99 and at most the max.
+        assert!(h.permille(999) >= h.percentile(99));
+        assert!(h.permille(999) <= h.max());
+    }
+
+    #[test]
     fn percentiles_clamp_to_observed_range() {
         let mut h = Hist::new();
         h.record(900);
@@ -503,6 +559,27 @@ mod tests {
                 Hist::parse(&left.render()).expect("renders parse"),
                 left
             );
+        }
+
+        #[test]
+        fn quantiles_are_monotone_in_q_and_bounded_by_min_max(
+            xs in proptest::collection::vec(any::<u64>(), 1..60),
+        ) {
+            let mut h = Hist::new();
+            for &v in &xs {
+                h.record(v);
+            }
+            let mut prev = h.permille(0);
+            for p in 0..=1000u64 {
+                let q = h.permille(p);
+                prop_assert!(q >= prev, "permille({}) = {} < {}", p, q, prev);
+                prop_assert!(q >= h.min() && q <= h.max());
+                prev = q;
+            }
+            // The coarse API agrees with the fine one everywhere.
+            for p in 0..=100u64 {
+                prop_assert_eq!(h.percentile(p), h.permille(p * 10));
+            }
         }
     }
 }

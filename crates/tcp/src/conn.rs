@@ -163,6 +163,13 @@ pub struct TcpConn {
     delack_armed: bool,
     fin_seen: bool,
 
+    // ---- lifecycle ----
+    /// When the flow using this connection was opened (admitted to the
+    /// laboratory), if the owner marked it.
+    opened_at: Option<Nanos>,
+    /// When the flow's transfer completed, if the owner marked it.
+    closed_at: Option<Nanos>,
+
     /// Statistics.
     pub stats: ConnStats,
 }
@@ -202,6 +209,8 @@ impl TcpConn {
             delack_gen: 0,
             delack_armed: false,
             fin_seen: false,
+            opened_at: None,
+            closed_at: None,
             stats: ConnStats::default(),
         }
     }
@@ -265,6 +274,47 @@ impl TcpConn {
     /// Whether the peer's FIN has been received.
     pub fn fin_seen(&self) -> bool {
         self.fin_seen
+    }
+
+    // ------------------------------------------------------------------
+    // lifecycle hooks
+    // ------------------------------------------------------------------
+
+    /// Flow-open hook: record when the flow using this connection was
+    /// admitted. Pure bookkeeping (no segments, no timers, no actions) —
+    /// the open-loop workload plane uses it to cross-check its
+    /// completion-time accounting. First call wins; later calls are
+    /// ignored so re-entrant start events stay idempotent.
+    pub fn on_open(&mut self, now: Nanos) {
+        if self.opened_at.is_none() {
+            self.opened_at = Some(now);
+        }
+    }
+
+    /// Flow-close hook: record when the flow's transfer completed. Pure
+    /// bookkeeping, idempotent like [`TcpConn::on_open`].
+    pub fn on_close(&mut self, now: Nanos) {
+        if self.closed_at.is_none() {
+            self.closed_at = Some(now);
+        }
+    }
+
+    /// When the flow was opened, if marked.
+    pub fn opened_at(&self) -> Option<Nanos> {
+        self.opened_at
+    }
+
+    /// When the flow completed, if marked.
+    pub fn closed_at(&self) -> Option<Nanos> {
+        self.closed_at
+    }
+
+    /// Open-to-close lifetime, once both lifecycle marks are present.
+    pub fn lifetime(&self) -> Option<Nanos> {
+        match (self.opened_at, self.closed_at) {
+            (Some(open), Some(close)) => Some(close.saturating_sub(open)),
+            _ => None,
+        }
     }
 
     // ------------------------------------------------------------------
